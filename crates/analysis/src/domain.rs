@@ -1,0 +1,294 @@
+//! Domain identification from characteristic profiles (the paper's Q3: "how
+//! can we identify domains which hypergraphs are from?").
+//!
+//! Section 4.3 shows that CPs are similar within a domain and dissimilar
+//! across domains. This module turns that observation into a classifier: a
+//! labelled collection of CPs acts as a reference set, and an unlabelled
+//! hypergraph is assigned to the domain whose profiles it correlates with
+//! most strongly (nearest-centroid or nearest-neighbour, both under Pearson
+//! correlation). Leave-one-out evaluation over a labelled suite quantifies
+//! how well CPs separate the domains.
+
+use mochy_core::profile::pearson_correlation;
+use serde::{Deserialize, Serialize};
+
+/// A labelled characteristic profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelledProfile {
+    /// Dataset name (e.g. `"coauth-alpha"`).
+    pub name: String,
+    /// Domain label (e.g. `"coauth"`).
+    pub domain: String,
+    /// The CP vector (26 entries for 3-edge h-motifs).
+    pub profile: Vec<f64>,
+}
+
+/// Classification rule used by [`DomainClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainRule {
+    /// Assign the domain whose *centroid* profile correlates best.
+    NearestCentroid,
+    /// Assign the domain of the single best-correlated reference profile.
+    NearestNeighbor,
+}
+
+/// A characteristic-profile-based domain classifier.
+#[derive(Debug, Clone)]
+pub struct DomainClassifier {
+    references: Vec<LabelledProfile>,
+    rule: DomainRule,
+}
+
+impl DomainClassifier {
+    /// Builds a classifier from labelled reference profiles.
+    ///
+    /// # Panics
+    /// Panics if `references` is empty or the profiles have inconsistent
+    /// lengths.
+    pub fn new(references: Vec<LabelledProfile>, rule: DomainRule) -> Self {
+        assert!(!references.is_empty(), "need at least one reference profile");
+        let len = references[0].profile.len();
+        assert!(
+            references.iter().all(|r| r.profile.len() == len),
+            "all reference profiles must have the same length"
+        );
+        Self { references, rule }
+    }
+
+    /// The distinct domains known to the classifier, sorted.
+    pub fn domains(&self) -> Vec<String> {
+        let mut domains: Vec<String> = self
+            .references
+            .iter()
+            .map(|r| r.domain.clone())
+            .collect();
+        domains.sort();
+        domains.dedup();
+        domains
+    }
+
+    /// Number of reference profiles.
+    pub fn len(&self) -> usize {
+        self.references.len()
+    }
+
+    /// Whether the classifier has no references (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.references.is_empty()
+    }
+
+    /// Scores every domain for the query profile: higher is better. Returns
+    /// `(domain, score)` pairs sorted by descending score.
+    pub fn scores(&self, profile: &[f64]) -> Vec<(String, f64)> {
+        let mut scores: Vec<(String, f64)> = self
+            .domains()
+            .into_iter()
+            .map(|domain| {
+                let members: Vec<&LabelledProfile> = self
+                    .references
+                    .iter()
+                    .filter(|r| r.domain == domain)
+                    .collect();
+                let score = match self.rule {
+                    DomainRule::NearestCentroid => {
+                        let centroid = centroid(&members);
+                        pearson_correlation(profile, &centroid)
+                    }
+                    DomainRule::NearestNeighbor => members
+                        .iter()
+                        .map(|r| pearson_correlation(profile, &r.profile))
+                        .fold(f64::NEG_INFINITY, f64::max),
+                };
+                (domain, score)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scores
+    }
+
+    /// The most plausible domain for the query profile.
+    pub fn classify(&self, profile: &[f64]) -> String {
+        self.scores(profile)
+            .into_iter()
+            .next()
+            .map(|(domain, _)| domain)
+            .expect("classifier has at least one domain")
+    }
+}
+
+fn centroid(members: &[&LabelledProfile]) -> Vec<f64> {
+    let len = members.first().map(|m| m.profile.len()).unwrap_or(0);
+    let mut out = vec![0.0; len];
+    for member in members {
+        for (slot, value) in out.iter_mut().zip(member.profile.iter()) {
+            *slot += value;
+        }
+    }
+    let n = members.len() as f64;
+    for slot in &mut out {
+        *slot /= n;
+    }
+    out
+}
+
+/// The outcome of a leave-one-out evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaveOneOutReport {
+    /// `(dataset name, true domain, predicted domain)` per held-out dataset.
+    pub predictions: Vec<(String, String, String)>,
+    /// Fraction of held-out datasets assigned to their true domain.
+    pub accuracy: f64,
+}
+
+impl LeaveOneOutReport {
+    /// The names of the misclassified datasets.
+    pub fn misclassified(&self) -> Vec<&str> {
+        self.predictions
+            .iter()
+            .filter(|(_, truth, predicted)| truth != predicted)
+            .map(|(name, _, _)| name.as_str())
+            .collect()
+    }
+}
+
+/// Leave-one-out evaluation: each labelled profile is classified by a
+/// classifier trained on all the others.
+///
+/// Datasets whose domain has no other member are skipped (their domain cannot
+/// possibly be predicted), mirroring the usual protocol.
+pub fn leave_one_out(profiles: &[LabelledProfile], rule: DomainRule) -> LeaveOneOutReport {
+    let mut predictions = Vec::new();
+    let mut correct = 0usize;
+    let mut evaluated = 0usize;
+    for (index, held_out) in profiles.iter().enumerate() {
+        let rest: Vec<LabelledProfile> = profiles
+            .iter()
+            .enumerate()
+            .filter(|&(other, _)| other != index)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let domain_still_present = rest.iter().any(|p| p.domain == held_out.domain);
+        if !domain_still_present {
+            continue;
+        }
+        let classifier = DomainClassifier::new(rest, rule);
+        let predicted = classifier.classify(&held_out.profile);
+        if predicted == held_out.domain {
+            correct += 1;
+        }
+        evaluated += 1;
+        predictions.push((held_out.name.clone(), held_out.domain.clone(), predicted));
+    }
+    LeaveOneOutReport {
+        accuracy: if evaluated == 0 {
+            0.0
+        } else {
+            correct as f64 / evaluated as f64
+        },
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic profiles with a clear domain structure: domain `a` peaks on
+    /// the first coordinates, domain `b` on the last ones.
+    fn labelled_suite() -> Vec<LabelledProfile> {
+        let make = |name: &str, domain: &str, peak: usize, tilt: f64| {
+            let mut profile = vec![0.05; 10];
+            profile[peak] = 0.9;
+            profile[(peak + 1) % 10] = 0.4 + tilt;
+            LabelledProfile {
+                name: name.to_string(),
+                domain: domain.to_string(),
+                profile,
+            }
+        };
+        vec![
+            make("a-1", "a", 0, 0.00),
+            make("a-2", "a", 0, 0.05),
+            make("a-3", "a", 1, 0.02),
+            make("b-1", "b", 7, 0.00),
+            make("b-2", "b", 7, 0.04),
+            make("c-1", "c", 4, 0.00),
+            make("c-2", "c", 4, 0.03),
+        ]
+    }
+
+    #[test]
+    fn classifier_reports_domains() {
+        let classifier = DomainClassifier::new(labelled_suite(), DomainRule::NearestCentroid);
+        assert_eq!(classifier.domains(), vec!["a", "b", "c"]);
+        assert_eq!(classifier.len(), 7);
+        assert!(!classifier.is_empty());
+    }
+
+    #[test]
+    fn classification_recovers_the_right_domain() {
+        for rule in [DomainRule::NearestCentroid, DomainRule::NearestNeighbor] {
+            let classifier = DomainClassifier::new(labelled_suite(), rule);
+            let mut query = vec![0.05; 10];
+            query[7] = 0.8;
+            query[8] = 0.35;
+            assert_eq!(classifier.classify(&query), "b", "rule {rule:?}");
+            let scores = classifier.scores(&query);
+            assert_eq!(scores.len(), 3);
+            assert!(scores[0].1 >= scores[1].1 && scores[1].1 >= scores[2].1);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_is_accurate_on_separable_domains() {
+        let report = leave_one_out(&labelled_suite(), DomainRule::NearestCentroid);
+        assert_eq!(report.predictions.len(), 7);
+        assert!(
+            report.accuracy >= 6.0 / 7.0,
+            "accuracy {} too low; misclassified: {:?}",
+            report.accuracy,
+            report.misclassified()
+        );
+    }
+
+    #[test]
+    fn leave_one_out_skips_singleton_domains() {
+        let mut suite = labelled_suite();
+        suite.push(LabelledProfile {
+            name: "lonely-1".to_string(),
+            domain: "lonely".to_string(),
+            profile: vec![0.1; 10],
+        });
+        let report = leave_one_out(&suite, DomainRule::NearestNeighbor);
+        // The singleton domain is not evaluated.
+        assert_eq!(report.predictions.len(), 7);
+        assert!(report
+            .predictions
+            .iter()
+            .all(|(name, _, _)| name != "lonely-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reference")]
+    fn empty_reference_set_panics() {
+        let _ = DomainClassifier::new(Vec::new(), DomainRule::NearestCentroid);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn inconsistent_profile_lengths_panic() {
+        let suite = vec![
+            LabelledProfile {
+                name: "x".into(),
+                domain: "a".into(),
+                profile: vec![0.1; 5],
+            },
+            LabelledProfile {
+                name: "y".into(),
+                domain: "a".into(),
+                profile: vec![0.1; 6],
+            },
+        ];
+        let _ = DomainClassifier::new(suite, DomainRule::NearestCentroid);
+    }
+}

@@ -1,0 +1,168 @@
+//! Temporal evolution of motif composition (Figure 7).
+
+use mochy_core::count::MotifCounts;
+use mochy_core::mochy_e;
+use mochy_datagen::temporal::YearlySnapshot;
+use mochy_motif::{MotifCatalog, NUM_MOTIFS};
+use mochy_projection::project;
+use serde::{Deserialize, Serialize};
+
+/// Motif composition of a single year.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvolutionPoint {
+    /// Calendar year.
+    pub year: u32,
+    /// Exact per-motif counts of the year's hypergraph.
+    pub counts: MotifCounts,
+    /// Fraction of instances belonging to each motif (sums to 1 unless the
+    /// year has no instances).
+    pub fractions: [f64; NUM_MOTIFS],
+    /// Fraction of instances belonging to open motifs.
+    pub open_fraction: f64,
+    /// Fraction of instances belonging to closed motifs.
+    pub closed_fraction: f64,
+}
+
+/// Figure 7: per-year motif fractions and the open/closed split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvolutionAnalysis {
+    /// One point per analysed year, in chronological order.
+    pub points: Vec<EvolutionPoint>,
+}
+
+impl EvolutionAnalysis {
+    /// Analyses a sequence of yearly snapshots with exact counting.
+    pub fn from_snapshots(snapshots: &[YearlySnapshot]) -> Self {
+        let catalog = MotifCatalog::new();
+        let open_ids = catalog.open_motif_ids();
+        let points = snapshots
+            .iter()
+            .map(|snapshot| {
+                let projected = project(&snapshot.hypergraph);
+                let counts = mochy_e(&snapshot.hypergraph, &projected);
+                let fractions = counts.fractions();
+                let open_fraction: f64 = open_ids
+                    .iter()
+                    .map(|&id| fractions[(id - 1) as usize])
+                    .sum();
+                let total = counts.total();
+                let closed_fraction = if total > 0.0 { 1.0 - open_fraction } else { 0.0 };
+                EvolutionPoint {
+                    year: snapshot.year,
+                    counts,
+                    fractions,
+                    open_fraction,
+                    closed_fraction,
+                }
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// The change in open-motif fraction between the first and last year — a
+    /// positive value reproduces the paper's observation that collaborations
+    /// became less clustered over time.
+    pub fn open_fraction_trend(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(first), Some(last)) => last.open_fraction - first.open_fraction,
+            _ => 0.0,
+        }
+    }
+
+    /// The motif with the largest instance share in the last year.
+    pub fn dominant_motif_last_year(&self) -> Option<u8> {
+        self.points.last().map(|point| {
+            let (index, _) = point
+                .fractions
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("26 motifs");
+            (index + 1) as u8
+        })
+    }
+
+    /// Renders one tab-separated row per year: year, open fraction, closed
+    /// fraction, then the 26 motif fractions.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("year\topen\tclosed");
+        for t in 1..=NUM_MOTIFS {
+            out.push_str(&format!("\tm{t}"));
+        }
+        out.push('\n');
+        for point in &self.points {
+            out.push_str(&format!(
+                "{}\t{:.4}\t{:.4}",
+                point.year, point.open_fraction, point.closed_fraction
+            ));
+            for fraction in &point.fractions {
+                out.push_str(&format!("\t{fraction:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_datagen::temporal::{temporal_coauthorship, TemporalConfig};
+
+    fn snapshots() -> Vec<YearlySnapshot> {
+        temporal_coauthorship(&TemporalConfig {
+            first_year: 1990,
+            num_years: 8,
+            num_authors: 220,
+            papers_first_year: 120,
+            papers_growth_per_year: 30,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn fractions_are_normalized_per_year() {
+        let analysis = EvolutionAnalysis::from_snapshots(&snapshots());
+        assert_eq!(analysis.points.len(), 8);
+        for point in &analysis.points {
+            if point.counts.total() > 0.0 {
+                let sum: f64 = point.fractions.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "year {}", point.year);
+                assert!(
+                    (point.open_fraction + point.closed_fraction - 1.0).abs() < 1e-9,
+                    "year {}",
+                    point.year
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_fraction_increases_over_time() {
+        // The generator decays core reuse over the years, so the fraction of
+        // open instances must grow — the Figure 7(b) trend.
+        let analysis = EvolutionAnalysis::from_snapshots(&snapshots());
+        assert!(
+            analysis.open_fraction_trend() > 0.0,
+            "trend {}",
+            analysis.open_fraction_trend()
+        );
+    }
+
+    #[test]
+    fn dominant_motif_and_table() {
+        let analysis = EvolutionAnalysis::from_snapshots(&snapshots());
+        let dominant = analysis.dominant_motif_last_year().unwrap();
+        assert!((1..=26).contains(&dominant));
+        let table = analysis.to_table();
+        assert!(table.lines().count() == 9);
+        assert!(table.starts_with("year\topen\tclosed\tm1"));
+    }
+
+    #[test]
+    fn empty_analysis_is_handled() {
+        let analysis = EvolutionAnalysis::from_snapshots(&[]);
+        assert_eq!(analysis.open_fraction_trend(), 0.0);
+        assert!(analysis.dominant_motif_last_year().is_none());
+    }
+}

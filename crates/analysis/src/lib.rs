@@ -1,0 +1,28 @@
+//! End-to-end analysis pipelines built on the MoCHy counting algorithms.
+//!
+//! - [`profile`] — estimating the characteristic profile (CP) of a hypergraph
+//!   against Chung-Lu-randomized references (Sections 2.3, 4.2, 4.3).
+//! - [`similarity`] — CP similarity matrices and the within/across-domain
+//!   comparison of Figure 6, including the network-motif baseline.
+//! - [`evolution`] — per-year motif fractions and the open/closed trend of
+//!   Figure 7.
+//! - [`prediction`] — the hyperedge-prediction experiment of Table 4 (HM26,
+//!   HM7 and HC feature sets × five classifiers).
+//! - [`domain`] — CP-based domain identification (nearest-centroid /
+//!   nearest-neighbour classification and leave-one-out evaluation), the
+//!   operational answer to the paper's Q3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod evolution;
+pub mod prediction;
+pub mod profile;
+pub mod similarity;
+
+pub use domain::{leave_one_out, DomainClassifier, DomainRule, LabelledProfile, LeaveOneOutReport};
+pub use evolution::{EvolutionAnalysis, EvolutionPoint};
+pub use prediction::{run_prediction, FeatureSet, PredictionConfig, PredictionOutcome, PredictionRow};
+pub use profile::{CharacteristicProfile, CountingMethod, ProfileEstimator};
+pub use similarity::SimilarityMatrix;

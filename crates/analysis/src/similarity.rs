@@ -1,0 +1,180 @@
+//! Profile similarity matrices and the domain-separation measurement of
+//! Figure 6.
+
+use mochy_core::profile::pearson_correlation;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric matrix of pairwise Pearson correlations between profiles
+/// (characteristic profiles of hypergraphs, or graphlet profiles of their
+/// star expansions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    names: Vec<String>,
+    groups: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl SimilarityMatrix {
+    /// Builds the correlation matrix of `profiles`; `names` and `groups`
+    /// (domain labels) must be aligned with the profile vectors.
+    pub fn from_profiles(
+        names: &[String],
+        groups: &[String],
+        profiles: &[Vec<f64>],
+    ) -> Self {
+        assert_eq!(names.len(), profiles.len(), "names/profiles mismatch");
+        assert_eq!(groups.len(), profiles.len(), "groups/profiles mismatch");
+        let n = profiles.len();
+        let mut values = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i][j] = if i == j {
+                    1.0
+                } else {
+                    pearson_correlation(&profiles[i], &profiles[j])
+                };
+            }
+        }
+        Self {
+            names: names.to_vec(),
+            groups: groups.to_vec(),
+            values,
+        }
+    }
+
+    /// Dataset names, in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Correlation between datasets `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i][j]
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Average correlation between datasets of the same group and between
+    /// datasets of different groups. The paper reports (0.978, 0.654) for
+    /// h-motif CPs and (0.988, 0.919) for network-motif CPs on the real
+    /// datasets; the *gap* (within − across) is the figure of merit.
+    pub fn within_across_means(&self) -> (f64, f64) {
+        let n = self.len();
+        let mut within = (0.0, 0usize);
+        let mut across = (0.0, 0usize);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.groups[i] == self.groups[j] {
+                    within.0 += self.values[i][j];
+                    within.1 += 1;
+                } else {
+                    across.0 += self.values[i][j];
+                    across.1 += 1;
+                }
+            }
+        }
+        let mean = |(sum, count): (f64, usize)| if count == 0 { 0.0 } else { sum / count as f64 };
+        (mean(within), mean(across))
+    }
+
+    /// The domain-separation gap: mean within-group correlation minus mean
+    /// across-group correlation.
+    pub fn separation_gap(&self) -> f64 {
+        let (within, across) = self.within_across_means();
+        within - across
+    }
+
+    /// Renders the matrix as a tab-separated table (names as header row and
+    /// column), for the experiment binaries.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("dataset");
+        for name in &self.names {
+            out.push('\t');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (i, name) in self.names.iter().enumerate() {
+            out.push_str(name);
+            for j in 0..self.len() {
+                out.push_str(&format!("\t{:.3}", self.values[i][j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_example() -> SimilarityMatrix {
+        let names = vec!["a1".to_string(), "a2".to_string(), "b1".to_string()];
+        let groups = vec!["a".to_string(), "a".to_string(), "b".to_string()];
+        let profiles = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.1, 2.1, 2.9, 4.2],
+            vec![4.0, 1.0, 3.0, -2.0],
+        ];
+        SimilarityMatrix::from_profiles(&names, &groups, &profiles)
+    }
+
+    #[test]
+    fn diagonal_is_one_and_matrix_is_symmetric() {
+        let m = build_example();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..3 {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn within_group_similarity_exceeds_across() {
+        let m = build_example();
+        let (within, across) = m.within_across_means();
+        assert!(within > across);
+        assert!(m.separation_gap() > 0.0);
+        assert!((m.get(0, 1) - within).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rendering_contains_names_and_values() {
+        let m = build_example();
+        let table = m.to_table();
+        assert!(table.contains("a1"));
+        assert!(table.contains("b1"));
+        assert!(table.lines().count() == 4);
+    }
+
+    #[test]
+    fn single_group_has_zero_across_mean() {
+        let names = vec!["x".to_string(), "y".to_string()];
+        let groups = vec!["g".to_string(), "g".to_string()];
+        let profiles = vec![vec![1.0, 0.0, 2.0], vec![2.0, 1.0, 0.0]];
+        let m = SimilarityMatrix::from_profiles(&names, &groups, &profiles);
+        let (_, across) = m.within_across_means();
+        assert_eq!(across, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = SimilarityMatrix::from_profiles(
+            &["a".to_string()],
+            &["a".to_string(), "b".to_string()],
+            &[vec![1.0]],
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! - motif-catalog construction and pattern classification throughput;
+//! - triple-intersection computation (the Lemma 2 hot path);
+//! - hyperwedge sampling throughput;
+//! - MoCHy-A vs MoCHy-A+ at equal sampling ratios (the Section 3.3
+//!   variance argument seen from the runtime side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::bench_datasets;
+use mochy_core::sample::WedgeSampler;
+use mochy_motif::{MotifCatalog, Pattern};
+use mochy_projection::project;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("catalog/build", |b| b.iter(MotifCatalog::new));
+
+    let catalog = MotifCatalog::new();
+    group.bench_function("catalog/classify_all_patterns", |b| {
+        b.iter(|| {
+            let mut classified = 0usize;
+            for p in Pattern::all_raw() {
+                if catalog.classify_pattern(std::hint::black_box(p)).is_some() {
+                    classified += 1;
+                }
+            }
+            classified
+        })
+    });
+
+    let (name, hypergraph) = bench_datasets().remove(0);
+    let projected = project(&hypergraph);
+    group.bench_function(format!("triple_intersection/{name}"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let limit = hypergraph.num_edges().min(200) as u32;
+            for i in 0..limit {
+                for j in (i + 1)..limit.min(i + 10) {
+                    for k in (j + 1)..limit.min(j + 5) {
+                        total += hypergraph.triple_intersection_size(i, j, k);
+                    }
+                }
+            }
+            total
+        })
+    });
+
+    let sampler = WedgeSampler::new(&projected);
+    group.bench_function(format!("wedge_sampling/{name}"), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                let (i, offset) = sampler.sample(&mut rng);
+                acc += u64::from(i) + u64::from(offset);
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation benches for the extensions beyond the paper's headline results:
+//! the generalized (k = 4) motif catalog and counter, the exact-margin swap
+//! null model versus Chung-Lu, the adaptive MoCHy-A+ stopping rule, and the
+//! pairwise-baseline census of Section 3's remarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::bench_datasets;
+use mochy_core::adaptive::{mochy_a_plus_adaptive, AdaptiveConfig};
+use mochy_core::general::mochy_e_general;
+use mochy_core::pairwise::PairwiseCensus;
+use mochy_motif::GeneralizedCatalog;
+use mochy_nullmodel::{chung_lu_randomize, swap_randomize};
+use mochy_projection::project;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("generalized_catalog/k4_build", |b| {
+        b.iter(|| GeneralizedCatalog::new(4))
+    });
+
+    // A compact co-authorship-like dataset keeps the quadruple enumeration in
+    // bench territory.
+    let (name, hypergraph) = bench_datasets().swap_remove(2); // email
+    let projected = project(&hypergraph);
+    let catalog3 = GeneralizedCatalog::new(3);
+
+    group.bench_function(format!("general_count/k3/{name}"), |b| {
+        b.iter(|| mochy_e_general(&hypergraph, &projected, &catalog3))
+    });
+
+    group.bench_function(format!("pairwise_census/{name}"), |b| {
+        b.iter(|| PairwiseCensus::count(&hypergraph, &projected))
+    });
+
+    group.bench_function(format!("nullmodel/chung_lu/{name}"), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            chung_lu_randomize(&hypergraph, &mut rng)
+        })
+    });
+
+    group.bench_function(format!("nullmodel/swap/{name}"), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            swap_randomize(&hypergraph, &mut rng)
+        })
+    });
+
+    group.bench_function(format!("adaptive_a_plus/{name}"), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            mochy_a_plus_adaptive(
+                &hypergraph,
+                &projected,
+                AdaptiveConfig {
+                    batch_size: 2_000,
+                    min_batches: 3,
+                    max_batches: 8,
+                    target_relative_error: 0.05,
+                },
+                &mut rng,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 10: thread scaling of MoCHy-E and MoCHy-A+.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::threads_dataset;
+use mochy_core::{mochy_a_plus_parallel, mochy_e_parallel};
+use mochy_projection::project;
+
+fn bench_fig10(c: &mut Criterion) {
+    let hypergraph = threads_dataset();
+    let projected = project(&hypergraph);
+    let r = (projected.num_hyperwedges() / 2).max(1);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("mochy_e/threads{threads}"), |b| {
+            b.iter(|| mochy_e_parallel(&hypergraph, &projected, threads))
+        });
+        group.bench_function(format!("mochy_a_plus/threads{threads}"), |b| {
+            b.iter(|| mochy_a_plus_parallel(&hypergraph, &projected, r, threads, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

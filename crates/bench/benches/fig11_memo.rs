@@ -1,0 +1,45 @@
+//! Figure 11: on-the-fly MoCHy-A+ under memoization budgets and policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::threads_dataset;
+use mochy_core::onthefly::{mochy_a_plus_onthefly, OnTheFlyConfig};
+use mochy_projection::{project, MemoPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig11(c: &mut Criterion) {
+    let hypergraph = threads_dataset();
+    let projected = project(&hypergraph);
+    let total_entries = 2 * projected.num_hyperwedges();
+    let num_samples = (projected.num_hyperwedges() / 4).max(1);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for budget_fraction in [0.0f64, 0.01, 0.1, 1.0] {
+        let budget = (total_entries as f64 * budget_fraction) as usize;
+        for policy in [MemoPolicy::HighestDegree, MemoPolicy::Lru, MemoPolicy::Random] {
+            group.bench_function(
+                format!("budget{:.0}pct/{policy:?}", budget_fraction * 100.0),
+                |b| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(11);
+                        mochy_a_plus_onthefly(
+                            &hypergraph,
+                            OnTheFlyConfig {
+                                num_samples,
+                                budget_entries: budget,
+                                policy,
+                            },
+                            &mut rng,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8: MoCHy-E vs MoCHy-A vs MoCHy-A+ at fixed sampling ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::bench_datasets;
+use mochy_core::{mochy_a, mochy_a_plus, mochy_e};
+use mochy_projection::project;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig8(c: &mut Criterion) {
+    let datasets = bench_datasets();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, hypergraph) in &datasets {
+        let projected = project(hypergraph);
+        let num_edges = hypergraph.num_edges();
+        let num_wedges = projected.num_hyperwedges();
+        group.bench_function(format!("mochy_e/{name}"), |b| {
+            b.iter(|| mochy_e(hypergraph, &projected))
+        });
+        for ratio in [0.05f64, 0.25] {
+            let s = ((num_edges as f64 * ratio) as usize).max(1);
+            let r = ((num_wedges as f64 * ratio) as usize).max(1);
+            group.bench_function(format!("mochy_a/{name}/ratio{ratio}"), |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(8);
+                    mochy_a(hypergraph, &projected, s, &mut rng)
+                })
+            });
+            group.bench_function(format!("mochy_a_plus/{name}/ratio{ratio}"), |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(8);
+                    mochy_a_plus(hypergraph, &projected, r, &mut rng)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 2 substrate: dataset generation, projection and statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::bench_datasets;
+use mochy_hypergraph::HypergraphStats;
+use mochy_projection::{project, project_parallel};
+
+fn bench_table2(c: &mut Criterion) {
+    let datasets = bench_datasets();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, hypergraph) in &datasets {
+        group.bench_function(format!("stats/{name}"), |b| {
+            b.iter(|| HypergraphStats::compute(std::hint::black_box(hypergraph)))
+        });
+        group.bench_function(format!("projection/{name}"), |b| {
+            b.iter(|| project(std::hint::black_box(hypergraph)))
+        });
+        group.bench_function(format!("projection_parallel4/{name}"), |b| {
+            b.iter(|| project_parallel(std::hint::black_box(hypergraph), 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 3 substrate: exact counting and Chung-Lu randomization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_bench::bench_datasets;
+use mochy_core::mochy_e;
+use mochy_nullmodel::{chung_lu_randomize, configuration_randomize};
+use mochy_projection::project;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table3(c: &mut Criterion) {
+    let datasets = bench_datasets();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, hypergraph) in &datasets {
+        let projected = project(hypergraph);
+        group.bench_function(format!("mochy_e/{name}"), |b| {
+            b.iter(|| mochy_e(std::hint::black_box(hypergraph), &projected))
+        });
+        group.bench_function(format!("chung_lu/{name}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                chung_lu_randomize(std::hint::black_box(hypergraph), &mut rng)
+            })
+        });
+        group.bench_function(format!("configuration/{name}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                configuration_randomize(std::hint::black_box(hypergraph), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 4: feature extraction and classifier training throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mochy_analysis::prediction::{build_datasets, PredictionConfig};
+use mochy_datagen::{generate, DomainKind, GeneratorConfig};
+use mochy_ml::ClassifierKind;
+
+fn bench_table4(c: &mut Criterion) {
+    let hypergraph = generate(&GeneratorConfig::new(DomainKind::Coauthorship, 300, 600, 4));
+    let config = PredictionConfig::default();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("build_feature_datasets", |b| {
+        b.iter(|| build_datasets(std::hint::black_box(&hypergraph), &config))
+    });
+
+    let [hm26, _, _] = build_datasets(&hypergraph, &config);
+    for kind in ClassifierKind::ALL {
+        group.bench_function(format!("fit/{}", kind.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let mut model = kind.build(1);
+                model.fit(&hm26.features, &hm26.labels);
+                model.predict_proba(&hm26.features[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The bench targets mirror the paper's performance experiments:
+//!
+//! - `table2_stats` — dataset construction, projection and statistics.
+//! - `table3_counting` — exact counting and randomization throughput.
+//! - `fig8_tradeoff` — MoCHy-E vs MoCHy-A vs MoCHy-A+ at fixed sampling
+//!   ratios.
+//! - `fig10_threads` — thread scaling of MoCHy-E and MoCHy-A+.
+//! - `fig11_memo` — on-the-fly MoCHy-A+ under memoization budgets/policies.
+//! - `table4_prediction` — feature extraction and classifier training.
+//! - `ablations` — design-choice ablations called out in DESIGN.md
+//!   (hash-based vs merge-based intersections, catalog construction,
+//!   hyperwedge sampling).
+
+#![forbid(unsafe_code)]
+
+use mochy_datagen::{generate, DomainKind, GeneratorConfig};
+use mochy_hypergraph::Hypergraph;
+
+/// The benchmark workload: one moderately sized dataset per domain.
+///
+/// Sizes are chosen so that a single MoCHy-E run stays in the hundreds of
+/// milliseconds even on the densest domains; larger inputs belong in the
+/// `mochy-exp` binary (`--scale medium`), not in Criterion's sampling loop.
+pub fn bench_datasets() -> Vec<(&'static str, Hypergraph)> {
+    vec![
+        (
+            "coauth",
+            generate(&GeneratorConfig::new(DomainKind::Coauthorship, 600, 1200, 11)),
+        ),
+        (
+            "contact",
+            generate(&GeneratorConfig::new(DomainKind::Contact, 240, 1000, 12)),
+        ),
+        (
+            "email",
+            generate(&GeneratorConfig::new(DomainKind::Email, 300, 900, 13)),
+        ),
+        (
+            "tags",
+            generate(&GeneratorConfig::new(DomainKind::Tags, 800, 800, 14)),
+        ),
+        (
+            "threads",
+            generate(&GeneratorConfig::new(DomainKind::Threads, 2400, 450, 15)),
+        ),
+    ]
+}
+
+/// A single medium-sized dataset for the scaling benches (Figures 10 and 11).
+/// One sequential MoCHy-E pass over it takes on the order of half a second,
+/// which is large enough for thread scaling to be visible and small enough
+/// for Criterion to collect its samples quickly.
+pub fn threads_dataset() -> Hypergraph {
+    generate(&GeneratorConfig::new(DomainKind::Threads, 2000, 400, 16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        assert_eq!(bench_datasets().len(), 5);
+        assert!(threads_dataset().num_edges() > 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The per-motif count vector `M[t]` (exact counts or unbiased estimates).
+
+use mochy_motif::{MotifId, NUM_MOTIFS};
+use serde::{Deserialize, Serialize};
+
+/// Counts (or estimated counts) of instances of each of the 26 h-motifs.
+///
+/// Exact algorithms produce integer-valued entries; sampling algorithms
+/// produce real-valued unbiased estimates, so the storage type is `f64`
+/// throughout (counts in the paper's datasets reach ~10¹³, well within exact
+/// `f64` integer range).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MotifCounts {
+    counts: [f64; NUM_MOTIFS],
+}
+
+impl MotifCounts {
+    /// A zero count vector.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Builds counts from a slice of exactly 26 values (index 0 ↔ motif 1).
+    ///
+    /// # Panics
+    /// Panics if the slice length is not 26.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert_eq!(values.len(), NUM_MOTIFS, "expected 26 motif counts");
+        let mut counts = [0.0; NUM_MOTIFS];
+        counts.copy_from_slice(values);
+        Self { counts }
+    }
+
+    /// The count of motif `id` (1-based).
+    #[inline]
+    pub fn get(&self, id: MotifId) -> f64 {
+        self.counts[(id - 1) as usize]
+    }
+
+    /// Sets the count of motif `id` (1-based).
+    #[inline]
+    pub fn set(&mut self, id: MotifId, value: f64) {
+        self.counts[(id - 1) as usize] = value;
+    }
+
+    /// Adds `delta` to the count of motif `id` (1-based).
+    #[inline]
+    pub fn add(&mut self, id: MotifId, delta: f64) {
+        self.counts[(id - 1) as usize] += delta;
+    }
+
+    /// Increments the count of motif `id` by one.
+    #[inline]
+    pub fn increment(&mut self, id: MotifId) {
+        self.add(id, 1.0);
+    }
+
+    /// The raw 26-element array, index 0 ↔ motif 1.
+    pub fn as_slice(&self) -> &[f64; NUM_MOTIFS] {
+        &self.counts
+    }
+
+    /// Sum of all counts (the total number of h-motif instances).
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise sum with another count vector.
+    pub fn merge(&mut self, other: &MotifCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Multiplies every entry by `factor` (used for the rescaling steps of
+    /// Algorithms 4 and 5).
+    pub fn scale(&mut self, factor: f64) {
+        for value in &mut self.counts {
+            *value *= factor;
+        }
+    }
+
+    /// Scales only the listed motifs by `factor`.
+    pub fn scale_motifs(&mut self, ids: &[MotifId], factor: f64) {
+        for &id in ids {
+            self.counts[(id - 1) as usize] *= factor;
+        }
+    }
+
+    /// Element-wise average of several count vectors; returns zero counts for
+    /// an empty input.
+    pub fn mean(counts: &[MotifCounts]) -> MotifCounts {
+        let mut result = MotifCounts::zero();
+        if counts.is_empty() {
+            return result;
+        }
+        for c in counts {
+            result.merge(c);
+        }
+        result.scale(1.0 / counts.len() as f64);
+        result
+    }
+
+    /// The relative error `Σ_t |M[t] − M̂[t]| / Σ_t M[t]` used throughout
+    /// Section 4.5 of the paper to compare estimates against exact counts
+    /// (`self` is the exact/reference vector).
+    pub fn relative_error(&self, estimate: &MotifCounts) -> f64 {
+        let denominator = self.total();
+        if denominator == 0.0 {
+            return 0.0;
+        }
+        let numerator: f64 = self
+            .counts
+            .iter()
+            .zip(estimate.counts.iter())
+            .map(|(m, e)| (m - e).abs())
+            .sum();
+        numerator / denominator
+    }
+
+    /// The fraction of instances belonging to each motif (all zeros if the
+    /// total is zero). Used by the evolution analysis of Figure 7.
+    pub fn fractions(&self) -> [f64; NUM_MOTIFS] {
+        let total = self.total();
+        let mut fractions = [0.0; NUM_MOTIFS];
+        if total > 0.0 {
+            for (f, c) in fractions.iter_mut().zip(self.counts.iter()) {
+                *f = c / total;
+            }
+        }
+        fractions
+    }
+
+    /// Ranks of the motifs by descending count: `ranks()[t-1]` is the rank
+    /// (1 = most frequent) of motif `t`. Ties are broken by motif id, as in
+    /// Table 3 of the paper where ranks are reported per column.
+    pub fn ranks(&self) -> [usize; NUM_MOTIFS] {
+        let mut order: Vec<usize> = (0..NUM_MOTIFS).collect();
+        order.sort_by(|&a, &b| {
+            self.counts[b]
+                .partial_cmp(&self.counts[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut ranks = [0usize; NUM_MOTIFS];
+        for (rank, &index) in order.iter().enumerate() {
+            ranks[index] = rank + 1;
+        }
+        ranks
+    }
+
+    /// Iterator over `(motif id, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MotifId, f64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((i + 1) as MotifId, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_basic_ops() {
+        let mut counts = MotifCounts::zero();
+        assert_eq!(counts.total(), 0.0);
+        counts.increment(1);
+        counts.increment(1);
+        counts.add(26, 3.0);
+        assert_eq!(counts.get(1), 2.0);
+        assert_eq!(counts.get(26), 3.0);
+        assert_eq!(counts.total(), 5.0);
+        counts.set(1, 7.0);
+        assert_eq!(counts.get(1), 7.0);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = MotifCounts::zero();
+        a.add(2, 4.0);
+        let mut b = MotifCounts::zero();
+        b.add(2, 1.0);
+        b.add(3, 2.0);
+        a.merge(&b);
+        assert_eq!(a.get(2), 5.0);
+        assert_eq!(a.get(3), 2.0);
+        a.scale(0.5);
+        assert_eq!(a.get(2), 2.5);
+        a.scale_motifs(&[3], 10.0);
+        assert_eq!(a.get(3), 10.0);
+        assert_eq!(a.get(2), 2.5);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let mut a = MotifCounts::zero();
+        a.add(5, 2.0);
+        let mut b = MotifCounts::zero();
+        b.add(5, 4.0);
+        b.add(6, 2.0);
+        let mean = MotifCounts::mean(&[a, b]);
+        assert_eq!(mean.get(5), 3.0);
+        assert_eq!(mean.get(6), 1.0);
+        assert_eq!(MotifCounts::mean(&[]).total(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_definition() {
+        let exact = MotifCounts::from_slice(&{
+            let mut v = [0.0; 26];
+            v[0] = 10.0;
+            v[1] = 30.0;
+            v
+        });
+        let mut estimate = exact.clone();
+        estimate.set(1, 12.0);
+        estimate.set(2, 24.0);
+        // (|10-12| + |30-24|) / 40 = 8/40 = 0.2
+        assert!((exact.relative_error(&estimate) - 0.2).abs() < 1e-12);
+        assert_eq!(MotifCounts::zero().relative_error(&estimate), 0.0);
+        assert_eq!(exact.relative_error(&exact), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut counts = MotifCounts::zero();
+        counts.add(1, 1.0);
+        counts.add(2, 3.0);
+        let fractions = counts.fractions();
+        assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((fractions[1] - 0.75).abs() < 1e-12);
+        assert_eq!(MotifCounts::zero().fractions(), [0.0; 26]);
+    }
+
+    #[test]
+    fn ranks_order_by_count() {
+        let mut counts = MotifCounts::zero();
+        counts.add(3, 100.0);
+        counts.add(7, 50.0);
+        counts.add(22, 200.0);
+        let ranks = counts.ranks();
+        assert_eq!(ranks[22 - 1], 1);
+        assert_eq!(ranks[3 - 1], 2);
+        assert_eq!(ranks[7 - 1], 3);
+        // Zero-count motifs still get distinct ranks after the non-zero ones.
+        assert!(ranks.iter().all(|&r| (1..=26).contains(&r)));
+        let mut sorted = ranks.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=26).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_slice_and_iter() {
+        let mut values = [0.0; 26];
+        values[10] = 5.0;
+        let counts = MotifCounts::from_slice(&values);
+        let collected: Vec<(MotifId, f64)> = counts.iter().filter(|&(_, c)| c > 0.0).collect();
+        assert_eq!(collected, vec![(11, 5.0)]);
+        assert_eq!(counts.as_slice()[10], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "26")]
+    fn from_slice_wrong_length_panics() {
+        let _ = MotifCounts::from_slice(&[0.0; 10]);
+    }
+}

@@ -1,0 +1,294 @@
+//! MoCHy-E: exact h-motif counting and enumeration (Algorithms 2 and 3).
+
+use mochy_hypergraph::{EdgeId, Hypergraph};
+use mochy_motif::{MotifCatalog, MotifId};
+use mochy_projection::ProjectedGraph;
+
+use crate::classify::classify_triple_with_weights;
+use crate::count::MotifCounts;
+
+/// Counts the instances of every h-motif exactly (Algorithm 2, MoCHy-E).
+///
+/// For every hyperedge `e_i` and every unordered pair `{e_j, e_k}` of its
+/// neighbours in the projected graph, the instance `{e_i, e_j, e_k}` is
+/// counted when either `e_j ∩ e_k = ∅` (the instance is open and `e_i` is its
+/// unique "centre") or `i < min(j, k)` (each closed instance is attributed to
+/// its smallest member), so each instance is counted exactly once.
+pub fn mochy_e(hypergraph: &Hypergraph, projected: &ProjectedGraph) -> MotifCounts {
+    let catalog = MotifCatalog::new();
+    let mut counts = MotifCounts::zero();
+    for i in hypergraph.edge_ids() {
+        count_instances_centred_at(hypergraph, projected, &catalog, i, |motif, _, _| {
+            counts.increment(motif);
+        });
+    }
+    counts
+}
+
+/// Parallel MoCHy-E (Section 3.4): hyperedges are partitioned across
+/// `num_threads` worker threads, each accumulating into a private count
+/// vector; the results are summed at the end, so the output is bit-identical
+/// to [`mochy_e`].
+pub fn mochy_e_parallel(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    num_threads: usize,
+) -> MotifCounts {
+    let n = hypergraph.num_edges();
+    if num_threads <= 1 || n < 2 {
+        return mochy_e(hypergraph, projected);
+    }
+    let threads = num_threads.min(n);
+    let partials: Vec<MotifCounts> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let catalog = MotifCatalog::new();
+                let mut local = MotifCounts::zero();
+                let mut i = t;
+                while i < n {
+                    count_instances_centred_at(
+                        hypergraph,
+                        projected,
+                        &catalog,
+                        i as EdgeId,
+                        |motif, _, _| local.increment(motif),
+                    );
+                    i += threads;
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("MoCHy-E worker panicked"))
+            .collect()
+    })
+    .expect("MoCHy-E thread scope failed");
+
+    let mut counts = MotifCounts::zero();
+    for partial in &partials {
+        counts.merge(partial);
+    }
+    counts
+}
+
+/// Enumerates every h-motif instance exactly once (Algorithm 3,
+/// MoCHy-E-ENUM), invoking `visit(e_i, e_j, e_k, motif)` per instance. The
+/// time complexity is the same as MoCHy-E.
+pub fn mochy_e_enumerate<F>(hypergraph: &Hypergraph, projected: &ProjectedGraph, mut visit: F)
+where
+    F: FnMut(EdgeId, EdgeId, EdgeId, MotifId),
+{
+    let catalog = MotifCatalog::new();
+    for i in hypergraph.edge_ids() {
+        count_instances_centred_at(hypergraph, projected, &catalog, i, |motif, j, k| {
+            visit(i, j, k, motif);
+        });
+    }
+}
+
+/// For every hyperedge, the number of h-motif instances of each type that
+/// contain it (the HM26 feature vector of Section 4.4). Each instance
+/// contributes to the vectors of all three of its member hyperedges.
+pub fn mochy_e_per_edge(hypergraph: &Hypergraph, projected: &ProjectedGraph) -> Vec<MotifCounts> {
+    let mut per_edge = vec![MotifCounts::zero(); hypergraph.num_edges()];
+    mochy_e_enumerate(hypergraph, projected, |i, j, k, motif| {
+        per_edge[i as usize].increment(motif);
+        per_edge[j as usize].increment(motif);
+        per_edge[k as usize].increment(motif);
+    });
+    per_edge
+}
+
+/// Shared inner loop of Algorithms 2 and 3: visits every instance attributed
+/// to centre hyperedge `i` exactly once, calling `emit(motif, j, k)`.
+fn count_instances_centred_at<F>(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    catalog: &MotifCatalog,
+    i: EdgeId,
+    mut emit: F,
+) where
+    F: FnMut(MotifId, EdgeId, EdgeId),
+{
+    let neighbors = projected.neighbors(i);
+    for (a, &(j, w_ij)) in neighbors.iter().enumerate() {
+        for &(k, w_ik) in &neighbors[a + 1..] {
+            let w_jk = projected.weight(j, k).unwrap_or(0);
+            // Count open instances at their unique centre; count closed
+            // instances only when the centre has the smallest identifier.
+            if w_jk != 0 && i >= j.min(k) {
+                continue;
+            }
+            if let Some(motif) = classify_triple_with_weights(
+                hypergraph,
+                catalog,
+                i,
+                j,
+                k,
+                w_ij as usize,
+                w_jk as usize,
+                w_ik as usize,
+            ) {
+                emit(motif, j, k);
+            }
+        }
+    }
+}
+
+/// Brute-force reference counter: classifies every triple of hyperedges
+/// directly from their node sets. Cubic in `|E|`; used only by tests and as a
+/// correctness oracle on small hypergraphs.
+pub fn brute_force_counts(hypergraph: &Hypergraph) -> MotifCounts {
+    let catalog = MotifCatalog::new();
+    let mut counts = MotifCounts::zero();
+    let n = hypergraph.num_edges() as EdgeId;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                let regions = mochy_motif::RegionCardinalities::from_sorted_sets(
+                    hypergraph.edge(i),
+                    hypergraph.edge(j),
+                    hypergraph.edge(k),
+                );
+                if let Some(motif) = catalog.classify(&regions) {
+                    counts.increment(motif);
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::HypergraphBuilder;
+    use mochy_projection::project;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .unwrap()
+    }
+
+    pub(crate) fn random_hypergraph(seed: u64, nodes: u32, edges: usize, max_size: usize) -> Hypergraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = HypergraphBuilder::new();
+        for _ in 0..edges {
+            let size = rng.gen_range(1..=max_size);
+            let members: Vec<u32> = (0..size).map(|_| rng.gen_range(0..nodes)).collect();
+            builder.add_edge(members);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn figure2_has_three_instances() {
+        let h = figure2();
+        let proj = project(&h);
+        let counts = mochy_e(&h, &proj);
+        assert_eq!(counts.total(), 3.0);
+        let catalog = MotifCatalog::new();
+        // One closed instance ({e1,e2,e3}) and two open ones.
+        let closed: f64 = catalog
+            .closed_motif_ids()
+            .iter()
+            .map(|&id| counts.get(id))
+            .sum();
+        let open: f64 = catalog
+            .open_motif_ids()
+            .iter()
+            .map(|&id| counts.get(id))
+            .sum();
+        assert_eq!(closed, 1.0);
+        assert_eq!(open, 2.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_hypergraphs() {
+        for seed in 0..6u64 {
+            let h = random_hypergraph(seed, 18, 22, 5);
+            let proj = project(&h);
+            let fast = mochy_e(&h, &proj);
+            let brute = brute_force_counts(&h);
+            assert_eq!(fast, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let h = random_hypergraph(42, 25, 40, 6);
+        let proj = project(&h);
+        let sequential = mochy_e(&h, &proj);
+        for threads in [1, 2, 3, 4, 8] {
+            assert_eq!(mochy_e_parallel(&h, &proj, threads), sequential);
+        }
+    }
+
+    #[test]
+    fn enumeration_agrees_with_counting() {
+        let h = random_hypergraph(7, 15, 25, 5);
+        let proj = project(&h);
+        let counts = mochy_e(&h, &proj);
+        let mut from_enum = MotifCounts::zero();
+        let mut seen = std::collections::HashSet::new();
+        mochy_e_enumerate(&h, &proj, |i, j, k, motif| {
+            from_enum.increment(motif);
+            let mut key = [i, j, k];
+            key.sort_unstable();
+            assert!(seen.insert(key), "instance {key:?} enumerated twice");
+        });
+        assert_eq!(counts, from_enum);
+    }
+
+    #[test]
+    fn per_edge_counts_sum_to_three_times_total() {
+        let h = random_hypergraph(11, 15, 20, 5);
+        let proj = project(&h);
+        let counts = mochy_e(&h, &proj);
+        let per_edge = mochy_e_per_edge(&h, &proj);
+        let per_edge_total: f64 = per_edge.iter().map(|c| c.total()).sum();
+        assert_eq!(per_edge_total, 3.0 * counts.total());
+        // Per-motif consistency as well.
+        for id in 1..=26u8 {
+            let sum: f64 = per_edge.iter().map(|c| c.get(id)).sum();
+            assert_eq!(sum, 3.0 * counts.get(id), "motif {id}");
+        }
+    }
+
+    #[test]
+    fn disconnected_hypergraph_has_no_instances() {
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .with_edge([2u32, 3])
+            .with_edge([4u32, 5])
+            .build()
+            .unwrap();
+        let proj = project(&h);
+        assert_eq!(mochy_e(&h, &proj).total(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_hyperedges_do_not_form_instances() {
+        // Three copies of the same hyperedge plus one overlapping edge: the
+        // only valid instances must avoid using two identical hyperedges.
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0u32, 1, 2])
+            .with_edge([0u32, 1, 2])
+            .with_edge([2u32, 3, 4])
+            .build()
+            .unwrap();
+        let proj = project(&h);
+        assert_eq!(mochy_e(&h, &proj).total(), 0.0);
+        assert_eq!(brute_force_counts(&h).total(), 0.0);
+    }
+}

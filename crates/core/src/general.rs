@@ -1,0 +1,425 @@
+//! Exact counting of *generalized* h-motifs over `k ≥ 3` hyperedges.
+//!
+//! Section 2.2 of the paper notes that h-motifs generalize naturally beyond
+//! three hyperedges (1 853 motifs for `k = 4`). This module provides the
+//! counting side of that generalization:
+//!
+//! - [`enumerate_connected_sets`] — ESU-style enumeration of every connected
+//!   set of `k` hyperedges in the projected graph, each visited exactly once.
+//! - [`classify_set`] — mapping a set of `k` hyperedges to its generalized
+//!   motif id by computing the emptiness of all `2^k − 1` Venn regions from
+//!   the nodes' membership masks.
+//! - [`mochy_e_general`] — exact counts of every generalized motif, which for
+//!   `k = 3` agrees with [`crate::exact::mochy_e`] (up to the catalog's
+//!   different labelling of the same 26 equivalence classes).
+//!
+//! The counting cost grows steeply with `k`; the intended use is exploratory
+//! analysis on small or medium hypergraphs, exactly as the paper frames it.
+
+use mochy_hypergraph::{EdgeId, Hypergraph, NodeId};
+use mochy_motif::{GeneralPattern, GeneralizedCatalog};
+use mochy_projection::ProjectedGraph;
+use rustc_hash::FxHashMap;
+
+/// Exact counts of generalized h-motifs over `k` hyperedges, indexed by the
+/// ids of a [`GeneralizedCatalog`] of the same arity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralCounts {
+    k: u32,
+    counts: Vec<u64>,
+}
+
+impl GeneralCounts {
+    /// The arity `k` of the counted motifs.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The count of motif `id`.
+    pub fn get(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// The raw count vector, indexed by catalog id.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of instances over all motifs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The number of distinct motifs with at least one instance.
+    pub fn support(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The ids of the `n` most frequent motifs, most frequent first; ties are
+    /// broken by id.
+    pub fn top(&self, n: usize) -> Vec<(usize, u64)> {
+        let mut pairs: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        pairs.sort_by_key(|&(id, c)| (std::cmp::Reverse(c), id));
+        pairs.truncate(n);
+        pairs
+    }
+}
+
+/// Enumerates every connected set of `k` hyperedges (i.e. every connected
+/// induced subgraph of `k` vertices of the projected graph) exactly once,
+/// using the ESU algorithm (Wernicke 2006): subgraphs are grown only with
+/// neighbours whose id exceeds the root's id and that are not already
+/// adjacent to the partial subgraph through an earlier extension.
+pub fn enumerate_connected_sets<F>(projected: &ProjectedGraph, k: usize, mut visit: F)
+where
+    F: FnMut(&[EdgeId]),
+{
+    assert!(k >= 1, "subgraph size must be at least 1");
+    let num_edges = projected.num_edges();
+    let mut subgraph: Vec<EdgeId> = Vec::with_capacity(k);
+    let mut in_extension = vec![false; num_edges];
+    let mut in_subgraph_or_seen = vec![false; num_edges];
+    for root in 0..num_edges as EdgeId {
+        if k == 1 {
+            visit(&[root]);
+            continue;
+        }
+        subgraph.push(root);
+        // The initial extension: neighbours of the root with a larger id.
+        let extension: Vec<EdgeId> = projected
+            .neighbors(root)
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| n > root)
+            .collect();
+        for &e in &extension {
+            in_extension[e as usize] = true;
+        }
+        in_subgraph_or_seen[root as usize] = true;
+        extend_subgraph(
+            projected,
+            root,
+            &mut subgraph,
+            extension,
+            k,
+            &mut in_extension,
+            &mut in_subgraph_or_seen,
+            &mut visit,
+        );
+        in_subgraph_or_seen[root as usize] = false;
+        subgraph.pop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_subgraph<F>(
+    projected: &ProjectedGraph,
+    root: EdgeId,
+    subgraph: &mut Vec<EdgeId>,
+    extension: Vec<EdgeId>,
+    k: usize,
+    in_extension: &mut [bool],
+    in_subgraph_or_seen: &mut [bool],
+    visit: &mut F,
+) where
+    F: FnMut(&[EdgeId]),
+{
+    if subgraph.len() == k {
+        for &e in &extension {
+            in_extension[e as usize] = false;
+        }
+        visit(subgraph);
+        return;
+    }
+    let mut remaining = extension;
+    while let Some(candidate) = remaining.pop() {
+        in_extension[candidate as usize] = false;
+        // New extension: the remaining candidates plus the exclusive
+        // neighbours of `candidate` (larger than root, not already in the
+        // subgraph, its extension, or adjacent to the current subgraph).
+        let mut next_extension = remaining.clone();
+        let mut added: Vec<EdgeId> = Vec::new();
+        in_subgraph_or_seen[candidate as usize] = true;
+        for &(neighbor, _) in projected.neighbors(candidate) {
+            if neighbor > root
+                && !in_subgraph_or_seen[neighbor as usize]
+                && !in_extension[neighbor as usize]
+                && !is_adjacent_to_subgraph(projected, neighbor, subgraph)
+            {
+                next_extension.push(neighbor);
+                in_extension[neighbor as usize] = true;
+                added.push(neighbor);
+            }
+        }
+        subgraph.push(candidate);
+        extend_subgraph(
+            projected,
+            root,
+            subgraph,
+            next_extension,
+            k,
+            in_extension,
+            in_subgraph_or_seen,
+            visit,
+        );
+        subgraph.pop();
+        in_subgraph_or_seen[candidate as usize] = false;
+        for &e in &added {
+            in_extension[e as usize] = false;
+        }
+    }
+}
+
+fn is_adjacent_to_subgraph(
+    projected: &ProjectedGraph,
+    candidate: EdgeId,
+    subgraph: &[EdgeId],
+) -> bool {
+    subgraph
+        .iter()
+        .any(|&member| projected.are_adjacent(member, candidate))
+}
+
+/// Computes the generalized emptiness pattern of a set of `k ≤ 6` hyperedges:
+/// each node of the union contributes its membership mask, and region `r`
+/// (the nodes belonging exactly to the hyperedges in mask `r`) is non-empty
+/// iff some node has mask `r`.
+pub fn set_pattern(hypergraph: &Hypergraph, edges: &[EdgeId]) -> GeneralPattern {
+    let k = edges.len() as u32;
+    assert!((2..=5).contains(&k), "supported set sizes are 2..=5");
+    let mut masks: FxHashMap<NodeId, u32> = FxHashMap::default();
+    for (index, &e) in edges.iter().enumerate() {
+        for &v in hypergraph.edge(e) {
+            *masks.entry(v).or_insert(0) |= 1 << index;
+        }
+    }
+    let mut bits = 0u64;
+    for &mask in masks.values() {
+        bits |= 1 << mask;
+    }
+    GeneralPattern::new(k, bits)
+}
+
+/// Classifies a connected set of `k` hyperedges against a catalog of the same
+/// arity, returning `None` when the set contains duplicate hyperedges (equal
+/// node sets) or is not connected.
+pub fn classify_set(
+    hypergraph: &Hypergraph,
+    catalog: &GeneralizedCatalog,
+    edges: &[EdgeId],
+) -> Option<usize> {
+    catalog.id_of(set_pattern(hypergraph, edges))
+}
+
+/// Exact counts of every generalized h-motif over `k` hyperedges
+/// (`3 ≤ k ≤ 4`), by enumerating every connected `k`-set of hyperedges in
+/// the projected graph and classifying it.
+///
+/// Sets containing duplicate hyperedges (identical node sets) are skipped,
+/// mirroring the exclusion of duplicate-hyperedge patterns from the motif
+/// catalog (Figure 4 of the paper).
+pub fn mochy_e_general(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    catalog: &GeneralizedCatalog,
+) -> GeneralCounts {
+    let k = catalog.k();
+    assert!((3..=4).contains(&k), "general counting supports k = 3 or 4");
+    let mut counts = vec![0u64; catalog.len()];
+    enumerate_connected_sets(projected, k as usize, |edges| {
+        if let Some(id) = classify_set(hypergraph, catalog, edges) {
+            counts[id] += 1;
+        }
+    });
+    GeneralCounts { k, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::mochy_e;
+    use mochy_hypergraph::HypergraphBuilder;
+    use mochy_projection::project;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 1, 3])
+            .with_edge([0, 4, 5])
+            .with_edge([2, 6, 7])
+            .build()
+            .unwrap()
+    }
+
+    fn random_hypergraph(seed: u64, nodes: u32, edges: usize) -> Hypergraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = HypergraphBuilder::new();
+        for _ in 0..edges {
+            let size = rng.gen_range(1..=4usize);
+            let mut members: Vec<NodeId> = Vec::new();
+            while members.len() < size {
+                let v = rng.gen_range(0..nodes);
+                if !members.contains(&v) {
+                    members.push(v);
+                }
+            }
+            builder.add_edge(members);
+        }
+        builder.dedup_hyperedges(true).build().unwrap()
+    }
+
+    #[test]
+    fn enumeration_visits_each_connected_triple_once() {
+        let h = figure2();
+        let projected = project(&h);
+        let mut seen = Vec::new();
+        enumerate_connected_sets(&projected, 3, |edges| {
+            let mut sorted = edges.to_vec();
+            sorted.sort_unstable();
+            seen.push(sorted);
+        });
+        seen.sort();
+        // The three connected triples of Figure 2(d).
+        assert_eq!(seen, vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 2, 3]]);
+        let mut duplicates = seen.clone();
+        duplicates.dedup();
+        assert_eq!(duplicates.len(), seen.len());
+    }
+
+    #[test]
+    fn enumeration_of_singletons_and_pairs() {
+        let h = figure2();
+        let projected = project(&h);
+        let mut singles = 0usize;
+        enumerate_connected_sets(&projected, 1, |_| singles += 1);
+        assert_eq!(singles, h.num_edges());
+        let mut pairs = 0usize;
+        enumerate_connected_sets(&projected, 2, |edges| {
+            assert!(projected.are_adjacent(edges[0], edges[1]));
+            pairs += 1;
+        });
+        assert_eq!(pairs, projected.num_hyperwedges());
+    }
+
+    #[test]
+    fn general_k3_total_matches_mochy_e() {
+        for seed in 0..5u64 {
+            let h = random_hypergraph(seed, 18, 24);
+            let projected = project(&h);
+            let catalog = GeneralizedCatalog::new(3);
+            let general = mochy_e_general(&h, &projected, &catalog);
+            let classic = mochy_e(&h, &projected);
+            assert_eq!(
+                general.total() as f64,
+                classic.total(),
+                "total instance count must agree on seed {seed}"
+            );
+            // The multisets of per-motif counts must also agree (labels may
+            // be permuted between the two catalogs).
+            let mut a: Vec<u64> = general.as_slice().iter().copied().filter(|&c| c > 0).collect();
+            let mut b: Vec<u64> = classic
+                .as_slice()
+                .iter()
+                .map(|&c| c as u64)
+                .filter(|&c| c > 0)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "per-motif count multisets must agree on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure2_has_no_connected_quadruple_with_distinct_pattern() {
+        let h = figure2();
+        let projected = project(&h);
+        let catalog = GeneralizedCatalog::new(4);
+        let counts = mochy_e_general(&h, &projected, &catalog);
+        // The only 4-subset is {e1, e2, e3, e4}, which is connected (e1
+        // overlaps all others): exactly one quadruple instance.
+        assert_eq!(counts.total(), 1);
+        assert_eq!(counts.support(), 1);
+        let top = counts.top(5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].1, 1);
+    }
+
+    #[test]
+    fn quadruple_counts_on_random_hypergraphs_are_consistent() {
+        let h = random_hypergraph(7, 14, 18);
+        let projected = project(&h);
+        let catalog = GeneralizedCatalog::new(4);
+        let counts = mochy_e_general(&h, &projected, &catalog);
+        // Cross-check the total against a naive enumeration over all
+        // quadruples of hyperedges.
+        let n = h.num_edges() as u32;
+        let mut expected = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    for d in (c + 1)..n {
+                        let set = [a, b, c, d];
+                        if is_connected_set(&projected, &set)
+                            && classify_set(&h, &catalog, &set).is_some()
+                        {
+                            expected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(counts.total(), expected);
+    }
+
+    fn is_connected_set(projected: &ProjectedGraph, set: &[EdgeId]) -> bool {
+        let mut visited = vec![false; set.len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut seen = 1;
+        while let Some(x) = stack.pop() {
+            for (y, &other) in set.iter().enumerate() {
+                if !visited[y] && projected.are_adjacent(set[x], other) {
+                    visited[y] = true;
+                    seen += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        seen == set.len()
+    }
+
+    #[test]
+    fn set_pattern_reports_regions() {
+        let h = figure2();
+        let pattern = set_pattern(&h, &[0, 1]);
+        // e1 = {0,1,2}, e2 = {0,1,3}: both private regions and the pairwise
+        // intersection are non-empty.
+        assert!(pattern.region_nonempty(0b01));
+        assert!(pattern.region_nonempty(0b10));
+        assert!(pattern.region_nonempty(0b11));
+        // Disjoint pair e2, e4.
+        let disjoint = set_pattern(&h, &[1, 3]);
+        assert!(!disjoint.region_nonempty(0b11));
+    }
+
+    #[test]
+    fn classify_set_rejects_duplicates() {
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .with_edge([0u32, 1])
+            .with_edge([1u32, 2])
+            .build()
+            .unwrap();
+        let catalog = GeneralizedCatalog::new(3);
+        // Edges 0 and 1 are identical node sets -> not a valid instance.
+        assert_eq!(classify_set(&h, &catalog, &[0, 1, 2]), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! MoCHy — Motif Counting in Hypergraphs.
+//!
+//! This crate implements the algorithmic contribution of the paper:
+//!
+//! - [`exact::mochy_e`] — Algorithm 2, exact counting of every h-motif's
+//!   instances; [`exact::mochy_e_enumerate`] — Algorithm 3, instance
+//!   enumeration; [`exact::mochy_e_per_edge`] — per-hyperedge participation
+//!   counts (used as prediction features in Section 4.4).
+//! - [`sample::mochy_a`] — Algorithm 4, unbiased approximate counting by
+//!   hyperedge sampling.
+//! - [`sample::mochy_a_plus`] — Algorithm 5, unbiased approximate counting by
+//!   hyperwedge sampling.
+//! - Parallel variants of all of the above (Section 3.4), implemented with
+//!   scoped threads and per-thread accumulators.
+//! - [`onthefly::mochy_a_plus_onthefly`] — MoCHy-A+ over a lazily projected,
+//!   budget-memoized graph (Section 3.4, Figure 11).
+//! - [`profile`] — significance (Eq. 1) and characteristic profiles (Eq. 2).
+//! - [`variance`] — the exact variance formulas of Theorems 2 and 4, computed
+//!   from instance-overlap statistics; used to validate the estimators.
+//! - [`adaptive`] — MoCHy-A+ with an adaptive stopping rule and per-motif
+//!   confidence intervals, built on batched independent estimates.
+//! - [`general`] — exact counting of the generalized h-motifs over `k = 3`
+//!   or `k = 4` hyperedges (Section 2.2's generalization).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod classify;
+pub mod count;
+pub mod exact;
+pub mod general;
+pub mod onthefly;
+pub mod pairwise;
+pub mod pernode;
+pub mod profile;
+pub mod sample;
+pub mod variance;
+
+pub use adaptive::{mochy_a_plus_adaptive, AdaptiveConfig, AdaptiveOutcome};
+pub use classify::classify_triple;
+pub use count::MotifCounts;
+pub use exact::{mochy_e, mochy_e_enumerate, mochy_e_parallel, mochy_e_per_edge};
+pub use general::{enumerate_connected_sets, mochy_e_general, GeneralCounts};
+pub use onthefly::mochy_a_plus_onthefly;
+pub use pairwise::{PairRelation, PairwiseCensus, PairwiseCollapse, PairwisePattern};
+pub use pernode::{mochy_e_per_node, node_participation_totals};
+pub use profile::{characteristic_profile, significance, SignificanceOptions};
+pub use sample::{mochy_a, mochy_a_parallel, mochy_a_plus, mochy_a_plus_parallel};

@@ -1,0 +1,135 @@
+//! Per-node h-motif participation counts.
+//!
+//! Section 4.4 of the paper uses per-*hyperedge* participation counts (HM26)
+//! as prediction features. The same idea lifts to nodes: for every node `v`,
+//! count, per motif, the instances whose three hyperedges all exist and at
+//! least one of which contains `v` — or, in the stricter variant, the
+//! instances in which `v` lies in the union of the three hyperedges by way of
+//! a specific hyperedge. Node-level counts make h-motif features usable for
+//! node-level tasks (classification, anomaly detection) without changing the
+//! counting machinery: they are derived from the same MoCHy-E-ENUM pass.
+
+use mochy_hypergraph::Hypergraph;
+use mochy_projection::ProjectedGraph;
+
+use crate::count::MotifCounts;
+use crate::exact::mochy_e_enumerate;
+
+/// For every node, the number of h-motif instances of each type that contain
+/// at least one hyperedge incident to the node.
+///
+/// Every instance `{e_i, e_j, e_k}` contributes once to each node in
+/// `e_i ∪ e_j ∪ e_k` (not once per incident hyperedge), so a node inside the
+/// triple intersection still counts the instance a single time.
+pub fn mochy_e_per_node(hypergraph: &Hypergraph, projected: &ProjectedGraph) -> Vec<MotifCounts> {
+    let mut per_node = vec![MotifCounts::zero(); hypergraph.num_nodes()];
+    let mut stamp = vec![u64::MAX; hypergraph.num_nodes()];
+    let mut instance_index = 0u64;
+    mochy_e_enumerate(hypergraph, projected, |i, j, k, motif| {
+        for &edge in &[i, j, k] {
+            for &v in hypergraph.edge(edge) {
+                if stamp[v as usize] != instance_index {
+                    stamp[v as usize] = instance_index;
+                    per_node[v as usize].increment(motif);
+                }
+            }
+        }
+        instance_index += 1;
+    });
+    per_node
+}
+
+/// The total number of instances each node participates in, summed over all
+/// motifs — a cheap node "higher-order centrality" score.
+pub fn node_participation_totals(per_node: &[MotifCounts]) -> Vec<f64> {
+    per_node.iter().map(MotifCounts::total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::mochy_e;
+    use mochy_hypergraph::{HypergraphBuilder, NodeId};
+    use mochy_projection::project;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 1, 3])
+            .with_edge([0, 4, 5])
+            .with_edge([2, 6, 7])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_node_participation() {
+        let h = figure2();
+        let projected = project(&h);
+        let per_node = mochy_e_per_node(&h, &projected);
+        assert_eq!(per_node.len(), 8);
+        let totals = node_participation_totals(&per_node);
+        // Node 0 (L) belongs to e1, e2, e3 and therefore to all 3 instances.
+        assert_eq!(totals[0], 3.0);
+        // Node 3 (H) belongs only to e2, which appears in 2 instances.
+        assert_eq!(totals[3], 2.0);
+        // Node 6 (S) belongs only to e4, which appears in 2 instances.
+        assert_eq!(totals[6], 2.0);
+    }
+
+    #[test]
+    fn instances_count_once_per_node_even_in_the_core() {
+        // Three hyperedges sharing node 0: one instance; node 0 must count it
+        // exactly once even though it lies in all three hyperedges.
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .with_edge([0u32, 2])
+            .with_edge([0u32, 3])
+            .build()
+            .unwrap();
+        let projected = project(&h);
+        let per_node = mochy_e_per_node(&h, &projected);
+        assert_eq!(per_node[0].total(), 1.0);
+        assert_eq!(per_node[1].total(), 1.0);
+    }
+
+    #[test]
+    fn per_node_counts_are_consistent_with_global_counts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut builder = HypergraphBuilder::new();
+        for _ in 0..120 {
+            let size = rng.gen_range(2..=5usize);
+            let mut members: Vec<NodeId> = Vec::new();
+            while members.len() < size {
+                let v = rng.gen_range(0..35u32);
+                if !members.contains(&v) {
+                    members.push(v);
+                }
+            }
+            builder.add_edge(members);
+        }
+        let h = builder.dedup_hyperedges(true).build().unwrap();
+        let projected = project(&h);
+        let global = mochy_e(&h, &projected);
+        let per_node = mochy_e_per_node(&h, &projected);
+        // Every motif's global count bounds each node's participation count,
+        // and a node participating in a motif implies a positive global count.
+        for node_counts in &per_node {
+            for (id, value) in node_counts.iter() {
+                assert!(value <= global.get(id));
+                if value > 0.0 {
+                    assert!(global.get(id) > 0.0);
+                }
+            }
+        }
+        // The union of all nodes' participation covers every motif with
+        // instances.
+        for (id, value) in global.iter() {
+            if value > 0.0 {
+                assert!(per_node.iter().any(|c| c.get(id) > 0.0));
+            }
+        }
+    }
+}

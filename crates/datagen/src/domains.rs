@@ -1,0 +1,392 @@
+//! One synthetic hypergraph generator per domain of the paper.
+
+use mochy_hypergraph::{Hypergraph, HypergraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::util::{sample_size, ZipfSampler};
+
+/// The five domains of Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// Authors collaborating on publications (coauth-DBLP/geology/history).
+    Coauthorship,
+    /// Face-to-face group interactions (contact-primary/high).
+    Contact,
+    /// Sender plus receivers of an e-mail (email-Enron/EU).
+    Email,
+    /// Tags attached to the same post (tags-ubuntu/math).
+    Tags,
+    /// Users participating in the same thread (threads-ubuntu/math).
+    Threads,
+}
+
+impl DomainKind {
+    /// All five domains, in the order the paper lists them.
+    pub const ALL: [DomainKind; 5] = [
+        DomainKind::Coauthorship,
+        DomainKind::Contact,
+        DomainKind::Email,
+        DomainKind::Tags,
+        DomainKind::Threads,
+    ];
+
+    /// Short lowercase name (e.g. `"coauth"`), used in dataset labels.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            DomainKind::Coauthorship => "coauth",
+            DomainKind::Contact => "contact",
+            DomainKind::Email => "email",
+            DomainKind::Tags => "tags",
+            DomainKind::Threads => "threads",
+        }
+    }
+}
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Domain flavour.
+    pub kind: DomainKind,
+    /// Number of node identifiers (authors, people, accounts, tags, users).
+    pub num_nodes: usize,
+    /// Number of hyperedges to generate.
+    pub num_edges: usize,
+    /// RNG seed; the output is a deterministic function of the whole config.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Creates a configuration.
+    pub fn new(kind: DomainKind, num_nodes: usize, num_edges: usize, seed: u64) -> Self {
+        Self {
+            kind,
+            num_nodes,
+            num_edges,
+            seed,
+        }
+    }
+}
+
+/// Generates a synthetic hypergraph with the flavour of the configured
+/// domain. Output is deterministic in the configuration.
+pub fn generate(config: &GeneratorConfig) -> Hypergraph {
+    assert!(config.num_nodes >= 4, "need at least 4 nodes");
+    assert!(config.num_edges >= 1, "need at least 1 hyperedge");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let edges = match config.kind {
+        DomainKind::Coauthorship => coauthorship(config.num_nodes, config.num_edges, &mut rng),
+        DomainKind::Contact => contact(config.num_nodes, config.num_edges, &mut rng),
+        DomainKind::Email => email(config.num_nodes, config.num_edges, &mut rng),
+        DomainKind::Tags => tags(config.num_nodes, config.num_edges, &mut rng),
+        DomainKind::Threads => threads(config.num_nodes, config.num_edges, &mut rng),
+    };
+    let mut builder = HypergraphBuilder::with_capacity(edges.len());
+    builder.extend_edges(edges);
+    builder.build().expect("generators always produce hyperedges")
+}
+
+/// Co-authorship: authors live in research communities; teams are small,
+/// productivity is skewed, and follow-up papers reuse a core of a previous
+/// team, which produces the "shared core plus private authors" closed motifs
+/// the paper finds over-represented in this domain.
+fn coauthorship(num_nodes: usize, num_edges: usize, rng: &mut StdRng) -> Vec<Vec<NodeId>> {
+    let community_size = 24usize.min(num_nodes).max(4);
+    let num_communities = num_nodes.div_ceil(community_size);
+    let community_sampler = ZipfSampler::new(num_communities, 0.8);
+    let productivity = ZipfSampler::new(community_size, 1.1);
+
+    let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(num_edges);
+    let mut per_community_papers: Vec<Vec<usize>> = vec![Vec::new(); num_communities];
+
+    for paper in 0..num_edges {
+        let community = community_sampler.sample(rng);
+        let base = community * community_size;
+        let span = community_size.min(num_nodes - base);
+        let team_size = sample_size(2, 8.min(span.max(2)), 0.45, rng);
+
+        let mut members: Vec<NodeId>;
+        let previous = &per_community_papers[community];
+        if !previous.is_empty() && rng.gen_bool(0.35) {
+            // Follow-up paper: keep a core of an earlier team, add new people.
+            let earlier = &edges[previous[rng.gen_range(0..previous.len())]];
+            let core_size = (earlier.len() / 2).max(1).min(team_size);
+            let mut earlier_shuffled = earlier.clone();
+            earlier_shuffled.shuffle(rng);
+            members = earlier_shuffled.into_iter().take(core_size).collect();
+            let mut attempts = 0usize;
+            while members.len() < team_size && attempts < 40 * team_size {
+                let local = productivity.sample(rng).min(span - 1);
+                let candidate = (base + local) as NodeId;
+                if !members.contains(&candidate) {
+                    members.push(candidate);
+                }
+                attempts += 1;
+            }
+        } else {
+            members = productivity
+                .sample_distinct(team_size, rng)
+                .into_iter()
+                .map(|local| (base + local.min(span - 1)) as NodeId)
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+        }
+        // Occasional cross-community collaborator.
+        if rng.gen_bool(0.08) {
+            let outsider = rng.gen_range(0..num_nodes) as NodeId;
+            if !members.contains(&outsider) {
+                members.push(outsider);
+            }
+        }
+        per_community_papers[community].push(paper);
+        edges.push(members);
+    }
+    edges
+}
+
+/// Contact: a small population split into classes; interactions are tiny
+/// (2–5 people), heavily repeated with small perturbations, so hyperedges
+/// pile up on the same few intersections (motifs concentrated in overlaps).
+fn contact(num_nodes: usize, num_edges: usize, rng: &mut StdRng) -> Vec<Vec<NodeId>> {
+    let class_size = 20usize.min(num_nodes).max(4);
+    let num_classes = num_nodes.div_ceil(class_size);
+    let class_sampler = ZipfSampler::new(num_classes, 0.3);
+    let sociability = ZipfSampler::new(class_size, 0.7);
+
+    let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        if !edges.is_empty() && rng.gen_bool(0.5) {
+            // Repeat a recent interaction with one member swapped.
+            let template = edges[rng.gen_range(edges.len().saturating_sub(200)..edges.len())].clone();
+            let mut members = template;
+            if !members.is_empty() {
+                let replace = rng.gen_range(0..members.len());
+                let base = (members[replace] as usize / class_size) * class_size;
+                let span = class_size.min(num_nodes - base);
+                let candidate = (base + rng.gen_range(0..span)) as NodeId;
+                if !members.contains(&candidate) {
+                    members[replace] = candidate;
+                }
+            }
+            edges.push(members);
+            continue;
+        }
+        let class = class_sampler.sample(rng);
+        let base = class * class_size;
+        let span = class_size.min(num_nodes - base);
+        let size = sample_size(2, 5.min(span.max(2)), 0.5, rng);
+        let members: Vec<NodeId> = sociability
+            .sample_distinct(size, rng)
+            .into_iter()
+            .map(|local| (base + local.min(span - 1)) as NodeId)
+            .collect();
+        edges.push(members);
+    }
+    edges
+}
+
+/// E-mail: a hyperedge is a sender plus the receivers. Senders are heavily
+/// skewed, receiver lists are drawn from per-sender contact lists and often
+/// nest inside earlier, larger receiver lists of the same sender, creating
+/// the "one hyperedge contains most nodes" motifs of Section 4.2.
+fn email(num_nodes: usize, num_edges: usize, rng: &mut StdRng) -> Vec<Vec<NodeId>> {
+    let sender_sampler = ZipfSampler::new(num_nodes, 1.2);
+    // Per-sender contact list: a contiguous pseudo-random block of accounts.
+    let contact_list = |sender: usize, rng: &mut StdRng| -> Vec<NodeId> {
+        let list_size = 8 + (sender % 32);
+        let mut list = Vec::with_capacity(list_size);
+        let mut state = sender as u64;
+        for _ in 0..list_size {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            list.push((state % num_nodes as u64) as NodeId);
+        }
+        list.shuffle(rng);
+        list.sort_unstable();
+        list.dedup();
+        list
+    };
+
+    let mut per_sender_emails: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(num_edges);
+    for index in 0..num_edges {
+        let sender = sender_sampler.sample(rng);
+        let list = contact_list(sender, rng);
+        let previous = &per_sender_emails[sender];
+        let mut receivers: Vec<NodeId> = if !previous.is_empty() && rng.gen_bool(0.45) {
+            // Reply/follow-up: a subset of an earlier receiver list.
+            let earlier = &edges[previous[rng.gen_range(0..previous.len())]];
+            let keep = rng.gen_range(1..=earlier.len());
+            let mut shuffled = earlier.clone();
+            shuffled.shuffle(rng);
+            shuffled.into_iter().take(keep).collect()
+        } else {
+            let size = sample_size(1, 18.min(list.len().max(1)), 0.35, rng);
+            let mut shuffled = list.clone();
+            shuffled.shuffle(rng);
+            shuffled.into_iter().take(size).collect()
+        };
+        let sender_id = sender as NodeId;
+        if !receivers.contains(&sender_id) {
+            receivers.push(sender_id);
+        }
+        per_sender_emails[sender].push(index);
+        edges.push(receivers);
+    }
+    edges
+}
+
+/// Tags: a small vocabulary grouped into topics; posts carry 2–5 tags drawn
+/// from one topic plus globally popular tags, so the projected graph is dense
+/// and deeply overlapping (frequent all-regions-non-empty motifs).
+fn tags(num_nodes: usize, num_edges: usize, rng: &mut StdRng) -> Vec<Vec<NodeId>> {
+    let topic_size = 40usize.min(num_nodes).max(4);
+    let num_topics = num_nodes.div_ceil(topic_size);
+    let topic_sampler = ZipfSampler::new(num_topics, 1.0);
+    let tag_popularity = ZipfSampler::new(topic_size, 1.3);
+    let global_popular = ZipfSampler::new(num_nodes.min(50), 1.0);
+
+    let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let topic = topic_sampler.sample(rng);
+        let base = topic * topic_size;
+        let span = topic_size.min(num_nodes - base);
+        let size = sample_size(2, 5, 0.4, rng);
+        let mut members: Vec<NodeId> = tag_popularity
+            .sample_distinct(size, rng)
+            .into_iter()
+            .map(|local| (base + local.min(span - 1)) as NodeId)
+            .collect();
+        if rng.gen_bool(0.35) {
+            let popular = global_popular.sample(rng) as NodeId;
+            if !members.contains(&popular) {
+                members.push(popular);
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        edges.push(members);
+    }
+    edges
+}
+
+/// Threads: users participate in discussion threads of moderate size; a few
+/// hub users appear in a large fraction of threads.
+fn threads(num_nodes: usize, num_edges: usize, rng: &mut StdRng) -> Vec<Vec<NodeId>> {
+    let activity = ZipfSampler::new(num_nodes, 1.4);
+    let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let size = sample_size(2, 14, 0.3, rng);
+        let mut members: Vec<NodeId> = activity
+            .sample_distinct(size, rng)
+            .into_iter()
+            .map(|v| v as NodeId)
+            .collect();
+        // Some threads branch off an earlier one, keeping part of the crowd.
+        if !edges.is_empty() && rng.gen_bool(0.25) {
+            let earlier = &edges[rng.gen_range(0..edges.len())];
+            for &user in earlier.iter().take(2) {
+                if !members.contains(&user) {
+                    members.push(user);
+                }
+            }
+        }
+        edges.push(members);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::HypergraphStats;
+
+    fn config(kind: DomainKind) -> GeneratorConfig {
+        GeneratorConfig::new(kind, 300, 800, 7)
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in DomainKind::ALL {
+            let a = generate(&config(kind));
+            let b = generate(&config(kind));
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            let mut different_seed = config(kind);
+            different_seed.seed = 8;
+            let c = generate(&different_seed);
+            assert_ne!(a, c, "{kind:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn generators_respect_edge_count_and_node_range() {
+        for kind in DomainKind::ALL {
+            let cfg = config(kind);
+            let h = generate(&cfg);
+            assert_eq!(h.num_edges(), cfg.num_edges, "{kind:?}");
+            assert!(h.num_nodes() <= cfg.num_nodes + 1, "{kind:?}");
+            for (_, members) in h.edges() {
+                assert!(!members.is_empty());
+                assert!(members.iter().all(|&v| (v as usize) < cfg.num_nodes));
+            }
+        }
+    }
+
+    #[test]
+    fn domain_size_profiles_differ() {
+        let contact = HypergraphStats::compute(&generate(&config(DomainKind::Contact)));
+        let threads = HypergraphStats::compute(&generate(&config(DomainKind::Threads)));
+        let email = HypergraphStats::compute(&generate(&config(DomainKind::Email)));
+        // Contact interactions are tiny; thread and email hyperedges are larger.
+        assert!(contact.max_edge_size <= 6);
+        assert!(threads.max_edge_size > contact.max_edge_size);
+        assert!(email.max_edge_size > contact.max_edge_size);
+    }
+
+    #[test]
+    fn coauthorship_exhibits_overlap() {
+        let h = generate(&config(DomainKind::Coauthorship));
+        // A third of papers reuse a core, so many hyperedges share ≥ 2 nodes.
+        let mut sharing_pairs = 0usize;
+        let limit = 200.min(h.num_edges() as u32);
+        for i in 0..limit {
+            for j in (i + 1)..limit {
+                if h.intersection_size(i, j) >= 2 {
+                    sharing_pairs += 1;
+                }
+            }
+        }
+        assert!(sharing_pairs > 10, "only {sharing_pairs} overlapping pairs");
+    }
+
+    #[test]
+    fn email_contains_sender_in_every_edge() {
+        let cfg = config(DomainKind::Email);
+        let h = generate(&cfg);
+        // Every e-mail hyperedge has at least the sender plus usually some
+        // receivers; singleton self-mails are possible but rare.
+        let singletons = h
+            .edge_ids()
+            .filter(|&e| h.edge_size(e) == 1)
+            .count();
+        assert!(singletons < h.num_edges() / 4);
+    }
+
+    #[test]
+    fn short_names_are_unique() {
+        let names: std::collections::BTreeSet<_> =
+            DomainKind::ALL.iter().map(|k| k.short_name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 nodes")]
+    fn too_few_nodes_rejected() {
+        let _ = generate(&GeneratorConfig::new(DomainKind::Tags, 2, 10, 0));
+    }
+}

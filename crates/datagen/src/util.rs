@@ -1,0 +1,156 @@
+//! Shared sampling utilities for the generators.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+/// A reusable sampler over `0..n` with Zipf-like weights `w_i ∝ (i + 1)^{-α}`
+/// (smaller indices are "more popular"). Used to model skewed popularity of
+/// authors, tags, e-mail accounts and thread participants.
+pub struct ZipfSampler {
+    distribution: WeightedIndex<f64>,
+    len: usize,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n` with exponent `alpha ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs a non-empty support");
+        let weights: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).powf(-alpha)).collect();
+        Self {
+            distribution: WeightedIndex::new(&weights).expect("positive weights"),
+            len: n,
+        }
+    }
+
+    /// Number of items in the support.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Samples one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.distribution.sample(rng)
+    }
+
+    /// Samples `count` *distinct* indices (by rejection); `count` is clamped
+    /// to the support size.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        let count = count.min(self.len);
+        let mut chosen = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while chosen.len() < count {
+            let candidate = self.sample(rng);
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            attempts += 1;
+            if attempts > 50 * count + 200 {
+                // Extremely skewed weights: fill with the smallest unused ids.
+                for i in 0..self.len {
+                    if chosen.len() == count {
+                        break;
+                    }
+                    if !chosen.contains(&i) {
+                        chosen.push(i);
+                    }
+                }
+            }
+        }
+        chosen
+    }
+}
+
+/// Samples a hyperedge size from a truncated geometric-like distribution on
+/// `[min, max]` with decay `p ∈ (0, 1)`: larger `p` → smaller hyperedges.
+pub fn sample_size<R: Rng + ?Sized>(min: usize, max: usize, p: f64, rng: &mut R) -> usize {
+    debug_assert!(min <= max);
+    let mut size = min;
+    while size < max && rng.gen::<f64>() > p {
+        size += 1;
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_small_indices() {
+        let sampler = ZipfSampler::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut low = 0usize;
+        let trials = 5000;
+        for _ in 0..trials {
+            if sampler.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        assert!(low as f64 / trials as f64 > 0.5, "low fraction {low}");
+        assert_eq!(sampler.len(), 100);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniformish() {
+        let sampler = ZipfSampler::new(50, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0usize;
+        let trials = 5000;
+        for _ in 0..trials {
+            if sampler.sample(&mut rng) < 25 {
+                low += 1;
+            }
+        }
+        let fraction = low as f64 / trials as f64;
+        assert!((fraction - 0.5).abs() < 0.05, "fraction {fraction}");
+    }
+
+    #[test]
+    fn sample_distinct_yields_unique_items() {
+        let sampler = ZipfSampler::new(20, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let sampled = sampler.sample_distinct(8, &mut rng);
+            let mut sorted = sampled.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), sampled.len());
+            assert_eq!(sampled.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_clamps_to_support() {
+        let sampler = ZipfSampler::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampled = sampler.sample_distinct(50, &mut rng);
+        assert_eq!(sampled.len(), 5);
+    }
+
+    #[test]
+    fn size_sampler_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let s = sample_size(2, 6, 0.4, &mut rng);
+            assert!((2..=6).contains(&s));
+        }
+        assert_eq!(sample_size(3, 3, 0.1, &mut rng), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zipf_rejects_empty_support() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

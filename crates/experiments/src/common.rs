@@ -1,0 +1,97 @@
+//! Shared experiment configuration.
+
+use mochy_datagen::{standard_suite, DatasetSpec, SuiteScale};
+
+/// How large the synthetic datasets used by the experiments are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Seconds per experiment; used by tests.
+    Tiny,
+    /// Tens of seconds per experiment; the default of the `mochy-exp` binary.
+    Small,
+    /// Minutes per experiment.
+    Medium,
+}
+
+impl ExperimentScale {
+    /// Parses a scale name (`tiny`, `small`, `medium`).
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Self::Tiny),
+            "small" => Some(Self::Small),
+            "medium" => Some(Self::Medium),
+            _ => None,
+        }
+    }
+
+    /// The dataset-suite scale backing this experiment scale.
+    pub fn suite_scale(&self) -> SuiteScale {
+        match self {
+            ExperimentScale::Tiny => SuiteScale::Tiny,
+            ExperimentScale::Small => SuiteScale::Small,
+            ExperimentScale::Medium => SuiteScale::Medium,
+        }
+    }
+
+    /// Number of randomized reference hypergraphs per dataset.
+    pub fn num_randomizations(&self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 2,
+            _ => 5,
+        }
+    }
+
+    /// A generic size multiplier used by single-dataset experiments.
+    pub fn multiplier(&self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 1,
+            ExperimentScale::Small => 4,
+            ExperimentScale::Medium => 12,
+        }
+    }
+}
+
+/// The dataset suite for a given scale.
+pub fn suite(scale: ExperimentScale) -> Vec<DatasetSpec> {
+    standard_suite(scale.suite_scale())
+}
+
+/// Formats a floating-point count the way Table 3 does (`9.6E07` style).
+pub fn scientific(value: f64) -> String {
+    if value == 0.0 {
+        "0.0E00".to_string()
+    } else {
+        let exponent = value.abs().log10().floor() as i32;
+        let mantissa = value / 10f64.powi(exponent);
+        format!("{mantissa:.1}E{exponent:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scales() {
+        assert_eq!(ExperimentScale::parse("tiny"), Some(ExperimentScale::Tiny));
+        assert_eq!(ExperimentScale::parse("SMALL"), Some(ExperimentScale::Small));
+        assert_eq!(ExperimentScale::parse("medium"), Some(ExperimentScale::Medium));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scientific_formatting() {
+        assert_eq!(scientific(0.0), "0.0E00");
+        assert_eq!(scientific(96_000_000.0), "9.6E07");
+        assert_eq!(scientific(1.0), "1.0E00");
+    }
+
+    #[test]
+    fn suite_is_available_at_every_scale() {
+        for scale in [ExperimentScale::Tiny, ExperimentScale::Small, ExperimentScale::Medium] {
+            assert_eq!(suite(scale).len(), 11);
+            assert!(scale.num_randomizations() >= 2);
+            assert!(scale.multiplier() >= 1);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 8: speed vs accuracy trade-off of MoCHy-E, MoCHy-A and MoCHy-A+.
+
+use std::time::Instant;
+
+use mochy_core::{mochy_a, mochy_a_plus, mochy_e};
+use mochy_projection::project;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{suite, ExperimentScale};
+
+/// Regenerates Figure 8 on a subset of the dataset suite: for each dataset,
+/// the exact runtime plus (relative error, runtime) points for MoCHy-A and
+/// MoCHy-A+ at sampling ratios 2.5 %, 5 %, …, 25 %.
+pub fn run(scale: ExperimentScale) -> String {
+    let ratios: Vec<f64> = (1..=10).map(|k| 0.025 * k as f64).collect();
+    let mut out = String::from("# Figure 8: speed vs accuracy of MoCHy-E / MoCHy-A / MoCHy-A+\n");
+    out.push_str("dataset\talgorithm\tsampling ratio\telapsed ms\trelative error\n");
+
+    // Use one dataset per domain to keep the report compact (the paper shows
+    // six panels; the bench `fig8_tradeoff` covers per-dataset timing).
+    let mut specs = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for spec in suite(scale) {
+        if seen.insert(spec.domain.short_name()) {
+            specs.push(spec);
+        }
+    }
+
+    for spec in specs {
+        let hypergraph = spec.build();
+        let projected = project(&hypergraph);
+        let start = Instant::now();
+        let exact = mochy_e(&hypergraph, &projected);
+        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+        out.push_str(&format!(
+            "{}\tMoCHy-E\t-\t{exact_ms:.2}\t0.0000\n",
+            spec.name
+        ));
+        let num_edges = hypergraph.num_edges();
+        let num_wedges = projected.num_hyperwedges();
+        for &ratio in &ratios {
+            let mut rng = StdRng::seed_from_u64(800);
+            let s = ((num_edges as f64 * ratio).ceil() as usize).max(1);
+            let start = Instant::now();
+            let estimate = mochy_a(&hypergraph, &projected, s, &mut rng);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            out.push_str(&format!(
+                "{}\tMoCHy-A\t{ratio:.3}\t{elapsed:.2}\t{:.4}\n",
+                spec.name,
+                exact.relative_error(&estimate)
+            ));
+
+            let mut rng = StdRng::seed_from_u64(801);
+            let r = ((num_wedges as f64 * ratio).ceil() as usize).max(1);
+            let start = Instant::now();
+            let estimate = mochy_a_plus(&hypergraph, &projected, r, &mut rng);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            out.push_str(&format!(
+                "{}\tMoCHy-A+\t{ratio:.3}\t{elapsed:.2}\t{:.4}\n",
+                spec.name,
+                exact.relative_error(&estimate)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_all_three_algorithms() {
+        let report = run(ExperimentScale::Tiny);
+        assert!(report.contains("MoCHy-E"));
+        assert!(report.contains("MoCHy-A\t"));
+        assert!(report.contains("MoCHy-A+"));
+        // 5 datasets × (1 exact + 20 sampling rows) + 2 header lines.
+        assert_eq!(report.lines().count(), 2 + 5 * 21);
+    }
+}

@@ -1,0 +1,144 @@
+//! `mochy-exp` — regenerates the tables and figures of the paper, and offers
+//! the dataset tooling of the original MoCHy release.
+//!
+//! ```text
+//! mochy-exp <experiment> [--scale tiny|small|medium]
+//! mochy-exp all [--scale tiny|small|medium]
+//! mochy-exp list
+//! mochy-exp gen <domain> <nodes> <edges> <seed> <path>
+//! mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]
+//! ```
+
+use mochy_experiments::tool::{self, CountAlgorithm};
+use mochy_experiments::{run_experiment, ExperimentScale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let command = args[0].as_str();
+    if command == "gen" {
+        run_gen(&args[1..]);
+        return;
+    }
+    if command == "count" {
+        run_count(&args[1..]);
+        return;
+    }
+    let scale = parse_scale(&args).unwrap_or_else(|message| {
+        eprintln!("{message}");
+        std::process::exit(2);
+    });
+
+    match command {
+        "list" => {
+            for name in ALL_EXPERIMENTS {
+                println!("{name}");
+            }
+        }
+        "all" => {
+            for name in ALL_EXPERIMENTS {
+                match run_experiment(name, scale) {
+                    Ok(report) => println!("{report}"),
+                    Err(message) => {
+                        eprintln!("{message}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        name => match run_experiment(name, scale) {
+            Ok(report) => println!("{report}"),
+            Err(message) => {
+                eprintln!("{message}");
+                print_usage();
+                std::process::exit(1);
+            }
+        },
+    }
+}
+
+fn run_gen(args: &[String]) {
+    if args.len() != 5 {
+        eprintln!("usage: mochy-exp gen <domain> <nodes> <edges> <seed> <path>");
+        std::process::exit(2);
+    }
+    let domain = tool::parse_domain(&args[0]).unwrap_or_else(|| {
+        eprintln!("unknown domain `{}` (coauth|contact|email|tags|threads)", args[0]);
+        std::process::exit(2);
+    });
+    let parse_number = |text: &str, what: &str| -> usize {
+        text.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {what} `{text}`");
+            std::process::exit(2);
+        })
+    };
+    let nodes = parse_number(&args[1], "node count");
+    let edges = parse_number(&args[2], "edge count");
+    let seed = parse_number(&args[3], "seed") as u64;
+    match tool::generate_to_file(domain, nodes, edges, seed, std::path::Path::new(&args[4])) {
+        Ok(written) => println!("wrote {written} hyperedges to {}", args[4]),
+        Err(error) => {
+            eprintln!("failed to write dataset: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_count(args: &[String]) {
+    if args.is_empty() || args.len() > 3 {
+        eprintln!("usage: mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]");
+        std::process::exit(2);
+    }
+    let algorithm = args
+        .get(1)
+        .map(|text| {
+            CountAlgorithm::parse(text).unwrap_or_else(|| {
+                eprintln!("unknown algorithm `{text}` (e, a:<samples>, a+:<samples>)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(CountAlgorithm::Exact);
+    let threads = args
+        .get(2)
+        .map(|text| {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid thread count `{text}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1usize);
+    match tool::count_file(std::path::Path::new(&args[0]), algorithm, threads, 0) {
+        Ok(report) => println!("{report}"),
+        Err(error) => {
+            eprintln!("failed to count `{}`: {error}", args[0]);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_scale(args: &[String]) -> Result<ExperimentScale, String> {
+    let mut scale = ExperimentScale::Small;
+    let mut iter = args.iter().skip(1);
+    while let Some(argument) = iter.next() {
+        if argument == "--scale" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--scale requires a value (tiny|small|medium)".to_string())?;
+            scale = ExperimentScale::parse(value)
+                .ok_or_else(|| format!("unknown scale `{value}` (tiny|small|medium)"))?;
+        } else {
+            return Err(format!("unknown argument `{argument}`"));
+        }
+    }
+    Ok(scale)
+}
+
+fn print_usage() {
+    eprintln!("usage: mochy-exp <experiment|all|list> [--scale tiny|small|medium]");
+    eprintln!("       mochy-exp gen <domain> <nodes> <edges> <seed> <path>");
+    eprintln!("       mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]");
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+}

@@ -1,0 +1,168 @@
+//! Stand-alone tooling sub-commands of `mochy-exp`, mirroring the workflow of
+//! the original MoCHy release: generate a dataset file, then count the
+//! h-motif instances of any dataset file.
+
+use std::path::Path;
+
+use mochy_core::{mochy_a, mochy_a_plus_parallel, mochy_e_parallel};
+use mochy_datagen::{generate, DomainKind, GeneratorConfig};
+use mochy_hypergraph::{io, Hypergraph, HypergraphError};
+use mochy_motif::MotifCatalog;
+use mochy_projection::project_parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which counting algorithm the `count` sub-command runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountAlgorithm {
+    /// MoCHy-E (exact).
+    Exact,
+    /// MoCHy-A with the given number of hyperedge samples.
+    SampleEdges(usize),
+    /// MoCHy-A+ with the given number of hyperwedge samples.
+    SampleWedges(usize),
+}
+
+impl CountAlgorithm {
+    /// Parses `e`, `a:<samples>` or `a+:<samples>`.
+    pub fn parse(text: &str) -> Option<Self> {
+        if text.eq_ignore_ascii_case("e") {
+            return Some(Self::Exact);
+        }
+        if let Some(rest) = text.strip_prefix("a+:").or_else(|| text.strip_prefix("A+:")) {
+            return rest.parse().ok().map(Self::SampleWedges);
+        }
+        if let Some(rest) = text.strip_prefix("a:").or_else(|| text.strip_prefix("A:")) {
+            return rest.parse().ok().map(Self::SampleEdges);
+        }
+        None
+    }
+}
+
+/// Generates a synthetic dataset and writes it in edge-list format.
+/// Returns the number of hyperedges written.
+pub fn generate_to_file(
+    domain: DomainKind,
+    num_nodes: usize,
+    num_edges: usize,
+    seed: u64,
+    path: &Path,
+) -> std::io::Result<usize> {
+    let hypergraph = generate(&GeneratorConfig::new(domain, num_nodes, num_edges, seed));
+    io::write_edge_list_file(&hypergraph, path)?;
+    Ok(hypergraph.num_edges())
+}
+
+/// Parses a domain name (`coauth`, `contact`, `email`, `tags`, `threads`).
+pub fn parse_domain(text: &str) -> Option<DomainKind> {
+    DomainKind::ALL
+        .into_iter()
+        .find(|d| d.short_name().eq_ignore_ascii_case(text))
+}
+
+/// Counts the h-motif instances of a dataset file and renders a report:
+/// one line per motif (id, open/closed, count) plus a total.
+pub fn count_file(
+    path: &Path,
+    algorithm: CountAlgorithm,
+    threads: usize,
+    seed: u64,
+) -> Result<String, HypergraphError> {
+    let hypergraph = io::read_edge_list_file(path)?;
+    Ok(count_report(&hypergraph, algorithm, threads, seed))
+}
+
+/// Counts the instances of an in-memory hypergraph and renders the report.
+pub fn count_report(
+    hypergraph: &Hypergraph,
+    algorithm: CountAlgorithm,
+    threads: usize,
+    seed: u64,
+) -> String {
+    let projected = project_parallel(hypergraph, threads);
+    let counts = match algorithm {
+        CountAlgorithm::Exact => mochy_e_parallel(hypergraph, &projected, threads),
+        CountAlgorithm::SampleEdges(s) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            mochy_a(hypergraph, &projected, s, &mut rng)
+        }
+        CountAlgorithm::SampleWedges(r) => {
+            mochy_a_plus_parallel(hypergraph, &projected, r, threads, seed)
+        }
+    };
+    let catalog = MotifCatalog::new();
+    let mut out = format!(
+        "# |V| = {}, |E| = {}, |wedges| = {}\nmotif\tclass\tcount\n",
+        hypergraph.num_nodes(),
+        hypergraph.num_edges(),
+        projected.num_hyperwedges()
+    );
+    for (id, count) in counts.iter() {
+        out.push_str(&format!(
+            "{id}\t{}\t{count:.2}\n",
+            if catalog.is_open(id) { "open" } else { "closed" }
+        ));
+    }
+    out.push_str(&format!("total\t-\t{:.2}\n", counts.total()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!(CountAlgorithm::parse("e"), Some(CountAlgorithm::Exact));
+        assert_eq!(CountAlgorithm::parse("E"), Some(CountAlgorithm::Exact));
+        assert_eq!(
+            CountAlgorithm::parse("a:100"),
+            Some(CountAlgorithm::SampleEdges(100))
+        );
+        assert_eq!(
+            CountAlgorithm::parse("a+:2000"),
+            Some(CountAlgorithm::SampleWedges(2000))
+        );
+        assert_eq!(CountAlgorithm::parse("x"), None);
+        assert_eq!(CountAlgorithm::parse("a:notanumber"), None);
+    }
+
+    #[test]
+    fn domain_parsing() {
+        assert_eq!(parse_domain("coauth"), Some(DomainKind::Coauthorship));
+        assert_eq!(parse_domain("TAGS"), Some(DomainKind::Tags));
+        assert_eq!(parse_domain("unknown"), None);
+    }
+
+    #[test]
+    fn generate_then_count_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mochy_exp_tool_roundtrip.txt");
+        let written =
+            generate_to_file(DomainKind::Contact, 100, 150, 3, &path).expect("write dataset");
+        assert_eq!(written, 150);
+        let report = count_file(&path, CountAlgorithm::Exact, 2, 0).expect("count dataset");
+        std::fs::remove_file(&path).ok();
+        assert!(report.contains("motif\tclass\tcount"));
+        assert!(report.lines().count() >= 29); // header(2) + 26 motifs + total
+        assert!(report.contains("total"));
+    }
+
+    #[test]
+    fn sampling_algorithms_produce_reports_too() {
+        let hypergraph = generate(&GeneratorConfig::new(DomainKind::Email, 80, 120, 1));
+        for algorithm in [
+            CountAlgorithm::SampleEdges(50),
+            CountAlgorithm::SampleWedges(200),
+        ] {
+            let report = count_report(&hypergraph, algorithm, 1, 7);
+            assert!(report.contains("total"), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn counting_missing_file_fails_cleanly() {
+        let missing = Path::new("/nonexistent/mochy/dataset.txt");
+        assert!(count_file(missing, CountAlgorithm::Exact, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Connectivity structure of a hypergraph.
+//!
+//! Two nodes are connected if some hyperedge contains both; two hyperedges
+//! are connected if they share a node (the adjacency used throughout the
+//! paper, Section 2.1). This module computes connected components at both
+//! levels, the giant-component fraction, and BFS-based distance statistics
+//! (effective diameter), which are the global structural properties that
+//! Appendix C.1 of the paper correlates against h-motif significances.
+
+use crate::graph::{Hypergraph, NodeId};
+
+/// The partition of nodes (or hyperedges) into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `labels[x]` is the component index of item `x`; component indices are
+    /// dense in `0..num_components`.
+    labels: Vec<usize>,
+    /// Size of each component, indexed by component label.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component label of item `x`.
+    pub fn label(&self, x: usize) -> usize {
+        self.labels[x]
+    }
+
+    /// Sizes of all components, unsorted.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of the largest component.
+    pub fn giant_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of items belonging to the largest component.
+    pub fn giant_fraction(&self) -> f64 {
+        let total: usize = self.sizes.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.giant_size() as f64 / total as f64
+        }
+    }
+
+    /// Whether items `a` and `b` lie in the same component.
+    pub fn same_component(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+
+    /// The items of the largest component.
+    pub fn giant_members(&self) -> Vec<usize> {
+        let giant = self
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &s)| s)
+            .map(|(label, _)| label)
+            .unwrap_or(0);
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == giant)
+            .map(|(x, _)| x)
+            .collect()
+    }
+}
+
+/// A minimal union-find (disjoint-set) structure with path halving and
+/// union by size.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+
+    fn into_components(mut self) -> Components {
+        let n = self.parent.len();
+        let mut label_of_root = vec![usize::MAX; n];
+        let mut labels = vec![0usize; n];
+        let mut sizes = Vec::new();
+        for x in 0..n {
+            let root = self.find(x);
+            if label_of_root[root] == usize::MAX {
+                label_of_root[root] = sizes.len();
+                sizes.push(0);
+            }
+            labels[x] = label_of_root[root];
+            sizes[label_of_root[root]] += 1;
+        }
+        Components { labels, sizes }
+    }
+}
+
+/// Connected components over the *nodes* of the hypergraph: two nodes are in
+/// the same component iff they are joined by a chain of hyperedges.
+/// Degree-0 nodes each form their own singleton component.
+pub fn node_components(hypergraph: &Hypergraph) -> Components {
+    let mut uf = UnionFind::new(hypergraph.num_nodes());
+    for (_, members) in hypergraph.edges() {
+        let first = members[0] as usize;
+        for &v in &members[1..] {
+            uf.union(first, v as usize);
+        }
+    }
+    uf.into_components()
+}
+
+/// Connected components over the *hyperedges* of the hypergraph: two
+/// hyperedges are in the same component iff they are joined by a chain of
+/// pairwise-overlapping hyperedges. This is connectivity in the projected
+/// graph without materializing it.
+pub fn edge_components(hypergraph: &Hypergraph) -> Components {
+    let mut uf = UnionFind::new(hypergraph.num_edges());
+    // Within each node's incidence list, all hyperedges are mutually
+    // adjacent; unioning consecutive entries suffices.
+    for v in hypergraph.node_ids() {
+        let incident = hypergraph.edges_of_node(v);
+        for pair in incident.windows(2) {
+            uf.union(pair[0] as usize, pair[1] as usize);
+        }
+    }
+    uf.into_components()
+}
+
+/// Distance statistics of the node-level structure, computed by BFS over the
+/// "co-membership" adjacency (two nodes are adjacent iff some hyperedge
+/// contains both).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceStats {
+    /// Number of (ordered) reachable pairs sampled.
+    pub reachable_pairs: usize,
+    /// Mean shortest-path distance over sampled reachable pairs.
+    pub mean_distance: f64,
+    /// Maximum observed distance (a lower bound on the diameter).
+    pub max_distance: usize,
+    /// 90th-percentile distance (the "effective diameter").
+    pub effective_diameter: f64,
+}
+
+/// Estimates distance statistics by running full BFS from `sources.len()`
+/// chosen source nodes. Passing every node gives exact single-source
+/// distances from each node; passing a sample gives an estimate (the paper's
+/// related work, e.g. [33], uses the same sampling idea for tera-scale
+/// graphs).
+pub fn distance_stats(hypergraph: &Hypergraph, sources: &[NodeId]) -> DistanceStats {
+    let n = hypergraph.num_nodes();
+    let mut all_distances: Vec<usize> = Vec::new();
+    let mut visited = vec![u32::MAX; n];
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    for (run, &source) in sources.iter().enumerate() {
+        let run = run as u32;
+        if (source as usize) >= n {
+            continue;
+        }
+        visited[source as usize] = run;
+        let mut dist = vec![0usize; n];
+        queue.clear();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &e in hypergraph.edges_of_node(u) {
+                for &w in hypergraph.edge(e) {
+                    if visited[w as usize] != run {
+                        visited[w as usize] = run;
+                        dist[w as usize] = dist[u as usize] + 1;
+                        all_distances.push(dist[w as usize]);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+    if all_distances.is_empty() {
+        return DistanceStats {
+            reachable_pairs: 0,
+            mean_distance: 0.0,
+            max_distance: 0,
+            effective_diameter: 0.0,
+        };
+    }
+    all_distances.sort_unstable();
+    let reachable_pairs = all_distances.len();
+    let sum: usize = all_distances.iter().sum();
+    let p90_index = ((reachable_pairs as f64) * 0.9).ceil() as usize - 1;
+    DistanceStats {
+        reachable_pairs,
+        mean_distance: sum as f64 / reachable_pairs as f64,
+        max_distance: *all_distances.last().unwrap(),
+        effective_diameter: all_distances[p90_index.min(reachable_pairs - 1)] as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HypergraphBuilder;
+
+    fn two_islands() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([2u32, 3])
+            .with_edge([5u32, 6])
+            .with_edge([6u32, 7])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_components_finds_islands() {
+        let components = node_components(&two_islands());
+        // {0,1,2,3}, {5,6,7}, and the isolated node 4.
+        assert_eq!(components.count(), 3);
+        assert_eq!(components.giant_size(), 4);
+        assert!(components.same_component(0, 3));
+        assert!(components.same_component(5, 7));
+        assert!(!components.same_component(0, 5));
+        let sizes: usize = components.sizes().iter().sum();
+        assert_eq!(sizes, 8);
+    }
+
+    #[test]
+    fn edge_components_follow_overlaps() {
+        let components = edge_components(&two_islands());
+        assert_eq!(components.count(), 2);
+        assert!(components.same_component(0, 1));
+        assert!(components.same_component(2, 3));
+        assert!(!components.same_component(0, 2));
+        assert_eq!(components.giant_size(), 2);
+    }
+
+    #[test]
+    fn giant_fraction_and_members() {
+        let components = node_components(&two_islands());
+        assert!((components.giant_fraction() - 0.5).abs() < 1e-12);
+        let members = components.giant_members();
+        assert_eq!(members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn singleton_hypergraph_is_one_component() {
+        let h = HypergraphBuilder::new().with_edge([0u32, 1]).build().unwrap();
+        assert_eq!(node_components(&h).count(), 1);
+        assert_eq!(edge_components(&h).count(), 1);
+        assert_eq!(edge_components(&h).giant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        // Path of hyperedges: {0,1}, {1,2}, {2,3} — node distances 0..3.
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .with_edge([1u32, 2])
+            .with_edge([2u32, 3])
+            .build()
+            .unwrap();
+        let sources: Vec<NodeId> = (0..4).collect();
+        let stats = distance_stats(&h, &sources);
+        assert_eq!(stats.max_distance, 3);
+        // Ordered reachable pairs excluding self-pairs: 4*3 = 12.
+        assert_eq!(stats.reachable_pairs, 12);
+        // Sum of distances: 2*(1+2+3) + 2*(1+1+2) = 12 + 8 = 20.
+        assert!((stats.mean_distance - 20.0 / 12.0).abs() < 1e-12);
+        assert!(stats.effective_diameter >= 2.0);
+    }
+
+    #[test]
+    fn distances_with_no_sources_are_empty() {
+        let h = two_islands();
+        let stats = distance_stats(&h, &[]);
+        assert_eq!(stats.reachable_pairs, 0);
+        assert_eq!(stats.mean_distance, 0.0);
+    }
+
+    #[test]
+    fn distances_ignore_unreachable_islands() {
+        let h = two_islands();
+        let stats = distance_stats(&h, &[0]);
+        // From node 0 we reach 1, 2, 3 only.
+        assert_eq!(stats.reachable_pairs, 3);
+        assert_eq!(stats.max_distance, 2);
+    }
+}

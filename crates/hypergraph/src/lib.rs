@@ -1,0 +1,37 @@
+//! Hypergraph substrate for the MoCHy reproduction.
+//!
+//! A hypergraph `G = (V, E)` consists of a node set `V` and a set of
+//! hyperedges `E`, each of which is a non-empty subset of `V` (Section 2.1 of
+//! the paper). This crate provides:
+//!
+//! - [`Hypergraph`]: an immutable, cache-friendly CSR representation of a
+//!   hypergraph together with the node → hyperedge incidence index `E_v`.
+//! - [`HypergraphBuilder`]: a mutable builder that validates, sorts, and
+//!   deduplicates hyperedges.
+//! - [`io`]: plain-text readers/writers compatible with the format used by the
+//!   reference MoCHy implementation (one hyperedge per line).
+//! - [`stats`]: summary statistics used in Table 2 of the paper.
+//! - [`bipartite`]: the star expansion (bipartite incidence graph) `G'` used
+//!   by the null model and the network-motif baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod builder;
+pub mod components;
+pub mod distributions;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod transform;
+
+pub use bipartite::BipartiteGraph;
+pub use builder::HypergraphBuilder;
+pub use components::{edge_components, node_components, Components, DistanceStats};
+pub use distributions::EmpiricalDistribution;
+pub use error::HypergraphError;
+pub use graph::{EdgeId, Hypergraph, NodeId};
+pub use stats::HypergraphStats;
+pub use transform::{clique_expansion, dual, WeightedGraph};

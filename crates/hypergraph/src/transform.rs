@@ -1,0 +1,349 @@
+//! Structural transformations of hypergraphs.
+//!
+//! These are the standard constructions used throughout the paper's analysis
+//! pipeline and its related work: the *dual* hypergraph (nodes and hyperedges
+//! swap roles), the *clique expansion* (the weighted pairwise graph obtained
+//! by connecting every pair of nodes that co-occur in a hyperedge), induced
+//! sub-hypergraphs, and size/degree filters. They are not part of the MoCHy
+//! counting algorithms themselves but are needed by the network-motif
+//! baseline (Figure 6), the null-model diagnostics (Appendix D), and the
+//! global-property analysis (Appendix C.1).
+
+use crate::builder::HypergraphBuilder;
+use crate::error::HypergraphError;
+use crate::graph::{EdgeId, Hypergraph, NodeId};
+
+/// The dual hypergraph `G* = (E, V*)`: every hyperedge of `G` becomes a node
+/// of `G*`, and every node `v` of `G` with degree ≥ 1 becomes a hyperedge
+/// `E_v` of `G*` (the set of hyperedges of `G` that contain `v`).
+///
+/// Nodes of degree 0 produce no hyperedge (hyperedges must be non-empty).
+/// Returns an error only if the input has no incidences at all, which cannot
+/// happen for a validly constructed [`Hypergraph`].
+pub fn dual(hypergraph: &Hypergraph) -> Result<Hypergraph, HypergraphError> {
+    let mut builder = HypergraphBuilder::with_capacity(hypergraph.num_nodes());
+    for v in hypergraph.node_ids() {
+        let incident = hypergraph.edges_of_node(v);
+        if !incident.is_empty() {
+            builder.add_edge(incident.iter().copied());
+        }
+    }
+    builder.relabel_nodes(false).build()
+}
+
+/// A weighted undirected pairwise graph in adjacency-list form, as produced
+/// by [`clique_expansion`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    /// Number of vertices.
+    num_vertices: usize,
+    /// `adjacency[u]` lists `(v, w)` pairs with `v > u` is *not* guaranteed;
+    /// both directions are stored so that `adjacency[u]` is the full
+    /// neighbourhood of `u`, sorted by neighbour id.
+    adjacency: Vec<Vec<(u32, u32)>>,
+}
+
+impl WeightedGraph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The neighbourhood of `u` as `(neighbour, weight)` pairs, sorted by
+    /// neighbour id.
+    pub fn neighbors(&self, u: u32) -> &[(u32, u32)] {
+        &self.adjacency[u as usize]
+    }
+
+    /// Degree of vertex `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adjacency[u as usize].len()
+    }
+
+    /// The weight of edge `{u, v}`, or `None` if absent.
+    pub fn weight(&self, u: u32, v: u32) -> Option<u32> {
+        let row = &self.adjacency[u as usize];
+        row.binary_search_by_key(&v, |&(n, _)| n)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Total weight over undirected edges.
+    pub fn total_weight(&self) -> u64 {
+        self.adjacency
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, w)| w as u64))
+            .sum::<u64>()
+            / 2
+    }
+}
+
+/// The clique expansion of a hypergraph: vertices are the nodes of `G`, and
+/// `{u, v}` is an edge with weight equal to the number of hyperedges
+/// containing both `u` and `v` (co-occurrence count).
+///
+/// This is the graph that the paper argues is *insufficient* for capturing
+/// group structure (Section 1), and it is what conventional network-motif
+/// analysis operates on; we build it for the baseline comparison.
+pub fn clique_expansion(hypergraph: &Hypergraph) -> WeightedGraph {
+    let n = hypergraph.num_nodes();
+    let mut pair_counts: rustc_hash::FxHashMap<(NodeId, NodeId), u32> =
+        rustc_hash::FxHashMap::default();
+    for (_, members) in hypergraph.edges() {
+        for (a_index, &u) in members.iter().enumerate() {
+            for &v in &members[a_index + 1..] {
+                *pair_counts.entry((u, v)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut adjacency = vec![Vec::new(); n];
+    for (&(u, v), &w) in &pair_counts {
+        adjacency[u as usize].push((v, w));
+        adjacency[v as usize].push((u, w));
+    }
+    for row in &mut adjacency {
+        row.sort_unstable_by_key(|&(v, _)| v);
+    }
+    WeightedGraph {
+        num_vertices: n,
+        adjacency,
+    }
+}
+
+/// The sub-hypergraph induced by a set of nodes: every hyperedge is
+/// intersected with `keep`, and hyperedges that become empty are dropped.
+/// Node identifiers are preserved (not compacted).
+///
+/// Returns `None` if no hyperedge survives.
+pub fn induced_by_nodes(hypergraph: &Hypergraph, keep: &[NodeId]) -> Option<Hypergraph> {
+    let mut keep_mask = vec![false; hypergraph.num_nodes()];
+    for &v in keep {
+        if (v as usize) < keep_mask.len() {
+            keep_mask[v as usize] = true;
+        }
+    }
+    let mut builder = HypergraphBuilder::with_capacity(hypergraph.num_edges());
+    let mut any = false;
+    for (_, members) in hypergraph.edges() {
+        let filtered: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&v| keep_mask[v as usize])
+            .collect();
+        if !filtered.is_empty() {
+            builder.add_edge(filtered);
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    builder.relabel_nodes(false).build().ok()
+}
+
+/// The sub-hypergraph containing only the hyperedges with the given ids.
+/// Node identifiers are preserved. Returns `None` if `keep` selects nothing.
+pub fn induced_by_edges(hypergraph: &Hypergraph, keep: &[EdgeId]) -> Option<Hypergraph> {
+    let mut builder = HypergraphBuilder::with_capacity(keep.len());
+    let mut any = false;
+    for &e in keep {
+        if (e as usize) < hypergraph.num_edges() {
+            builder.add_edge(hypergraph.edge(e).iter().copied());
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    builder.relabel_nodes(false).build().ok()
+}
+
+/// Keeps only hyperedges whose size lies in `[min_size, max_size]`.
+/// Returns `None` if no hyperedge survives.
+pub fn filter_by_size(
+    hypergraph: &Hypergraph,
+    min_size: usize,
+    max_size: usize,
+) -> Option<Hypergraph> {
+    let keep: Vec<EdgeId> = hypergraph
+        .edge_ids()
+        .filter(|&e| {
+            let s = hypergraph.edge_size(e);
+            s >= min_size && s <= max_size
+        })
+        .collect();
+    induced_by_edges(hypergraph, &keep)
+}
+
+/// Concatenates the hyperedge lists of two hypergraphs over the same node
+/// universe (the result has `max(|V_a|, |V_b|)` nodes). Duplicate hyperedges
+/// are retained; deduplicate through a builder if needed.
+pub fn union(a: &Hypergraph, b: &Hypergraph) -> Hypergraph {
+    let mut builder = HypergraphBuilder::with_capacity(a.num_edges() + b.num_edges());
+    for (_, members) in a.edges() {
+        builder.add_edge(members.iter().copied());
+    }
+    for (_, members) in b.edges() {
+        builder.add_edge(members.iter().copied());
+    }
+    builder
+        .relabel_nodes(false)
+        .build()
+        .expect("union of non-empty hypergraphs is non-empty")
+}
+
+/// Compacts node identifiers so that only nodes with degree ≥ 1 remain and
+/// they are renumbered `0..n` in increasing order of their original id.
+/// Returns the compacted hypergraph and the mapping `new -> old`.
+pub fn compact_nodes(hypergraph: &Hypergraph) -> (Hypergraph, Vec<NodeId>) {
+    let mut mapping: Vec<NodeId> = hypergraph
+        .node_ids()
+        .filter(|&v| hypergraph.node_degree(v) > 0)
+        .collect();
+    mapping.sort_unstable();
+    let mut inverse = vec![u32::MAX; hypergraph.num_nodes()];
+    for (new, &old) in mapping.iter().enumerate() {
+        inverse[old as usize] = new as NodeId;
+    }
+    let mut builder = HypergraphBuilder::with_capacity(hypergraph.num_edges());
+    for (_, members) in hypergraph.edges() {
+        builder.add_edge(members.iter().map(|&v| inverse[v as usize]));
+    }
+    let compacted = builder
+        .relabel_nodes(false)
+        .build()
+        .expect("compaction preserves hyperedges");
+    (compacted, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2]) // e1 = {L, K, F}
+            .with_edge([0, 1, 3]) // e2 = {L, K, H}
+            .with_edge([0, 4, 5]) // e3 = {L, B, G}
+            .with_edge([2, 6, 7]) // e4 = {F, S, R}
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dual_swaps_roles() {
+        let h = figure2();
+        let d = dual(&h).unwrap();
+        // The dual has one node per hyperedge of h and one hyperedge per
+        // node of h with positive degree (all 8 nodes here).
+        assert_eq!(d.num_edges(), 8);
+        assert_eq!(d.num_nodes(), 4);
+        assert_eq!(d.num_incidences(), h.num_incidences());
+        // Node L (id 0) belongs to e1, e2, e3 -> the first dual hyperedge is {0,1,2}.
+        assert_eq!(d.edge(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn dual_of_dual_has_original_incidence_count() {
+        let h = figure2();
+        let dd = dual(&dual(&h).unwrap()).unwrap();
+        assert_eq!(dd.num_incidences(), h.num_incidences());
+        assert_eq!(dd.num_edges(), h.num_edges());
+    }
+
+    #[test]
+    fn clique_expansion_weights_are_cooccurrence_counts() {
+        let h = figure2();
+        let g = clique_expansion(&h);
+        assert_eq!(g.num_vertices(), 8);
+        // L and K co-occur in e1 and e2.
+        assert_eq!(g.weight(0, 1), Some(2));
+        assert_eq!(g.weight(1, 0), Some(2));
+        // L and F co-occur only in e1.
+        assert_eq!(g.weight(0, 2), Some(1));
+        // K and S never co-occur.
+        assert_eq!(g.weight(1, 6), None);
+        // Every 3-node hyperedge contributes 3 pairs; e1/e2 share one pair.
+        assert_eq!(g.num_edges(), 11);
+        assert_eq!(g.total_weight(), 12);
+    }
+
+    #[test]
+    fn clique_expansion_neighbors_are_sorted() {
+        let g = clique_expansion(&figure2());
+        for u in 0..g.num_vertices() as u32 {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0].0 < w[1].0));
+            assert_eq!(ns.len(), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn induced_by_nodes_drops_empty_edges() {
+        let h = figure2();
+        // Keep only the nodes of e4 plus K: e1/e2 reduce to {K} and {2}, e3 vanishes.
+        let sub = induced_by_nodes(&h, &[1, 2, 6, 7]).unwrap();
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.edge(2), &[2, 6, 7]);
+    }
+
+    #[test]
+    fn induced_by_nodes_empty_selection_is_none() {
+        let h = figure2();
+        assert!(induced_by_nodes(&h, &[]).is_none());
+    }
+
+    #[test]
+    fn induced_by_edges_selects_edges() {
+        let h = figure2();
+        let sub = induced_by_edges(&h, &[0, 3]).unwrap();
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edge(0), h.edge(0));
+        assert_eq!(sub.edge(1), h.edge(3));
+        assert!(induced_by_edges(&h, &[]).is_none());
+    }
+
+    #[test]
+    fn filter_by_size_keeps_matching_edges() {
+        let mut builder = HypergraphBuilder::new();
+        builder.add_edge([0u32, 1]);
+        builder.add_edge([0u32, 1, 2]);
+        builder.add_edge([0u32, 1, 2, 3]);
+        let h = builder.build().unwrap();
+        let filtered = filter_by_size(&h, 3, 3).unwrap();
+        assert_eq!(filtered.num_edges(), 1);
+        assert_eq!(filtered.edge(0).len(), 3);
+        assert!(filter_by_size(&h, 10, 20).is_none());
+    }
+
+    #[test]
+    fn union_concatenates_edges() {
+        let a = HypergraphBuilder::new().with_edge([0u32, 1]).build().unwrap();
+        let b = HypergraphBuilder::new().with_edge([1u32, 2]).build().unwrap();
+        let u = union(&a, &b);
+        assert_eq!(u.num_edges(), 2);
+        assert_eq!(u.num_nodes(), 3);
+    }
+
+    #[test]
+    fn compact_nodes_renumbers_densely() {
+        let h = HypergraphBuilder::new()
+            .with_edge([3u32, 9])
+            .with_edge([9u32, 20])
+            .relabel_nodes(false)
+            .build()
+            .unwrap();
+        let (compacted, mapping) = compact_nodes(&h);
+        assert_eq!(compacted.num_nodes(), 3);
+        assert_eq!(mapping, vec![3, 9, 20]);
+        assert_eq!(compacted.edge(0), &[0, 1]);
+        assert_eq!(compacted.edge(1), &[1, 2]);
+        // Degrees are preserved under the relabelling.
+        assert_eq!(compacted.node_degree(1), h.node_degree(9));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the hypergraph substrate.
+
+use mochy_hypergraph::{io, Hypergraph, HypergraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy producing a random small hypergraph as raw edge lists.
+fn raw_edges() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u32..40, 1..8),
+        1..30,
+    )
+}
+
+fn build(edges: &[Vec<u32>]) -> Hypergraph {
+    let mut builder = HypergraphBuilder::new();
+    for edge in edges {
+        builder.add_edge(edge.iter().copied());
+    }
+    builder.build().expect("non-empty hypergraph must build")
+}
+
+proptest! {
+    /// Node degrees always sum to the total number of incidences, and the
+    /// incidence index is the exact transpose of the edge lists.
+    #[test]
+    fn incidence_is_transpose(edges in raw_edges()) {
+        let h = build(&edges);
+        prop_assert_eq!(
+            h.node_degrees().iter().sum::<usize>(),
+            h.num_incidences()
+        );
+        for e in h.edge_ids() {
+            for &v in h.edge(e) {
+                prop_assert!(h.edges_of_node(v).contains(&e));
+            }
+        }
+        for v in h.node_ids() {
+            for &e in h.edges_of_node(v) {
+                prop_assert!(h.edge_contains(e, v));
+            }
+        }
+    }
+
+    /// Pairwise intersection sizes computed by the merge helper agree with a
+    /// naive set-based computation, and adjacency is symmetric.
+    #[test]
+    fn intersections_match_naive(edges in raw_edges()) {
+        let h = build(&edges);
+        let n = h.num_edges() as u32;
+        for i in 0..n.min(12) {
+            for j in 0..n.min(12) {
+                let naive = h
+                    .edge(i)
+                    .iter()
+                    .filter(|v| h.edge(j).contains(v))
+                    .count();
+                prop_assert_eq!(h.intersection_size(i, j), naive);
+                prop_assert_eq!(h.are_adjacent(i, j), naive > 0);
+                prop_assert_eq!(h.are_adjacent(i, j), h.are_adjacent(j, i));
+            }
+        }
+    }
+
+    /// Triple intersections agree with a naive computation.
+    #[test]
+    fn triple_intersections_match_naive(edges in raw_edges()) {
+        let h = build(&edges);
+        let n = h.num_edges() as u32;
+        let limit = n.min(8);
+        for i in 0..limit {
+            for j in 0..limit {
+                for k in 0..limit {
+                    let naive = h
+                        .edge(i)
+                        .iter()
+                        .filter(|v| h.edge(j).contains(v) && h.edge(k).contains(v))
+                        .count();
+                    prop_assert_eq!(h.triple_intersection_size(i, j, k), naive);
+                }
+            }
+        }
+    }
+
+    /// Writing to the text format and reading back yields the same hypergraph
+    /// (when duplicate hyperedges are not removed).
+    #[test]
+    fn io_round_trip(edges in raw_edges()) {
+        let h = build(&edges);
+        let mut buffer = Vec::new();
+        io::write_edge_list(&h, &mut buffer).unwrap();
+        let options = io::ReadOptions { dedup_hyperedges: false, relabel_nodes: false };
+        let restored = io::read_edge_list_with(std::io::Cursor::new(buffer), options).unwrap();
+        prop_assert_eq!(h.num_edges(), restored.num_edges());
+        for e in h.edge_ids() {
+            prop_assert_eq!(h.edge(e), restored.edge(e));
+        }
+    }
+
+    /// The star expansion preserves degrees and sizes exactly.
+    #[test]
+    fn star_expansion_degrees(edges in raw_edges()) {
+        let h = build(&edges);
+        let b = mochy_hypergraph::BipartiteGraph::from_hypergraph(&h);
+        prop_assert_eq!(b.num_incidences(), h.num_incidences());
+        for v in h.node_ids() {
+            prop_assert_eq!(b.left_degree(v), h.node_degree(v));
+        }
+        for e in h.edge_ids() {
+            prop_assert_eq!(b.right_degree(e), h.edge_size(e));
+        }
+    }
+}

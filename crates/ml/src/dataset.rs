@@ -1,0 +1,275 @@
+//! Feature matrices, train/test splitting and standardization.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled dataset: one feature row per example plus a 0/1 label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Feature rows; all rows have the same length.
+    pub features: Vec<Vec<f64>>,
+    /// Binary labels, aligned with `features`.
+    pub labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that rows and labels align.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<u8>) -> Self {
+        assert_eq!(features.len(), labels.len(), "rows and labels must align");
+        if let Some(first) = features.first() {
+            let width = first.len();
+            assert!(
+                features.iter().all(|row| row.len() == width),
+                "all feature rows must have the same width"
+            );
+        }
+        Self { features, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per example (0 for an empty dataset).
+    pub fn num_features(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Appends one example.
+    pub fn push(&mut self, row: Vec<f64>, label: u8) {
+        if !self.features.is_empty() {
+            assert_eq!(row.len(), self.num_features(), "row width mismatch");
+        }
+        self.features.push(row);
+        self.labels.push(label);
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(|&l| l as usize).sum::<usize>() as f64 / self.len() as f64
+    }
+
+    /// Keeps only the feature columns listed in `columns` (in that order).
+    /// Used to derive HM7 (the 7 highest-variance columns of HM26).
+    pub fn select_columns(&self, columns: &[usize]) -> Dataset {
+        let features = self
+            .features
+            .iter()
+            .map(|row| columns.iter().map(|&c| row[c]).collect())
+            .collect();
+        Dataset::new(features, self.labels.clone())
+    }
+
+    /// Indices of the `k` columns with the largest variance.
+    pub fn top_variance_columns(&self, k: usize) -> Vec<usize> {
+        let width = self.num_features();
+        let n = self.len().max(1) as f64;
+        let mut variances: Vec<(usize, f64)> = (0..width)
+            .map(|c| {
+                let mean: f64 = self.features.iter().map(|row| row[c]).sum::<f64>() / n;
+                let variance: f64 = self
+                    .features
+                    .iter()
+                    .map(|row| (row[c] - mean) * (row[c] - mean))
+                    .sum::<f64>()
+                    / n;
+                (c, variance)
+            })
+            .collect();
+        variances.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        variances.into_iter().take(k).map(|(c, _)| c).collect()
+    }
+}
+
+/// Splits a dataset into train and test portions after a seeded shuffle.
+/// `test_fraction` is clamped to `[0, 1]`.
+pub fn train_test_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(rng);
+    let test_size = ((dataset.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut train = Dataset::default();
+    let mut test = Dataset::default();
+    for (position, &index) in order.iter().enumerate() {
+        let row = dataset.features[index].clone();
+        let label = dataset.labels[index];
+        if position < test_size {
+            test.push(row, label);
+        } else {
+            train.push(row, label);
+        }
+    }
+    (train, test)
+}
+
+/// Per-column z-score standardizer fitted on training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on the rows of `dataset`.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let width = dataset.num_features();
+        let n = dataset.len().max(1) as f64;
+        let mut means = vec![0.0; width];
+        for row in &dataset.features {
+            for (m, v) in means.iter_mut().zip(row.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; width];
+        for row in &dataset.features {
+            for ((s, v), m) in stds.iter_mut().zip(row.iter()).zip(means.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant column: leave values centred at 0
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Transforms one feature row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((value, mean), std) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *value = (*value - mean) / std;
+        }
+    }
+
+    /// Returns a standardized copy of a dataset.
+    pub fn transform(&self, dataset: &Dataset) -> Dataset {
+        let features = dataset
+            .features
+            .iter()
+            .map(|row| {
+                let mut row = row.clone();
+                self.transform_row(&mut row);
+                row
+            })
+            .collect();
+        Dataset::new(features, dataset.labels.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![1.0, 10.0],
+                vec![2.0, 10.0],
+                vec![3.0, 10.0],
+                vec![4.0, 10.0],
+            ],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_features(), 2);
+        assert!(!d.is_empty());
+        assert!((d.positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_labels_rejected() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn split_partitions_all_examples() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, test) = train_test_split(&d, 0.25, &mut rng);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.num_features(), 2);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(&d, 0.0, &mut rng);
+        assert_eq!(train.len(), 4);
+        assert!(test.is_empty());
+        let (train, test) = train_test_split(&d, 1.0, &mut rng);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn standardizer_centres_and_scales() {
+        let d = toy();
+        let standardizer = Standardizer::fit(&d);
+        let transformed = standardizer.transform(&d);
+        let column: Vec<f64> = transformed.features.iter().map(|r| r[0]).collect();
+        let mean: f64 = column.iter().sum::<f64>() / column.len() as f64;
+        let var: f64 = column.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / column.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+        // Constant column stays finite (std forced to 1).
+        assert!(transformed.features.iter().all(|r| r[1].abs() < 1e-12));
+    }
+
+    #[test]
+    fn top_variance_and_selection() {
+        let d = Dataset::new(
+            vec![
+                vec![0.0, 5.0, 100.0],
+                vec![0.1, 5.0, -100.0],
+                vec![0.2, 5.0, 50.0],
+            ],
+            vec![0, 1, 0],
+        );
+        let top = d.top_variance_columns(2);
+        assert_eq!(top[0], 2);
+        assert_eq!(top.len(), 2);
+        let selected = d.select_columns(&top);
+        assert_eq!(selected.num_features(), 2);
+        assert_eq!(selected.features[0][0], 100.0);
+    }
+
+    #[test]
+    fn push_checks_width() {
+        let mut d = toy();
+        d.push(vec![5.0, 20.0], 1);
+        assert_eq!(d.len(), 5);
+    }
+}

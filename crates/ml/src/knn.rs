@@ -1,0 +1,114 @@
+//! k-nearest-neighbours classification with Euclidean distance.
+
+use crate::Classifier;
+
+/// k-NN classifier. Stores the training data and answers queries by scanning
+/// it (the prediction datasets in this repository are small).
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    k: usize,
+    points: Vec<Vec<f64>>,
+    labels: Vec<u8>,
+}
+
+impl KNearestNeighbors {
+    /// Creates an untrained classifier using the `k` nearest neighbours.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            points: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        assert_eq!(x.len(), y.len(), "rows and labels must align");
+        self.points = x.to_vec();
+        self.labels = y.to_vec();
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        if self.points.is_empty() {
+            return 0.5;
+        }
+        let mut distances: Vec<(f64, u8)> = self
+            .points
+            .iter()
+            .zip(self.labels.iter())
+            .map(|(p, &l)| (Self::squared_distance(p, features), l))
+            .collect();
+        let k = self.k.min(distances.len());
+        distances.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let positives = distances[..k].iter().filter(|&&(_, l)| l == 1).count();
+        positives as f64 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Vec<Vec<f64>>, Vec<u8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            x.push(vec![1.0 + (i % 5) as f64 * 0.01, 1.0]);
+            y.push(1);
+            x.push(vec![-1.0 - (i % 5) as f64 * 0.01, -1.0]);
+            y.push(0);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (x, y) = clusters();
+        let mut knn = KNearestNeighbors::new(5);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[1.0, 0.9]), 1);
+        assert_eq!(knn.predict(&[-1.0, -0.9]), 0);
+        assert_eq!(knn.predict_proba(&[1.0, 1.0]), 1.0);
+        assert_eq!(knn.predict_proba(&[-1.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut knn = KNearestNeighbors::new(50);
+        knn.fit(&x, &y);
+        // Both points are used → probability is the class prior.
+        assert!((knn.predict_proba(&[0.4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_reflects_neighbourhood_mix() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0]];
+        let y = vec![1, 1, 0, 0];
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y);
+        let p = knn.predict_proba(&[0.05]);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untrained_returns_half() {
+        let knn = KNearestNeighbors::new(3);
+        assert_eq!(knn.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn zero_k_is_promoted_to_one() {
+        let mut knn = KNearestNeighbors::new(0);
+        knn.fit(&[vec![0.0]], &[1]);
+        assert_eq!(knn.predict_proba(&[0.0]), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A deliberately small, dependency-free machine-learning toolkit.
+//!
+//! Section 4.4 / Table 4 of the paper evaluates hyperedge prediction with
+//! five off-the-shelf classifiers (logistic regression, random forest,
+//! decision tree, k-nearest-neighbours, MLP). scikit-learn is not available
+//! to this reproduction, so the five classifiers are implemented here from
+//! scratch, together with the two reported metrics (accuracy and AUC), a
+//! train/test split helper and feature standardization.
+//!
+//! The implementations favour clarity over raw speed; the prediction
+//! experiment operates on a few thousand examples with ≤ 26 features, well
+//! within their comfort zone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod logistic;
+pub mod metrics;
+pub mod mlp;
+pub mod tree;
+
+pub use dataset::{train_test_split, Dataset, Standardizer};
+pub use forest::RandomForest;
+pub use knn::KNearestNeighbors;
+pub use logistic::LogisticRegression;
+pub use metrics::{accuracy, area_under_roc};
+pub use mlp::MlpClassifier;
+pub use tree::DecisionTree;
+
+/// A binary classifier that produces a probability of the positive class.
+pub trait Classifier {
+    /// Fits the classifier on feature rows `x` and binary labels `y`
+    /// (0 or 1). Rows must all have the same length.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]);
+
+    /// Probability that `features` belongs to the positive class.
+    fn predict_proba(&self, features: &[f64]) -> f64;
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    fn predict(&self, features: &[f64]) -> u8 {
+        u8::from(self.predict_proba(features) >= 0.5)
+    }
+}
+
+/// The five classifier families of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// L2-regularized logistic regression trained by gradient descent.
+    LogisticRegression,
+    /// Bagged ensemble of decision trees with feature sub-sampling.
+    RandomForest,
+    /// Single CART decision tree (Gini impurity).
+    DecisionTree,
+    /// k-nearest-neighbours with Euclidean distance.
+    KNearestNeighbors,
+    /// One-hidden-layer multi-layer perceptron.
+    Mlp,
+}
+
+impl ClassifierKind {
+    /// All five kinds, in the row order of Table 4.
+    pub const ALL: [ClassifierKind; 5] = [
+        ClassifierKind::LogisticRegression,
+        ClassifierKind::RandomForest,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::KNearestNeighbors,
+        ClassifierKind::Mlp,
+    ];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassifierKind::LogisticRegression => "Logistic Regression",
+            ClassifierKind::RandomForest => "Random Forest",
+            ClassifierKind::DecisionTree => "Decision Tree",
+            ClassifierKind::KNearestNeighbors => "K-Nearest Neighbors",
+            ClassifierKind::Mlp => "MLP Classifier",
+        }
+    }
+
+    /// Instantiates the classifier with the default hyper-parameters used by
+    /// the Table 4 reproduction, seeded for determinism.
+    pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::LogisticRegression => {
+                Box::new(LogisticRegression::new(0.1, 300, 1e-4))
+            }
+            ClassifierKind::RandomForest => Box::new(RandomForest::new(40, 8, 4, seed)),
+            ClassifierKind::DecisionTree => Box::new(DecisionTree::new(8, 4)),
+            ClassifierKind::KNearestNeighbors => Box::new(KNearestNeighbors::new(15)),
+            ClassifierKind::Mlp => Box::new(MlpClassifier::new(32, 0.05, 200, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_unique_names() {
+        let names: std::collections::BTreeSet<_> =
+            ClassifierKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    /// Every classifier kind must learn a trivially separable problem.
+    #[test]
+    fn all_kinds_learn_a_separable_problem() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let value = i as f64 / 100.0 - 1.0; // [-1, 1)
+            x.push(vec![value, -value]);
+            y.push(u8::from(value > 0.0));
+        }
+        for kind in ClassifierKind::ALL {
+            let mut model = kind.build(7);
+            model.fit(&x, &y);
+            assert_eq!(model.predict(&[0.8, -0.8]), 1, "{}", kind.name());
+            assert_eq!(model.predict(&[-0.8, 0.8]), 0, "{}", kind.name());
+            let p_positive = model.predict_proba(&[0.9, -0.9]);
+            let p_negative = model.predict_proba(&[-0.9, 0.9]);
+            assert!(
+                p_positive > p_negative,
+                "{}: {p_positive} vs {p_negative}",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! L2-regularized logistic regression trained with full-batch gradient
+//! descent.
+
+use crate::Classifier;
+
+/// Logistic regression classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    learning_rate: f64,
+    epochs: usize,
+    l2: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with the given learning rate, number of
+    /// epochs and L2 penalty.
+    pub fn new(learning_rate: f64, epochs: usize, l2: f64) -> Self {
+        Self {
+            learning_rate,
+            epochs,
+            l2,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+
+    /// The learned weights (empty before fitting).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        assert_eq!(x.len(), y.len(), "rows and labels must align");
+        let n = x.len();
+        if n == 0 {
+            return;
+        }
+        let width = x[0].len();
+        self.weights = vec![0.0; width];
+        self.bias = 0.0;
+        let n_f = n as f64;
+        for _ in 0..self.epochs {
+            let mut gradient_w = vec![0.0; width];
+            let mut gradient_b = 0.0;
+            for (row, &label) in x.iter().zip(y.iter()) {
+                let z: f64 = self.bias
+                    + row
+                        .iter()
+                        .zip(self.weights.iter())
+                        .map(|(a, w)| a * w)
+                        .sum::<f64>();
+                let error = Self::sigmoid(z) - f64::from(label);
+                for (g, value) in gradient_w.iter_mut().zip(row.iter()) {
+                    *g += error * value;
+                }
+                gradient_b += error;
+            }
+            for (w, g) in self.weights.iter_mut().zip(gradient_w.iter()) {
+                *w -= self.learning_rate * (g / n_f + self.l2 * *w);
+            }
+            self.bias -= self.learning_rate * gradient_b / n_f;
+        }
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        if self.weights.is_empty() {
+            return 0.5;
+        }
+        let z: f64 = self.bias
+            + features
+                .iter()
+                .zip(self.weights.iter())
+                .map(|(a, w)| a * w)
+                .sum::<f64>();
+        Self::sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn separable() -> (Vec<Vec<f64>>, Vec<u8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let v = i as f64 / 50.0 - 1.0;
+            x.push(vec![v]);
+            y.push(u8::from(v > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let (x, y) = separable();
+        let mut model = LogisticRegression::new(0.5, 500, 0.0);
+        model.fit(&x, &y);
+        assert!(model.predict_proba(&[0.9]) > 0.9);
+        assert!(model.predict_proba(&[-0.9]) < 0.1);
+        let predictions: Vec<u8> = x.iter().map(|row| model.predict(row)).collect();
+        assert!(accuracy(&y, &predictions) > 0.95);
+        assert!(model.weights()[0] > 0.0);
+        assert!(model.bias().abs() < 2.0);
+    }
+
+    #[test]
+    fn untrained_model_is_uninformative() {
+        let model = LogisticRegression::new(0.1, 10, 0.0);
+        assert_eq!(model.predict_proba(&[1.0, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = separable();
+        let mut free = LogisticRegression::new(0.5, 300, 0.0);
+        free.fit(&x, &y);
+        let mut penalized = LogisticRegression::new(0.5, 300, 0.5);
+        penalized.fit(&x, &y);
+        assert!(penalized.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    fn empty_training_set_is_a_noop() {
+        let mut model = LogisticRegression::new(0.1, 10, 0.0);
+        model.fit(&[], &[]);
+        assert_eq!(model.predict_proba(&[3.0]), 0.5);
+    }
+}

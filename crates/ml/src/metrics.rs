@@ -1,0 +1,103 @@
+//! Classification metrics reported in Table 4: accuracy and AUC.
+
+/// Fraction of predictions matching the labels. Returns 0 for empty input.
+pub fn accuracy(labels: &[u8], predictions: &[u8]) -> f64 {
+    assert_eq!(labels.len(), predictions.len(), "length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .zip(predictions.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Area under the ROC curve, computed via the rank-sum (Mann–Whitney)
+/// formulation with average ranks for ties. Returns 0.5 when either class is
+/// absent (an undefined AUC).
+pub fn area_under_roc(labels: &[u8], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "length mismatch");
+    let positives = labels.iter().filter(|&&l| l == 1).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Rank the scores ascending, assigning average ranks to ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let average_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &index in &order[i..=j] {
+            ranks[index] = average_rank;
+        }
+        i = j + 1;
+    }
+    let positive_rank_sum: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(&l, _)| l == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    let p = positives as f64;
+    let n = negatives as f64;
+    (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1, 0], &[1, 0, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 0]);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0, 0, 1, 1];
+        assert!((area_under_roc(&labels, &[0.1, 0.2, 0.8, 0.9]) - 1.0).abs() < 1e-12);
+        assert!((area_under_roc(&labels, &[0.9, 0.8, 0.2, 0.1]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_scores_near_half() {
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1];
+        let scores = [0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+        assert!((area_under_roc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_uses_average_ranks() {
+        let labels = [0, 1, 1, 0];
+        let scores = [0.3, 0.3, 0.9, 0.1];
+        // Pairs: (pos 0.3 vs neg 0.3) → 0.5, (pos 0.3 vs neg 0.1) → 1,
+        //        (pos 0.9 vs neg 0.3) → 1, (pos 0.9 vs neg 0.1) → 1 ⇒ 3.5/4.
+        assert!((area_under_roc(&labels, &scores) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(area_under_roc(&[1, 1], &[0.2, 0.9]), 0.5);
+        assert_eq!(area_under_roc(&[0, 0], &[0.2, 0.9]), 0.5);
+    }
+}

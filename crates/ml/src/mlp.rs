@@ -1,0 +1,185 @@
+//! A one-hidden-layer multi-layer perceptron trained with mini-batch SGD.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+/// MLP classifier: `inputs → hidden (ReLU) → 1 (sigmoid)`.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    hidden_units: usize,
+    learning_rate: f64,
+    epochs: usize,
+    seed: u64,
+    // Parameters (empty before fit).
+    w1: Vec<Vec<f64>>, // hidden × input
+    b1: Vec<f64>,
+    w2: Vec<f64>, // hidden
+    b2: f64,
+}
+
+impl MlpClassifier {
+    /// Creates an untrained MLP.
+    pub fn new(hidden_units: usize, learning_rate: f64, epochs: usize, seed: u64) -> Self {
+        Self {
+            hidden_units: hidden_units.max(1),
+            learning_rate,
+            epochs,
+            seed,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: 0.0,
+        }
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    fn forward(&self, features: &[f64]) -> (Vec<f64>, f64) {
+        let hidden: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(self.b1.iter())
+            .map(|(weights, bias)| {
+                let z: f64 = bias
+                    + weights
+                        .iter()
+                        .zip(features.iter())
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>();
+                z.max(0.0) // ReLU
+            })
+            .collect();
+        let output = Self::sigmoid(
+            self.b2
+                + hidden
+                    .iter()
+                    .zip(self.w2.iter())
+                    .map(|(h, w)| h * w)
+                    .sum::<f64>(),
+        );
+        (hidden, output)
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        assert_eq!(x.len(), y.len(), "rows and labels must align");
+        if x.is_empty() {
+            return;
+        }
+        let inputs = x[0].len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scale = (2.0 / inputs.max(1) as f64).sqrt();
+        self.w1 = (0..self.hidden_units)
+            .map(|_| (0..inputs).map(|_| rng.gen_range(-scale..scale)).collect())
+            .collect();
+        self.b1 = vec![0.0; self.hidden_units];
+        self.w2 = (0..self.hidden_units)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        self.b2 = 0.0;
+
+        let n = x.len();
+        for _ in 0..self.epochs {
+            for _ in 0..n {
+                let index = rng.gen_range(0..n);
+                let features = &x[index];
+                let target = f64::from(y[index]);
+                let (hidden, output) = self.forward(features);
+                // Output layer gradient (cross-entropy with sigmoid).
+                let delta_output = output - target;
+                // Hidden layer gradients (ReLU derivative).
+                for h in 0..self.hidden_units {
+                    let grad_w2 = delta_output * hidden[h];
+                    let delta_hidden = if hidden[h] > 0.0 {
+                        delta_output * self.w2[h]
+                    } else {
+                        0.0
+                    };
+                    self.w2[h] -= self.learning_rate * grad_w2;
+                    if delta_hidden != 0.0 {
+                        for (w, &value) in self.w1[h].iter_mut().zip(features.iter()) {
+                            *w -= self.learning_rate * delta_hidden * value;
+                        }
+                        self.b1[h] -= self.learning_rate * delta_hidden;
+                    }
+                }
+                self.b2 -= self.learning_rate * delta_output;
+            }
+        }
+    }
+
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        if self.w1.is_empty() {
+            return 0.5;
+        }
+        self.forward(features).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<u8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let a = i as f64 / 11.0;
+                let b = j as f64 / 11.0;
+                x.push(vec![a, b]);
+                y.push(u8::from((a > 0.5) != (b > 0.5)));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut mlp = MlpClassifier::new(16, 0.1, 400, 3);
+        mlp.fit(&x, &y);
+        let predictions: Vec<u8> = x.iter().map(|row| mlp.predict(row)).collect();
+        assert!(
+            accuracy(&y, &predictions) > 0.9,
+            "accuracy {}",
+            accuracy(&y, &predictions)
+        );
+    }
+
+    #[test]
+    fn untrained_returns_half() {
+        let mlp = MlpClassifier::new(4, 0.1, 10, 0);
+        assert_eq!(mlp.predict_proba(&[0.2, 0.4]), 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let mut a = MlpClassifier::new(8, 0.1, 50, 11);
+        a.fit(&x, &y);
+        let mut b = MlpClassifier::new(8, 0.1, 50, 11);
+        b.fit(&x, &y);
+        for row in x.iter().take(10) {
+            assert_eq!(a.predict_proba(row), b.predict_proba(row));
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let (x, y) = xor_data();
+        let mut mlp = MlpClassifier::new(8, 0.2, 100, 5);
+        mlp.fit(&x, &y);
+        for row in &x {
+            let p = mlp.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

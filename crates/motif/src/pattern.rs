@@ -1,0 +1,395 @@
+//! The 7-bit emptiness pattern of three hyperedges and its symmetry group.
+
+use serde::{Deserialize, Serialize};
+
+/// Bit assigned to the region `e_a \ e_b \ e_c` (nodes only in the first
+/// hyperedge).
+pub const BIT_A_ONLY: u8 = 0;
+/// Bit assigned to the region `e_b \ e_a \ e_c`.
+pub const BIT_B_ONLY: u8 = 1;
+/// Bit assigned to the region `e_c \ e_a \ e_b`.
+pub const BIT_C_ONLY: u8 = 2;
+/// Bit assigned to the region `e_a ∩ e_b \ e_c`.
+pub const BIT_AB: u8 = 3;
+/// Bit assigned to the region `e_b ∩ e_c \ e_a`.
+pub const BIT_BC: u8 = 4;
+/// Bit assigned to the region `e_c ∩ e_a \ e_b`.
+pub const BIT_CA: u8 = 5;
+/// Bit assigned to the region `e_a ∩ e_b ∩ e_c`.
+pub const BIT_ABC: u8 = 6;
+
+/// The six permutations of three hyperedges. Entry `p` means "the new
+/// hyperedge in position `x` is the old hyperedge `p[x]`".
+pub const PERMUTATIONS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// A 7-bit pattern recording which of the seven Venn regions of three
+/// hyperedges are **non-empty** (bit set ⇔ region non-empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pattern(u8);
+
+impl Pattern {
+    /// Total number of distinct raw patterns (2⁷).
+    pub const NUM_RAW: usize = 128;
+
+    /// Creates a pattern from its raw 7-bit encoding.
+    ///
+    /// # Panics
+    /// Panics if bits above the seventh are set.
+    pub fn from_bits(bits: u8) -> Self {
+        assert!(bits < 128, "pattern uses only 7 bits, got {bits:#010b}");
+        Pattern(bits)
+    }
+
+    /// Creates a pattern from the emptiness of the seven regions, in the
+    /// order used throughout the paper:
+    /// `(a_only, b_only, c_only, ab, bc, ca, abc)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_regions(
+        a_only: bool,
+        b_only: bool,
+        c_only: bool,
+        ab: bool,
+        bc: bool,
+        ca: bool,
+        abc: bool,
+    ) -> Self {
+        let mut bits = 0u8;
+        if a_only {
+            bits |= 1 << BIT_A_ONLY;
+        }
+        if b_only {
+            bits |= 1 << BIT_B_ONLY;
+        }
+        if c_only {
+            bits |= 1 << BIT_C_ONLY;
+        }
+        if ab {
+            bits |= 1 << BIT_AB;
+        }
+        if bc {
+            bits |= 1 << BIT_BC;
+        }
+        if ca {
+            bits |= 1 << BIT_CA;
+        }
+        if abc {
+            bits |= 1 << BIT_ABC;
+        }
+        Pattern(bits)
+    }
+
+    /// The raw 7-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the region with bit index `bit` is non-empty.
+    #[inline]
+    pub fn region(self, bit: u8) -> bool {
+        (self.0 >> bit) & 1 == 1
+    }
+
+    /// Number of non-empty regions.
+    #[inline]
+    pub fn num_nonempty_regions(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether hyperedge in position `x ∈ {0,1,2}` is non-empty under this
+    /// pattern.
+    pub fn edge_nonempty(self, x: usize) -> bool {
+        let bits = match x {
+            0 => [BIT_A_ONLY, BIT_AB, BIT_CA, BIT_ABC],
+            1 => [BIT_B_ONLY, BIT_AB, BIT_BC, BIT_ABC],
+            2 => [BIT_C_ONLY, BIT_BC, BIT_CA, BIT_ABC],
+            _ => panic!("edge position must be 0, 1 or 2"),
+        };
+        bits.iter().any(|&b| self.region(b))
+    }
+
+    /// Whether hyperedges in positions `x` and `y` intersect under this
+    /// pattern.
+    pub fn pair_intersects(self, x: usize, y: usize) -> bool {
+        self.region(pair_bit(x, y)) || self.region(BIT_ABC)
+    }
+
+    /// Whether hyperedges in positions `x` and `y` are forced to be equal
+    /// (identical node sets) by this pattern.
+    pub fn pair_equal(self, x: usize, y: usize) -> bool {
+        let z = 3 - x - y;
+        // x \ y = (x only) ∪ (x ∩ z \ y); y \ x analogously.
+        let x_minus_y = self.region(only_bit(x)) || self.region(pair_bit(x, z));
+        let y_minus_x = self.region(only_bit(y)) || self.region(pair_bit(y, z));
+        !x_minus_y && !y_minus_x
+    }
+
+    /// Number of pairs of hyperedges that intersect (0–3).
+    pub fn num_adjacent_pairs(self) -> usize {
+        [(0, 1), (1, 2), (2, 0)]
+            .iter()
+            .filter(|&&(x, y)| self.pair_intersects(x, y))
+            .count()
+    }
+
+    /// Whether this pattern describes three **connected** hyperedges: at
+    /// least two of the three pairs intersect.
+    pub fn is_connected(self) -> bool {
+        self.num_adjacent_pairs() >= 2
+    }
+
+    /// Whether all three pairs intersect (the pattern is *closed*).
+    pub fn is_closed(self) -> bool {
+        self.num_adjacent_pairs() == 3
+    }
+
+    /// Whether the pattern is *open*: connected, but one pair is disjoint.
+    pub fn is_open(self) -> bool {
+        self.num_adjacent_pairs() == 2
+    }
+
+    /// Whether any two of the three hyperedges would necessarily be identical
+    /// sets (the "duplicated hyperedges" exclusion of Figure 4).
+    pub fn has_duplicate_edges(self) -> bool {
+        self.pair_equal(0, 1) || self.pair_equal(1, 2) || self.pair_equal(0, 2)
+    }
+
+    /// Whether the pattern is a valid h-motif representative: every hyperedge
+    /// non-empty, the triple connected, and no duplicated hyperedges.
+    pub fn is_valid(self) -> bool {
+        (0..3).all(|x| self.edge_nonempty(x)) && self.is_connected() && !self.has_duplicate_edges()
+    }
+
+    /// Applies a permutation of the three hyperedges: the result is the
+    /// pattern seen when the hyperedge in new position `x` is the old
+    /// hyperedge `permutation[x]`.
+    pub fn permute(self, permutation: [usize; 3]) -> Self {
+        let mut bits = 0u8;
+        for x in 0..3 {
+            if self.region(only_bit(permutation[x])) {
+                bits |= 1 << only_bit(x);
+            }
+        }
+        for &(x, y) in &[(0usize, 1usize), (1, 2), (2, 0)] {
+            if self.region(pair_bit(permutation[x], permutation[y])) {
+                bits |= 1 << pair_bit(x, y);
+            }
+        }
+        if self.region(BIT_ABC) {
+            bits |= 1 << BIT_ABC;
+        }
+        Pattern(bits)
+    }
+
+    /// The canonical representative of this pattern's orbit under the six
+    /// permutations: the minimum raw encoding.
+    pub fn canonical(self) -> Self {
+        PERMUTATIONS
+            .iter()
+            .map(|&p| self.permute(p))
+            .min()
+            .expect("non-empty permutation set")
+    }
+
+    /// Iterator over all 128 raw patterns.
+    pub fn all_raw() -> impl Iterator<Item = Pattern> {
+        (0u8..128).map(Pattern)
+    }
+
+    /// A compact human-readable rendering listing the non-empty regions, e.g.
+    /// `"{a, ab, abc}"`.
+    pub fn describe(self) -> String {
+        const NAMES: [&str; 7] = ["a", "b", "c", "ab", "bc", "ca", "abc"];
+        let mut parts = Vec::new();
+        for (bit, name) in NAMES.iter().enumerate() {
+            if self.region(bit as u8) {
+                parts.push(*name);
+            }
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// Bit index of the "private" region of the hyperedge in position `x`.
+#[inline]
+pub fn only_bit(x: usize) -> u8 {
+    match x {
+        0 => BIT_A_ONLY,
+        1 => BIT_B_ONLY,
+        2 => BIT_C_ONLY,
+        _ => panic!("edge position must be 0, 1 or 2"),
+    }
+}
+
+/// Bit index of the pairwise-only region of positions `x` and `y` (unordered).
+#[inline]
+pub fn pair_bit(x: usize, y: usize) -> u8 {
+    match (x.min(y), x.max(y)) {
+        (0, 1) => BIT_AB,
+        (1, 2) => BIT_BC,
+        (0, 2) => BIT_CA,
+        _ => panic!("invalid pair ({x}, {y})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_regions_matches_bits() {
+        let p = Pattern::from_regions(true, false, false, true, false, true, true);
+        assert_eq!(
+            p.bits(),
+            (1 << BIT_A_ONLY) | (1 << BIT_AB) | (1 << BIT_CA) | (1 << BIT_ABC)
+        );
+        assert!(p.region(BIT_A_ONLY));
+        assert!(!p.region(BIT_B_ONLY));
+        assert_eq!(p.num_nonempty_regions(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "7 bits")]
+    fn from_bits_rejects_overflow() {
+        let _ = Pattern::from_bits(200);
+    }
+
+    #[test]
+    fn edge_nonempty_logic() {
+        // Only the abc region is filled: every edge is non-empty.
+        let p = Pattern::from_regions(false, false, false, false, false, false, true);
+        assert!(p.edge_nonempty(0) && p.edge_nonempty(1) && p.edge_nonempty(2));
+        // Only a's private region: edges b and c are empty.
+        let p = Pattern::from_regions(true, false, false, false, false, false, false);
+        assert!(p.edge_nonempty(0));
+        assert!(!p.edge_nonempty(1));
+        assert!(!p.edge_nonempty(2));
+    }
+
+    #[test]
+    fn connectivity_and_closure() {
+        // All pairwise-only regions filled: closed.
+        let closed = Pattern::from_regions(false, false, false, true, true, true, false);
+        assert!(closed.is_closed());
+        assert!(closed.is_connected());
+        assert!(!closed.is_open());
+        // Only ab and ca intersect: open.
+        let open = Pattern::from_regions(true, true, true, true, false, true, false);
+        assert!(open.is_open());
+        assert!(open.is_connected());
+        // Only ab: b-c and c-a disjoint, c would be empty anyway: disconnected.
+        let disconnected = Pattern::from_regions(true, true, true, true, false, false, false);
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        // a and b both consist exactly of the shared ab ∪ abc content.
+        let p = Pattern::from_regions(false, false, true, true, false, false, true);
+        assert!(p.pair_equal(0, 1));
+        assert!(p.has_duplicate_edges());
+        assert!(!p.is_valid());
+        // Adding a private node to a breaks the equality.
+        let p = Pattern::from_regions(true, false, true, true, false, false, true);
+        assert!(!p.pair_equal(0, 1));
+    }
+
+    #[test]
+    fn permutation_identity_and_involution() {
+        for p in Pattern::all_raw() {
+            assert_eq!(p.permute([0, 1, 2]), p);
+            // Swapping twice is the identity.
+            assert_eq!(p.permute([1, 0, 2]).permute([1, 0, 2]), p);
+            assert_eq!(p.permute([0, 2, 1]).permute([0, 2, 1]), p);
+        }
+    }
+
+    #[test]
+    fn permutation_is_group_action() {
+        // (p ∘ q) applied = q applied then p applied.
+        let compose = |p: [usize; 3], q: [usize; 3]| [p[q[0]], p[q[1]], p[q[2]]];
+        for pattern in Pattern::all_raw() {
+            for &p in &PERMUTATIONS {
+                for &q in &PERMUTATIONS {
+                    assert_eq!(
+                        pattern.permute(compose(p, q)),
+                        pattern.permute(p).permute(q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_invariant_and_minimal() {
+        for pattern in Pattern::all_raw() {
+            let canonical = pattern.canonical();
+            for &p in &PERMUTATIONS {
+                assert_eq!(pattern.permute(p).canonical(), canonical);
+                assert!(canonical.bits() <= pattern.permute(p).bits());
+            }
+        }
+    }
+
+    #[test]
+    fn validity_is_permutation_invariant() {
+        for pattern in Pattern::all_raw() {
+            for &p in &PERMUTATIONS {
+                assert_eq!(pattern.is_valid(), pattern.permute(p).is_valid());
+                assert_eq!(pattern.is_closed(), pattern.permute(p).is_closed());
+                assert_eq!(pattern.is_open(), pattern.permute(p).is_open());
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_26_valid_equivalence_classes() {
+        let mut canonicals: Vec<u8> = Pattern::all_raw()
+            .filter(|p| p.is_valid())
+            .map(|p| p.canonical().bits())
+            .collect();
+        canonicals.sort_unstable();
+        canonicals.dedup();
+        assert_eq!(canonicals.len(), 26);
+    }
+
+    #[test]
+    fn open_and_closed_class_counts() {
+        let mut open = std::collections::BTreeSet::new();
+        let mut closed_with_core = std::collections::BTreeSet::new();
+        let mut closed_without_core = std::collections::BTreeSet::new();
+        for p in Pattern::all_raw().filter(|p| p.is_valid()) {
+            let c = p.canonical().bits();
+            if p.is_open() {
+                open.insert(c);
+            } else if p.region(BIT_ABC) {
+                closed_with_core.insert(c);
+            } else {
+                closed_without_core.insert(c);
+            }
+        }
+        assert_eq!(open.len(), 6);
+        assert_eq!(closed_with_core.len(), 16);
+        assert_eq!(closed_without_core.len(), 4);
+    }
+
+    #[test]
+    fn describe_lists_regions() {
+        let p = Pattern::from_regions(true, false, false, false, false, false, true);
+        assert_eq!(p.describe(), "{a, abc}");
+    }
+
+    #[test]
+    fn pair_bit_is_symmetric() {
+        assert_eq!(pair_bit(0, 1), pair_bit(1, 0));
+        assert_eq!(pair_bit(1, 2), pair_bit(2, 1));
+        assert_eq!(pair_bit(0, 2), pair_bit(2, 0));
+    }
+}

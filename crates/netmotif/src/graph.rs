@@ -1,0 +1,131 @@
+//! A minimal undirected simple-graph representation for graphlet counting.
+
+use mochy_hypergraph::BipartiteGraph;
+
+/// An undirected simple graph stored as sorted adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleGraph {
+    adjacency: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl SimpleGraph {
+    /// Builds a graph with `num_vertices` vertices from an edge list.
+    /// Self-loops are ignored; parallel edges are merged.
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adjacency = vec![Vec::new(); num_vertices];
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let num_edges = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
+        Self {
+            adjacency,
+            num_edges,
+        }
+    }
+
+    /// Builds a graph from pre-sorted adjacency lists (must be symmetric and
+    /// duplicate-free; checked in debug builds).
+    pub fn from_adjacency(adjacency: Vec<Vec<u32>>) -> Self {
+        debug_assert!(adjacency
+            .iter()
+            .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+        let num_edges = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
+        Self {
+            adjacency,
+            num_edges,
+        }
+    }
+
+    /// The star expansion of a hypergraph as a simple graph: vertices are
+    /// nodes followed by hyperedges, edges are incidences.
+    pub fn from_bipartite(bipartite: &BipartiteGraph) -> Self {
+        Self::from_adjacency(bipartite.as_simple_graph_adjacency())
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// Neighbours of `v`, sorted ascending.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn are_adjacent(&self, u: u32, v: u32) -> bool {
+        self.adjacency[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over the undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, list)| {
+            list.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u as u32, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn from_edges_merges_duplicates_and_drops_loops() {
+        let g = SimpleGraph::from_edges(4, &[(0, 1), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.are_adjacent(0, 1));
+        assert!(!g.are_adjacent(2, 2));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = SimpleGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(0, 3)));
+    }
+
+    #[test]
+    fn star_expansion_is_bipartite() {
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([1u32, 3])
+            .build()
+            .unwrap();
+        let bipartite = mochy_hypergraph::BipartiteGraph::from_hypergraph(&h);
+        let g = SimpleGraph::from_bipartite(&bipartite);
+        assert_eq!(g.num_vertices(), 6); // 4 nodes + 2 hyperedges
+        assert_eq!(g.num_edges(), 5); // five incidences
+        // Node-side vertices only connect to edge-side vertices.
+        for v in 0..4u32 {
+            for &n in g.neighbors(v) {
+                assert!(n >= 4);
+            }
+        }
+    }
+}

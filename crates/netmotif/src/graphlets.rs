@@ -1,0 +1,289 @@
+//! Exact counting of connected 3-node and 4-node (non-induced) subgraph
+//! patterns.
+//!
+//! On the bipartite star expansion, every pattern containing a triangle has
+//! count zero, so only wedges, 3-paths, claws and 4-cycles carry signal —
+//! precisely why network-motif profiles discriminate hypergraph domains worse
+//! than h-motif profiles (Figure 6 of the paper).
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SimpleGraph;
+
+/// Number of graphlet families counted by [`count_graphlets`].
+pub const NUM_GRAPHLETS: usize = 7;
+
+/// Counts of the connected 3-node and 4-node non-induced subgraph patterns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphletCounts {
+    /// Paths of length 2 (wedges).
+    pub wedges: u64,
+    /// Triangles.
+    pub triangles: u64,
+    /// Paths of length 3 (4 vertices, 3 edges).
+    pub paths3: u64,
+    /// Claws (stars with 3 leaves).
+    pub claws: u64,
+    /// Cycles of length 4.
+    pub cycles4: u64,
+    /// Paws (a triangle with a pendant edge).
+    pub paws: u64,
+    /// Diamonds (two triangles sharing an edge, i.e. K4 minus an edge).
+    pub diamonds: u64,
+}
+
+impl GraphletCounts {
+    /// The counts as a fixed-order vector (the order of the struct fields).
+    pub fn to_vector(&self) -> [f64; NUM_GRAPHLETS] {
+        [
+            self.wedges as f64,
+            self.triangles as f64,
+            self.paths3 as f64,
+            self.claws as f64,
+            self.cycles4 as f64,
+            self.paws as f64,
+            self.diamonds as f64,
+        ]
+    }
+
+    /// Element-wise mean of several count sets.
+    pub fn mean(counts: &[GraphletCounts]) -> [f64; NUM_GRAPHLETS] {
+        let mut mean = [0.0; NUM_GRAPHLETS];
+        if counts.is_empty() {
+            return mean;
+        }
+        for c in counts {
+            for (slot, value) in mean.iter_mut().zip(c.to_vector().iter()) {
+                *slot += value;
+            }
+        }
+        for slot in &mut mean {
+            *slot /= counts.len() as f64;
+        }
+        mean
+    }
+}
+
+/// Counts all graphlet families exactly.
+///
+/// Complexity is `O(Σ_v deg(v)²)` for the wedge-pair accumulation (4-cycles),
+/// plus `O(Σ_(u,v)∈E min(deg u, deg v))` for triangle enumeration; suitable
+/// for the experiment-scale graphs of this repository.
+pub fn count_graphlets(graph: &SimpleGraph) -> GraphletCounts {
+    let n = graph.num_vertices();
+    let mut counts = GraphletCounts::default();
+
+    // Wedges and claws from degrees.
+    for v in 0..n as u32 {
+        let d = graph.degree(v) as u64;
+        counts.wedges += d * d.saturating_sub(1) / 2;
+        if d >= 3 {
+            counts.claws += d * (d - 1) * (d - 2) / 6;
+        }
+    }
+
+    // Triangles (each counted once at its minimum vertex) and per-edge
+    // triangle counts for paws and diamonds.
+    let mut triangles_per_edge: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    let mut paws = 0u64;
+    for u in 0..n as u32 {
+        let neighbors = graph.neighbors(u);
+        for (a, &v) in neighbors.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            for &w in &neighbors[a + 1..] {
+                if w <= u || !graph.are_adjacent(v, w) {
+                    continue;
+                }
+                counts.triangles += 1;
+                // Pendant edges attachable to any of the three corners.
+                let du = graph.degree(u) as u64;
+                let dv = graph.degree(v) as u64;
+                let dw = graph.degree(w) as u64;
+                paws += (du - 2) + (dv - 2) + (dw - 2);
+                for &(x, y) in &[(u, v), (u, w), (v, w)] {
+                    *triangles_per_edge.entry((x.min(y), x.max(y))).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts.paws = paws;
+    counts.diamonds = triangles_per_edge
+        .values()
+        .map(|&t| t * t.saturating_sub(1) / 2)
+        .sum();
+
+    // Paths of length 3: Σ over edges (deg u − 1)(deg v − 1) − 3 · triangles.
+    let mut paths3 = 0i64;
+    for (u, v) in graph.edges() {
+        paths3 += (graph.degree(u) as i64 - 1) * (graph.degree(v) as i64 - 1);
+    }
+    paths3 -= 3 * counts.triangles as i64;
+    counts.paths3 = paths3.max(0) as u64;
+
+    // 4-cycles: every unordered pair of vertices at co-degree c contributes
+    // C(c, 2) cycles, and each cycle is counted at both of its diagonals.
+    let mut codegree: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    for centre in 0..n as u32 {
+        let neighbors = graph.neighbors(centre);
+        for (a, &x) in neighbors.iter().enumerate() {
+            for &y in &neighbors[a + 1..] {
+                *codegree.entry((x.min(y), x.max(y))).or_insert(0) += 1;
+            }
+        }
+    }
+    let paired: u64 = codegree.values().map(|&c| c * c.saturating_sub(1) / 2).sum();
+    counts.cycles4 = paired / 2;
+
+    counts
+}
+
+/// A normalized "characteristic profile" over graphlet counts, mirroring
+/// Eq. (1)–(2) of the paper but over the [`NUM_GRAPHLETS`] graphlet families:
+/// significance `(real − rand) / (real + rand + 1)` per family, then scaled to
+/// unit Euclidean norm.
+pub fn graphlet_profile(
+    real: &GraphletCounts,
+    randomized_mean: &[f64; NUM_GRAPHLETS],
+) -> [f64; NUM_GRAPHLETS] {
+    let real = real.to_vector();
+    let mut significance = [0.0; NUM_GRAPHLETS];
+    for i in 0..NUM_GRAPHLETS {
+        significance[i] = (real[i] - randomized_mean[i]) / (real[i] + randomized_mean[i] + 1.0);
+    }
+    let norm = significance.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for value in &mut significance {
+            *value /= norm;
+        }
+    }
+    significance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> SimpleGraph {
+        SimpleGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    fn square() -> SimpleGraph {
+        SimpleGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    fn k4() -> SimpleGraph {
+        SimpleGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    fn star4() -> SimpleGraph {
+        // One centre with 3 leaves.
+        SimpleGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])
+    }
+
+    fn path4() -> SimpleGraph {
+        SimpleGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let c = count_graphlets(&triangle());
+        assert_eq!(c.triangles, 1);
+        assert_eq!(c.wedges, 3);
+        assert_eq!(c.claws, 0);
+        assert_eq!(c.paths3, 0);
+        assert_eq!(c.cycles4, 0);
+        assert_eq!(c.paws, 0);
+        assert_eq!(c.diamonds, 0);
+    }
+
+    #[test]
+    fn square_counts() {
+        let c = count_graphlets(&square());
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.wedges, 4);
+        assert_eq!(c.cycles4, 1);
+        assert_eq!(c.paths3, 4);
+        assert_eq!(c.claws, 0);
+    }
+
+    #[test]
+    fn star_counts() {
+        let c = count_graphlets(&star4());
+        assert_eq!(c.wedges, 3);
+        assert_eq!(c.claws, 1);
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.paths3, 0);
+        assert_eq!(c.cycles4, 0);
+    }
+
+    #[test]
+    fn path_counts() {
+        let c = count_graphlets(&path4());
+        assert_eq!(c.wedges, 2);
+        assert_eq!(c.paths3, 1);
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.claws, 0);
+    }
+
+    #[test]
+    fn k4_counts() {
+        let c = count_graphlets(&k4());
+        assert_eq!(c.triangles, 4);
+        assert_eq!(c.wedges, 12);
+        // Non-induced counts: K4 contains 3 four-cycles and 6 diamonds... each
+        // pair of triangles shares an edge, and K4 has C(4,2)=6 edges each
+        // shared by exactly 2 triangles → 6 diamonds; 3 distinct 4-cycles.
+        assert_eq!(c.cycles4, 3);
+        assert_eq!(c.diamonds, 6);
+        assert_eq!(c.claws, 4);
+        // Each triangle has 3 corners each with one extra edge → 4 · 3 = 12 paws.
+        assert_eq!(c.paws, 12);
+        // Non-induced 3-paths in K4: 4!/2 orderings of 4 distinct vertices = 12,
+        // via the formula: Σ over 6 edges of (3−1)(3−1) = 24, minus 3·4 = 12.
+        assert_eq!(c.paths3, 12);
+    }
+
+    #[test]
+    fn bipartite_graphs_have_no_triangles() {
+        let g = SimpleGraph::from_edges(6, &[(0, 3), (0, 4), (1, 3), (1, 4), (2, 4), (2, 5)]);
+        let c = count_graphlets(&g);
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.paws, 0);
+        assert_eq!(c.diamonds, 0);
+        assert!(c.wedges > 0);
+        assert!(c.cycles4 > 0);
+    }
+
+    #[test]
+    fn empty_graph_counts_are_zero() {
+        let g = SimpleGraph::from_edges(5, &[]);
+        assert_eq!(count_graphlets(&g), GraphletCounts::default());
+    }
+
+    #[test]
+    fn vector_and_mean_helpers() {
+        let a = count_graphlets(&triangle());
+        let b = count_graphlets(&square());
+        let mean = GraphletCounts::mean(&[a, b]);
+        assert!((mean[0] - 3.5).abs() < 1e-12); // wedges (3 + 4) / 2
+        assert!((mean[1] - 0.5).abs() < 1e-12); // triangles
+        assert_eq!(GraphletCounts::mean(&[]), [0.0; NUM_GRAPHLETS]);
+        assert_eq!(a.to_vector()[1], 1.0);
+    }
+
+    #[test]
+    fn profile_is_normalized_and_bounded() {
+        let real = count_graphlets(&k4());
+        let randomized = GraphletCounts::mean(&[count_graphlets(&square())]);
+        let profile = graphlet_profile(&real, &randomized);
+        let norm: f64 = profile.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        assert!(profile.iter().all(|x| (-1.0..=1.0).contains(x)));
+        // Identical real and random counts give the all-zero profile.
+        let zero = graphlet_profile(&GraphletCounts::default(), &[0.0; NUM_GRAPHLETS]);
+        assert_eq!(zero, [0.0; NUM_GRAPHLETS]);
+    }
+}

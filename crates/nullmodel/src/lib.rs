@@ -1,0 +1,344 @@
+//! Null models: randomized hypergraphs for h-motif significance (Section 2.3).
+//!
+//! The paper compares h-motif counts in a real hypergraph against counts in
+//! randomized hypergraphs obtained by applying the Chung-Lu model to the
+//! bipartite node–hyperedge incidence graph, which preserves the node-degree
+//! distribution and the hyperedge-size distribution. This crate provides:
+//!
+//! - [`chung_lu_randomize`] — the Chung-Lu null model: every hyperedge keeps
+//!   its exact size; its members are re-drawn with probability proportional
+//!   to the original node degrees, so degrees are preserved in expectation.
+//! - [`configuration_randomize`] — a stub-matching configuration model that
+//!   preserves node degrees *exactly* up to collision resolution; used as an
+//!   ablation of the null-model choice.
+//! - [`randomize_many`] — convenience for producing the `k` independent
+//!   randomized references used when computing significances and CPs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod swap;
+
+pub use diagnostics::PreservationReport;
+pub use swap::{swap_randomize, swap_randomize_with, uniform_size_randomize, SwapStats};
+
+use mochy_hypergraph::{Hypergraph, HypergraphBuilder, NodeId};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Which null model to use when randomizing a hypergraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullModel {
+    /// Chung-Lu on the bipartite incidence graph (the paper's choice).
+    ChungLu,
+    /// Stub-matching configuration model with collision re-draws.
+    Configuration,
+    /// Bipartite double-edge swaps: preserves node degrees and hyperedge
+    /// sizes exactly (see [`swap::swap_randomize`]).
+    Swap,
+    /// Size-preserving uniform membership: destroys the degree distribution;
+    /// used only as an ablation baseline (see
+    /// [`swap::uniform_size_randomize`]).
+    UniformSize,
+}
+
+/// Randomizes a hypergraph with the Chung-Lu bipartite model.
+///
+/// Every hyperedge keeps its size; its members are drawn (without replacement
+/// within the hyperedge) with probability proportional to the node's degree
+/// in the original hypergraph. Nodes of degree 0 are never selected. The
+/// result therefore preserves the hyperedge-size distribution exactly and the
+/// node-degree distribution in expectation, the two properties the paper's
+/// randomization is designed to keep.
+pub fn chung_lu_randomize<R: Rng + ?Sized>(hypergraph: &Hypergraph, rng: &mut R) -> Hypergraph {
+    let degrees = hypergraph.node_degrees();
+    let weights: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    let distribution =
+        WeightedIndex::new(&weights).expect("hypergraph has at least one incidence");
+    let mut builder = HypergraphBuilder::with_capacity(hypergraph.num_edges());
+    let mut members: Vec<NodeId> = Vec::new();
+    for e in hypergraph.edge_ids() {
+        let size = hypergraph.edge_size(e);
+        members.clear();
+        // Rejection sampling keeps hyperedge sizes exact; hyperedge sizes are
+        // far smaller than |V| in all datasets of interest, so collisions are
+        // rare and this terminates quickly. A safety valve bounds the loop.
+        let mut attempts = 0usize;
+        while members.len() < size {
+            let candidate = distribution.sample(rng) as NodeId;
+            if !members.contains(&candidate) {
+                members.push(candidate);
+            }
+            attempts += 1;
+            if attempts > 100 * size + 1000 {
+                // Degenerate weight distribution (e.g. one node holds almost
+                // all degree): fall back to uniform sampling among unused ids.
+                let mut fallback: Vec<NodeId> = (0..hypergraph.num_nodes() as NodeId)
+                    .filter(|v| !members.contains(v))
+                    .collect();
+                fallback.shuffle(rng);
+                members.extend(fallback.into_iter().take(size - members.len()));
+                break;
+            }
+        }
+        builder.add_edge(members.iter().copied());
+    }
+    builder
+        .build()
+        .expect("randomized hypergraph has the same number of hyperedges")
+}
+
+/// Randomizes a hypergraph with a stub-matching configuration model: each
+/// node contributes as many stubs as its degree, the stubs are shuffled and
+/// dealt to hyperedges according to their original sizes; duplicate nodes
+/// within a hyperedge are resolved by swapping with random stubs elsewhere.
+pub fn configuration_randomize<R: Rng + ?Sized>(
+    hypergraph: &Hypergraph,
+    rng: &mut R,
+) -> Hypergraph {
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(hypergraph.num_incidences());
+    for v in hypergraph.node_ids() {
+        for _ in 0..hypergraph.node_degree(v) {
+            stubs.push(v);
+        }
+    }
+    stubs.shuffle(rng);
+
+    let sizes = hypergraph.edge_sizes();
+    let mut offsets = Vec::with_capacity(sizes.len() + 1);
+    offsets.push(0usize);
+    for s in &sizes {
+        offsets.push(offsets.last().unwrap() + s);
+    }
+
+    // Resolve within-hyperedge duplicates by swapping the offending stub with
+    // a uniformly random *later* stub (so already-resolved hyperedges are
+    // never disturbed), with bounded retries. Unresolvable duplicates (which
+    // only occur under extremely skewed degree sequences) are dropped by the
+    // builder's member deduplication.
+    for e in 0..sizes.len() {
+        let (start, end) = (offsets[e], offsets[e + 1]);
+        for pos in start..end {
+            let mut retries = 0usize;
+            while stubs[start..pos].contains(&stubs[pos])
+                && pos + 1 < stubs.len()
+                && retries < 500
+            {
+                let swap_with = rng.gen_range(pos + 1..stubs.len());
+                stubs.swap(pos, swap_with);
+                retries += 1;
+            }
+        }
+    }
+
+    let mut builder = HypergraphBuilder::with_capacity(sizes.len());
+    for e in 0..sizes.len() {
+        builder.add_edge(stubs[offsets[e]..offsets[e + 1]].iter().copied());
+    }
+    builder
+        .build()
+        .expect("configuration model preserves the number of hyperedges")
+}
+
+/// Produces `count` independent randomized hypergraphs with the requested
+/// null model, deterministically derived from `seed`.
+pub fn randomize_many(
+    hypergraph: &Hypergraph,
+    model: NullModel,
+    count: usize,
+    seed: u64,
+) -> Vec<Hypergraph> {
+    (0..count)
+        .map(|i| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            match model {
+                NullModel::ChungLu => chung_lu_randomize(hypergraph, &mut rng),
+                NullModel::Configuration => configuration_randomize(hypergraph, &mut rng),
+                NullModel::Swap => swap::swap_randomize(hypergraph, &mut rng),
+                NullModel::UniformSize => swap::uniform_size_randomize(hypergraph, &mut rng),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::stats::total_variation_distance;
+    use mochy_hypergraph::HypergraphStats;
+    use rand::rngs::StdRng;
+
+    fn skewed_hypergraph(seed: u64) -> Hypergraph {
+        // Power-law-ish degrees: node v has weight ∝ 1/(v+1).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = 60u32;
+        let weights: Vec<f64> = (0..nodes).map(|v| 1.0 / (v as f64 + 1.0)).collect();
+        let dist = WeightedIndex::new(&weights).unwrap();
+        let mut builder = HypergraphBuilder::new();
+        for _ in 0..300 {
+            let size = rng.gen_range(2..=6);
+            let mut members = Vec::new();
+            while members.len() < size {
+                let v = dist.sample(&mut rng) as NodeId;
+                if !members.contains(&v) {
+                    members.push(v);
+                }
+            }
+            builder.add_edge(members);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn chung_lu_preserves_sizes_exactly() {
+        let h = skewed_hypergraph(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let randomized = chung_lu_randomize(&h, &mut rng);
+        assert_eq!(randomized.num_edges(), h.num_edges());
+        assert_eq!(randomized.edge_sizes(), h.edge_sizes());
+    }
+
+    #[test]
+    fn configuration_preserves_sizes_approximately() {
+        // Stub matching preserves sizes up to the (rare) collisions that the
+        // bounded re-draws cannot resolve under extremely skewed degrees; the
+        // deviation must stay tiny.
+        let h = skewed_hypergraph(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let randomized = configuration_randomize(&h, &mut rng);
+        assert_eq!(randomized.num_edges(), h.num_edges());
+        let shrunk: usize = h
+            .edge_ids()
+            .filter(|&e| randomized.edge_size(e) < h.edge_size(e))
+            .count();
+        assert!(
+            shrunk <= h.num_edges() / 10,
+            "{shrunk} of {} hyperedges lost members",
+            h.num_edges()
+        );
+        let lost = h.num_incidences() - randomized.num_incidences();
+        assert!(lost <= h.num_incidences() / 20, "lost {lost} incidences");
+    }
+
+    #[test]
+    fn chung_lu_preserves_degree_structure() {
+        let h = skewed_hypergraph(3);
+        let original = HypergraphStats::compute(&h);
+        let randomized = randomize_many(&h, NullModel::ChungLu, 5, 77);
+        // Exact invariants: hyperedge count and total incidences.
+        for r in &randomized {
+            assert_eq!(r.num_edges(), h.num_edges());
+            assert_eq!(r.num_incidences(), h.num_incidences());
+        }
+        // Distributional similarity: the averaged degree histogram stays close
+        // (selection without replacement caps hub degrees, so the bound is
+        // deliberately loose for this very skewed input).
+        let mut combined = vec![0usize; 1];
+        for r in &randomized {
+            let stats = HypergraphStats::compute(r);
+            if stats.degree_histogram.len() > combined.len() {
+                combined.resize(stats.degree_histogram.len(), 0);
+            }
+            for (i, c) in stats.degree_histogram.iter().enumerate() {
+                combined[i] += c;
+            }
+        }
+        let tvd = total_variation_distance(&original.degree_histogram, &combined);
+        assert!(tvd < 0.5, "degree-distribution TVD too large: {tvd}");
+        // Rank preservation: originally-popular nodes remain the popular ones.
+        let mut by_degree: Vec<_> = h.node_ids().collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(h.node_degree(v)));
+        let randomized_degree = |nodes: &[u32]| -> f64 {
+            nodes
+                .iter()
+                .map(|&v| {
+                    randomized
+                        .iter()
+                        .map(|r| r.node_degree(v))
+                        .sum::<usize>() as f64
+                })
+                .sum::<f64>()
+                / nodes.len() as f64
+        };
+        let top = randomized_degree(&by_degree[..10]);
+        let bottom = randomized_degree(&by_degree[by_degree.len() - 10..]);
+        assert!(
+            top > 2.0 * bottom,
+            "hub nodes not preserved: top {top}, bottom {bottom}"
+        );
+    }
+
+    #[test]
+    fn configuration_degree_sequence_is_nearly_exact() {
+        let h = skewed_hypergraph(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let randomized = configuration_randomize(&h, &mut rng);
+        // Stub matching preserves each node's degree exactly, except for the
+        // rare collision-resolution swaps; allow a small discrepancy.
+        let mismatches: usize = h
+            .node_ids()
+            .filter(|&v| {
+                (h.node_degree(v) as i64 - randomized.node_degree(v) as i64).unsigned_abs() > 1
+            })
+            .count();
+        assert!(
+            mismatches <= h.num_nodes() / 10,
+            "too many degree mismatches: {mismatches}"
+        );
+    }
+
+    #[test]
+    fn randomization_actually_changes_structure() {
+        let h = skewed_hypergraph(6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let randomized = chung_lu_randomize(&h, &mut rng);
+        let identical = h
+            .edge_ids()
+            .filter(|&e| randomized.edge(e) == h.edge(e))
+            .count();
+        assert!(
+            identical < h.num_edges() / 2,
+            "randomization left {identical} hyperedges unchanged"
+        );
+    }
+
+    #[test]
+    fn randomize_many_is_deterministic_per_seed() {
+        let h = skewed_hypergraph(7);
+        let a = randomize_many(&h, NullModel::ChungLu, 3, 42);
+        let b = randomize_many(&h, NullModel::ChungLu, 3, 42);
+        assert_eq!(a, b);
+        let c = randomize_many(&h, NullModel::ChungLu, 3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn members_within_a_hyperedge_are_distinct() {
+        let h = skewed_hypergraph(8);
+        for model in [NullModel::ChungLu, NullModel::Configuration] {
+            for r in randomize_many(&h, model, 2, 11) {
+                for (_, members) in r.edges() {
+                    let mut unique = members.to_vec();
+                    unique.dedup();
+                    assert_eq!(unique.len(), members.len(), "duplicate member under {model:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_hypergraph_does_not_hang() {
+        // Two nodes, hyperedge of size 2: rejection sampling must still finish.
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .with_edge([0u32, 1])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let randomized = chung_lu_randomize(&h, &mut rng);
+        assert_eq!(randomized.edge_sizes(), vec![2, 2]);
+    }
+}

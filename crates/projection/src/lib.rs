@@ -1,0 +1,27 @@
+//! Hypergraph projection (Algorithm 1 of the paper).
+//!
+//! The *projected graph* `G¯ = (E, ∧, ω)` of a hypergraph `G = (V, E)` has the
+//! hyperedges of `G` as its vertices; two hyperedges are adjacent iff they
+//! share at least one node (such an unordered pair is a *hyperwedge*), and the
+//! weight `ω(∧_ij) = |e_i ∩ e_j|` records the overlap size. Every version of
+//! MoCHy consumes this structure.
+//!
+//! Three construction strategies are provided:
+//!
+//! - [`project`]: the sequential Algorithm 1.
+//! - [`project_parallel`]: the multi-threaded variant of Section 3.4 (each
+//!   thread projects an independent slice of hyperedges).
+//! - [`lazy::LazyProjection`]: the on-the-fly variant of Section 3.4, which
+//!   computes hyperedge neighbourhoods on demand and memoizes them within a
+//!   configurable budget, prioritized by degree / LRU / random (Figure 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lazy;
+pub mod projected;
+
+pub use lazy::{LazyProjection, MemoPolicy, MemoStats};
+pub use projected::{
+    compute_neighborhood, project, project_parallel, ProjectedGraph, WeightedNeighbor,
+};

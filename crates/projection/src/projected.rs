@@ -1,0 +1,280 @@
+//! Eager (sequential and parallel) construction of the projected graph.
+
+use mochy_hypergraph::{EdgeId, Hypergraph};
+use rustc_hash::FxHashMap;
+
+/// One entry of a hyperedge's neighbourhood in the projected graph: the
+/// adjacent hyperedge and the overlap size `ω(∧_ij) = |e_i ∩ e_j|`.
+pub type WeightedNeighbor = (EdgeId, u32);
+
+/// The projected graph `G¯ = (E, ∧, ω)` of a hypergraph (Section 2.1).
+///
+/// Adjacency is stored for both endpoints of every hyperwedge, with each
+/// neighbourhood sorted by neighbour identifier, so that hyperwedge weights
+/// can be looked up with a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectedGraph {
+    adjacency: Vec<Vec<WeightedNeighbor>>,
+    num_hyperwedges: usize,
+}
+
+impl ProjectedGraph {
+    /// Builds a projected graph from per-hyperedge neighbourhood lists.
+    /// Each list must be sorted by neighbour id; symmetric entries must agree.
+    pub(crate) fn from_adjacency(adjacency: Vec<Vec<WeightedNeighbor>>) -> Self {
+        let total_entries: usize = adjacency.iter().map(Vec::len).sum();
+        debug_assert_eq!(total_entries % 2, 0, "adjacency must be symmetric");
+        Self {
+            adjacency,
+            num_hyperwedges: total_entries / 2,
+        }
+    }
+
+    /// Number of vertices of the projected graph (= number of hyperedges).
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of hyperwedges `|∧|`.
+    pub fn num_hyperwedges(&self) -> usize {
+        self.num_hyperwedges
+    }
+
+    /// The neighbourhood `{(e_j, ω(∧_ij)) : e_j ∈ N_{e_i}}` of hyperedge `e`,
+    /// sorted by neighbour id.
+    #[inline]
+    pub fn neighbors(&self, e: EdgeId) -> &[WeightedNeighbor] {
+        &self.adjacency[e as usize]
+    }
+
+    /// The degree `|N_{e_i}|` of hyperedge `e` in the projected graph.
+    #[inline]
+    pub fn degree(&self, e: EdgeId) -> usize {
+        self.adjacency[e as usize].len()
+    }
+
+    /// The overlap `ω(∧_ij) = |e_i ∩ e_j|`, or `None` if the two hyperedges
+    /// are not adjacent.
+    pub fn weight(&self, i: EdgeId, j: EdgeId) -> Option<u32> {
+        let neighbors = self.neighbors(i);
+        neighbors
+            .binary_search_by_key(&j, |&(id, _)| id)
+            .ok()
+            .map(|pos| neighbors[pos].1)
+    }
+
+    /// Whether hyperedges `i` and `j` are adjacent (share at least one node).
+    #[inline]
+    pub fn are_adjacent(&self, i: EdgeId, j: EdgeId) -> bool {
+        self.weight(i, j).is_some()
+    }
+
+    /// Per-hyperedge degrees in the projected graph.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adjacency.iter().map(Vec::len).collect()
+    }
+
+    /// Iterator over every hyperwedge `(i, j)` with `i < j` and its weight.
+    pub fn hyperwedges(&self) -> impl Iterator<Item = (EdgeId, EdgeId, u32)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, neighbors)| {
+            neighbors
+                .iter()
+                .filter(move |&&(j, _)| (i as EdgeId) < j)
+                .map(move |&(j, w)| (i as EdgeId, j, w))
+        })
+    }
+
+    /// Total work term `Σ_{e_i} |e_i| · |N_{e_i}|²` appearing in the time
+    /// complexity of MoCHy (Theorems 1, 3, 5). Useful for experiment sizing.
+    pub fn mochy_work_estimate(&self, hypergraph: &Hypergraph) -> u128 {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .map(|(i, neighbors)| {
+                hypergraph.edge_size(i as EdgeId) as u128 * (neighbors.len() as u128).pow(2)
+            })
+            .sum()
+    }
+}
+
+/// Computes the neighbourhood of a single hyperedge in the projected graph:
+/// every hyperedge sharing at least one node with `e`, with overlap sizes,
+/// sorted by neighbour id. This is the work line 3–7 of Algorithm 1 performs
+/// for one hyperedge, and is also the unit of work of the lazy projection.
+pub fn compute_neighborhood(hypergraph: &Hypergraph, e: EdgeId) -> Vec<WeightedNeighbor> {
+    let mut overlaps: FxHashMap<EdgeId, u32> = FxHashMap::default();
+    for &v in hypergraph.edge(e) {
+        for &other in hypergraph.edges_of_node(v) {
+            if other != e {
+                *overlaps.entry(other).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut neighbors: Vec<WeightedNeighbor> = overlaps.into_iter().collect();
+    neighbors.sort_unstable_by_key(|&(id, _)| id);
+    neighbors
+}
+
+/// Algorithm 1: builds the projected graph sequentially.
+pub fn project(hypergraph: &Hypergraph) -> ProjectedGraph {
+    let adjacency: Vec<Vec<WeightedNeighbor>> = hypergraph
+        .edge_ids()
+        .map(|e| compute_neighborhood(hypergraph, e))
+        .collect();
+    ProjectedGraph::from_adjacency(adjacency)
+}
+
+/// Parallel variant of Algorithm 1 (Section 3.4): hyperedges are split into
+/// contiguous chunks, each processed by one thread.
+///
+/// `num_threads == 0` or `1` falls back to the sequential implementation.
+pub fn project_parallel(hypergraph: &Hypergraph, num_threads: usize) -> ProjectedGraph {
+    let n = hypergraph.num_edges();
+    if num_threads <= 1 || n < 2 {
+        return project(hypergraph);
+    }
+    let threads = num_threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut adjacency: Vec<Vec<WeightedNeighbor>> = vec![Vec::new(); n];
+
+    crossbeam::thread::scope(|scope| {
+        let mut remaining: &mut [Vec<WeightedNeighbor>] = &mut adjacency;
+        let mut start = 0usize;
+        let mut handles = Vec::new();
+        while !remaining.is_empty() {
+            let take = chunk.min(remaining.len());
+            let (head, tail) = remaining.split_at_mut(take);
+            remaining = tail;
+            let begin = start;
+            start += take;
+            handles.push(scope.spawn(move |_| {
+                for (offset, slot) in head.iter_mut().enumerate() {
+                    *slot = compute_neighborhood(hypergraph, (begin + offset) as EdgeId);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("projection worker panicked");
+        }
+    })
+    .expect("projection thread scope failed");
+
+    ProjectedGraph::from_adjacency(adjacency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::HypergraphBuilder;
+
+    /// Figure 2(b): e1={L,K,F}, e2={L,H,K}, e3={B,G,L}, e4={S,R,F}.
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure2_has_four_hyperwedges() {
+        let h = figure2();
+        let proj = project(&h);
+        assert_eq!(proj.num_edges(), 4);
+        // The paper lists exactly ∧12, ∧13, ∧23, ∧14.
+        assert_eq!(proj.num_hyperwedges(), 4);
+        assert_eq!(proj.weight(0, 1), Some(2)); // e1 ∩ e2 = {L, K}
+        assert_eq!(proj.weight(0, 2), Some(1)); // {L}
+        assert_eq!(proj.weight(1, 2), Some(1)); // {L}
+        assert_eq!(proj.weight(0, 3), Some(1)); // {F}
+        assert_eq!(proj.weight(1, 3), None);
+        assert_eq!(proj.weight(2, 3), None);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let proj = project(&figure2());
+        assert_eq!(proj.degree(0), 3);
+        assert_eq!(proj.degree(3), 1);
+        assert_eq!(proj.neighbors(0), &[(1, 2), (2, 1), (3, 1)]);
+        assert!(proj.are_adjacent(2, 0));
+        assert!(!proj.are_adjacent(2, 3));
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let proj = project(&figure2());
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(proj.weight(i, j), proj.weight(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn hyperwedge_iterator_matches_count() {
+        let proj = project(&figure2());
+        let wedges: Vec<_> = proj.hyperwedges().collect();
+        assert_eq!(wedges.len(), proj.num_hyperwedges());
+        assert!(wedges.contains(&(0, 1, 2)));
+        assert!(wedges.contains(&(0, 3, 1)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let h = figure2();
+        let sequential = project(&h);
+        for threads in [1, 2, 3, 4, 8] {
+            let parallel = project_parallel(&h, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn weights_match_intersections() {
+        let h = figure2();
+        let proj = project(&h);
+        for i in h.edge_ids() {
+            for &(j, w) in proj.neighbors(i) {
+                assert_eq!(w as usize, h.intersection_size(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_hyperedges_have_empty_neighborhoods() {
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .with_edge([2u32, 3])
+            .build()
+            .unwrap();
+        let proj = project(&h);
+        assert_eq!(proj.num_hyperwedges(), 0);
+        assert_eq!(proj.degree(0), 0);
+        assert_eq!(proj.degree(1), 0);
+    }
+
+    #[test]
+    fn work_estimate_counts_triples() {
+        let h = figure2();
+        let proj = project(&h);
+        // Σ |e_i| · |N_i|²  = 3·9 + 3·4 + 3·4 + 3·1 = 27 + 12 + 12 + 3 = 54.
+        assert_eq!(proj.mochy_work_estimate(&h), 54);
+    }
+
+    #[test]
+    fn duplicate_like_overlaps() {
+        // Two hyperedges with identical membership still form one hyperwedge
+        // with weight equal to their size.
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0u32, 1, 2])
+            .build()
+            .unwrap();
+        let proj = project(&h);
+        assert_eq!(proj.num_hyperwedges(), 1);
+        assert_eq!(proj.weight(0, 1), Some(3));
+    }
+}

@@ -1,0 +1,57 @@
+//! Approximate counting: compare MoCHy-E, MoCHy-A and MoCHy-A+ on the same
+//! hypergraph — the speed/accuracy trade-off of Figure 8 in miniature.
+//!
+//! Run with `cargo run --release --example approximate_counting`.
+
+use std::time::Instant;
+
+use mochy::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = GeneratorConfig::new(DomainKind::Tags, 800, 3000, 7);
+    let hypergraph = mochy::datagen::generate(&config);
+    let projected = project_parallel(&hypergraph, 4);
+    println!(
+        "dataset: |V| = {}, |E| = {}, |∧| = {}",
+        hypergraph.num_nodes(),
+        hypergraph.num_edges(),
+        projected.num_hyperwedges()
+    );
+
+    let start = Instant::now();
+    let exact = mochy_e_parallel(&hypergraph, &projected, 4);
+    println!(
+        "MoCHy-E   : {:>10.0} instances in {:>8.1} ms",
+        exact.total(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    for ratio in [0.05f64, 0.1, 0.25] {
+        let s = ((hypergraph.num_edges() as f64 * ratio) as usize).max(1);
+        let r = ((projected.num_hyperwedges() as f64 * ratio) as usize).max(1);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = Instant::now();
+        let estimate_a = mochy_a(&hypergraph, &projected, s, &mut rng);
+        let time_a = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = Instant::now();
+        let estimate_a_plus = mochy_a_plus(&hypergraph, &projected, r, &mut rng);
+        let time_a_plus = start.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "ratio {:>4.0}% | MoCHy-A : err {:.4} in {:>7.1} ms | MoCHy-A+: err {:.4} in {:>7.1} ms",
+            ratio * 100.0,
+            exact.relative_error(&estimate_a),
+            time_a,
+            exact.relative_error(&estimate_a_plus),
+            time_a_plus
+        );
+    }
+
+    println!("\nMoCHy-A+ typically reaches the same error noticeably faster than MoCHy-A,");
+    println!("matching the analysis in Section 3.3 of the paper.");
+}

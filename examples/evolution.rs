@@ -1,0 +1,35 @@
+//! Temporal evolution (Figure 7): track how the mix of open and closed
+//! h-motifs changes across yearly co-authorship snapshots.
+//!
+//! Run with `cargo run --release --example evolution`.
+
+use mochy::datagen::temporal::{temporal_coauthorship, TemporalConfig};
+use mochy::prelude::*;
+
+fn main() {
+    let snapshots = temporal_coauthorship(&TemporalConfig {
+        first_year: 1984,
+        num_years: 16,
+        num_authors: 800,
+        papers_first_year: 250,
+        papers_growth_per_year: 30,
+        seed: 1984,
+    });
+
+    let analysis = EvolutionAnalysis::from_snapshots(&snapshots);
+    println!("year  open-fraction  closed-fraction  total-instances");
+    for point in &analysis.points {
+        println!(
+            "{}        {:.3}            {:.3}        {:>10.0}",
+            point.year,
+            point.open_fraction,
+            point.closed_fraction,
+            point.counts.total()
+        );
+    }
+    println!(
+        "\nopen-fraction trend over the window: {:+.3}",
+        analysis.open_fraction_trend()
+    );
+    println!("A positive trend reproduces Figure 7(b): collaborations become less clustered.");
+}

@@ -1,0 +1,37 @@
+//! Hyperedge prediction (Table 4): classify real vs corrupted hyperedges
+//! using h-motif participation counts (HM26 / HM7) against the hand-crafted
+//! baseline features (HC).
+//!
+//! Run with `cargo run --release --example hyperedge_prediction`.
+
+use mochy::prelude::*;
+
+fn main() {
+    let config = GeneratorConfig::new(DomainKind::Coauthorship, 400, 900, 2016);
+    let hypergraph = mochy::datagen::generate(&config);
+    println!(
+        "dataset: |V| = {}, |E| = {}",
+        hypergraph.num_nodes(),
+        hypergraph.num_edges()
+    );
+
+    let outcome = mochy::analysis::prediction::run_prediction(
+        &hypergraph,
+        &PredictionConfig {
+            corruption_fraction: 0.5,
+            test_fraction: 0.25,
+            seed: 7,
+        },
+    );
+
+    println!("\n{}", outcome.to_table());
+    for feature_set in [FeatureSet::HM26, FeatureSet::HM7, FeatureSet::HC] {
+        println!(
+            "mean AUC with {:<5}: {:.3}",
+            feature_set.name(),
+            outcome.mean_auc(feature_set.name())
+        );
+    }
+    println!("\nAs in Table 4 of the paper, features derived from h-motifs (HM26, HM7)");
+    println!("should outperform the same number of hand-crafted baseline features (HC).");
+}

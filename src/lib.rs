@@ -1,0 +1,77 @@
+//! # mochy — Hypergraph Motifs in Rust
+//!
+//! A Rust reproduction of *"Hypergraph Motifs: Concepts, Algorithms, and
+//! Discoveries"* (Lee, Ko, Shin — VLDB 2020).
+//!
+//! This facade crate re-exports the public API of every crate in the
+//! workspace so downstream users can depend on a single crate:
+//!
+//! - [`hypergraph`] — hypergraph data structures, builders, IO, statistics.
+//! - [`motif`] — the 26 h-motifs: patterns, canonicalization, catalog.
+//! - [`projection`] — the projected graph (hyperwedges) and lazy projection.
+//! - [`core`] — the MoCHy counting algorithms (exact, sampling, parallel),
+//!   significance and characteristic profiles.
+//! - [`nullmodel`] — Chung-Lu randomization of hypergraphs.
+//! - [`datagen`] — synthetic domain-flavoured hypergraph generators.
+//! - [`netmotif`] — network-motif (graphlet) baseline counting.
+//! - [`ml`] — small from-scratch classifiers and metrics (Table 4).
+//! - [`analysis`] — end-to-end pipelines: CPs, similarity, evolution,
+//!   hyperedge prediction.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mochy::prelude::*;
+//!
+//! // Build a small hypergraph: 4 hyperedges over 8 nodes (Figure 2 of the paper).
+//! let h = HypergraphBuilder::new()
+//!     .with_edge([0u32, 1, 2])   // e1 = {L, K, F}
+//!     .with_edge([0, 3, 1])      // e2 = {L, H, K}
+//!     .with_edge([4, 5, 0])      // e3 = {B, G, L}
+//!     .with_edge([6, 7, 2])      // e4 = {S, R, F}
+//!     .build()
+//!     .unwrap();
+//!
+//! let proj = project(&h);
+//! let counts = mochy_e(&h, &proj);
+//! assert_eq!(counts.total(), 3.0); // {e1,e2,e3}, {e1,e2,e4}, {e1,e3,e4}
+//! ```
+
+pub use mochy_analysis as analysis;
+pub use mochy_core as core;
+pub use mochy_datagen as datagen;
+pub use mochy_hypergraph as hypergraph;
+pub use mochy_ml as ml;
+pub use mochy_motif as motif;
+pub use mochy_netmotif as netmotif;
+pub use mochy_nullmodel as nullmodel;
+pub use mochy_projection as projection;
+
+/// Commonly used items, importable with `use mochy::prelude::*`.
+pub mod prelude {
+    pub use mochy_analysis::{
+        domain::{DomainClassifier, DomainRule, LabelledProfile},
+        evolution::EvolutionAnalysis,
+        prediction::{FeatureSet, PredictionConfig},
+        profile::{CharacteristicProfile, ProfileEstimator},
+        similarity::SimilarityMatrix,
+    };
+    pub use mochy_core::{
+        adaptive::{mochy_a_plus_adaptive, AdaptiveConfig},
+        count::MotifCounts,
+        exact::{mochy_e, mochy_e_parallel},
+        general::mochy_e_general,
+        pairwise::{PairwiseCensus, PairwiseCollapse},
+        profile::{characteristic_profile, significance},
+        sample::{mochy_a, mochy_a_plus, mochy_a_plus_parallel, mochy_a_parallel},
+    };
+    pub use mochy_datagen::{DomainKind, GeneratorConfig};
+    pub use mochy_hypergraph::{
+        EmpiricalDistribution, Hypergraph, HypergraphBuilder, NodeId,
+    };
+    pub use mochy_motif::{
+        GeneralizedCatalog, HMotif, MotifCatalog, MotifClass, RegionCardinalities,
+    };
+    pub use mochy_nullmodel::{chung_lu_randomize, swap_randomize, PreservationReport};
+    pub use mochy_projection::{project, project_parallel, ProjectedGraph};
+}
