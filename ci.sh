@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints, build, tests, and a compile check of
+# the Criterion bench targets. Everything runs offline against the
+# vendored dependency stubs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> cargo bench --no-run (compile check for Criterion targets)"
+cargo bench --no-run
+
+echo "CI OK"

@@ -46,7 +46,10 @@ impl DomainClassifier {
     /// Panics if `references` is empty or the profiles have inconsistent
     /// lengths.
     pub fn new(references: Vec<LabelledProfile>, rule: DomainRule) -> Self {
-        assert!(!references.is_empty(), "need at least one reference profile");
+        assert!(
+            !references.is_empty(),
+            "need at least one reference profile"
+        );
         let len = references[0].profile.len();
         assert!(
             references.iter().all(|r| r.profile.len() == len),
@@ -57,11 +60,7 @@ impl DomainClassifier {
 
     /// The distinct domains known to the classifier, sorted.
     pub fn domains(&self) -> Vec<String> {
-        let mut domains: Vec<String> = self
-            .references
-            .iter()
-            .map(|r| r.domain.clone())
-            .collect();
+        let mut domains: Vec<String> = self.references.iter().map(|r| r.domain.clone()).collect();
         domains.sort();
         domains.dedup();
         domains

@@ -46,7 +46,11 @@ impl EvolutionAnalysis {
                     .map(|&id| fractions[(id - 1) as usize])
                     .sum();
                 let total = counts.total();
-                let closed_fraction = if total > 0.0 { 1.0 - open_fraction } else { 0.0 };
+                let closed_fraction = if total > 0.0 {
+                    1.0 - open_fraction
+                } else {
+                    0.0
+                };
                 EvolutionPoint {
                     year: snapshot.year,
                     counts,

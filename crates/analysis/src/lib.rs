@@ -23,6 +23,8 @@ pub mod similarity;
 
 pub use domain::{leave_one_out, DomainClassifier, DomainRule, LabelledProfile, LeaveOneOutReport};
 pub use evolution::{EvolutionAnalysis, EvolutionPoint};
-pub use prediction::{run_prediction, FeatureSet, PredictionConfig, PredictionOutcome, PredictionRow};
+pub use prediction::{
+    run_prediction, FeatureSet, PredictionConfig, PredictionOutcome, PredictionRow,
+};
 pub use profile::{CharacteristicProfile, CountingMethod, ProfileEstimator};
 pub use similarity::SimilarityMatrix;

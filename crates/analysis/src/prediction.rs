@@ -128,7 +128,10 @@ impl PredictionOutcome {
         };
         for classifier in &classifiers {
             for (metric, pick) in [
-                ("ACC", Box::new(|r: &PredictionRow| r.accuracy) as Box<dyn Fn(&PredictionRow) -> f64>),
+                (
+                    "ACC",
+                    Box::new(|r: &PredictionRow| r.accuracy) as Box<dyn Fn(&PredictionRow) -> f64>,
+                ),
                 ("AUC", Box::new(|r: &PredictionRow| r.auc)),
             ] {
                 out.push_str(classifier);
@@ -205,8 +208,10 @@ pub fn build_datasets(hypergraph: &Hypergraph, config: &PredictionConfig) -> [Da
     let hc_features: Vec<Vec<f64>> = candidates
         .iter()
         .map(|members| {
-            let member_degrees: Vec<f64> =
-                members.iter().map(|&v| degrees[v as usize] as f64).collect();
+            let member_degrees: Vec<f64> = members
+                .iter()
+                .map(|&v| degrees[v as usize] as f64)
+                .collect();
             let member_neighbors: Vec<f64> = members
                 .iter()
                 .map(|&v| neighbor_counts[v as usize] as f64)

@@ -1,15 +1,13 @@
 //! Characteristic-profile estimation against randomized references.
 
 use mochy_core::count::MotifCounts;
+use mochy_core::engine::{CountConfig, CountReport, Method};
 use mochy_core::profile::{
-    characteristic_profile, pearson_correlation, relative_counts, significance,
-    SignificanceOptions,
+    characteristic_profile, pearson_correlation, relative_counts, significance, SignificanceOptions,
 };
-use mochy_core::{mochy_a, mochy_a_plus, mochy_a_plus_parallel, mochy_e, mochy_e_parallel};
 use mochy_hypergraph::Hypergraph;
 use mochy_motif::NUM_MOTIFS;
 use mochy_nullmodel::{chung_lu_randomize, NullModel};
-use mochy_projection::{project, project_parallel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -80,37 +78,25 @@ impl Default for ProfileEstimator {
 impl ProfileEstimator {
     /// Counts h-motif instances in one hypergraph with the configured method.
     pub fn count(&self, hypergraph: &Hypergraph) -> MotifCounts {
-        let projected = if self.threads > 1 {
-            project_parallel(hypergraph, self.threads)
-        } else {
-            project(hypergraph)
+        self.count_report(hypergraph).counts
+    }
+
+    /// Counts through the [`mochy_core::engine::MotifEngine`], returning the
+    /// full report (samples drawn, projection mode, elapsed time).
+    pub fn count_report(&self, hypergraph: &Hypergraph) -> CountReport {
+        let method = match self.method {
+            CountingMethod::Exact => Method::Exact,
+            CountingMethod::SampleEdges(samples) => Method::EdgeSample { samples },
+            CountingMethod::SampleWedges(samples) => Method::WedgeSample { samples },
+            // The engine sizes the sample from the projection it builds
+            // anyway, so the ratio parameterization costs no extra pass.
+            CountingMethod::SampleWedgeRatio(ratio) => Method::WedgeSampleRatio { ratio },
         };
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x9E37));
-        match self.method {
-            CountingMethod::Exact => {
-                if self.threads > 1 {
-                    mochy_e_parallel(hypergraph, &projected, self.threads)
-                } else {
-                    mochy_e(hypergraph, &projected)
-                }
-            }
-            CountingMethod::SampleEdges(s) => mochy_a(hypergraph, &projected, s, &mut rng),
-            CountingMethod::SampleWedges(r) => {
-                if self.threads > 1 {
-                    mochy_a_plus_parallel(hypergraph, &projected, r, self.threads, self.seed)
-                } else {
-                    mochy_a_plus(hypergraph, &projected, r, &mut rng)
-                }
-            }
-            CountingMethod::SampleWedgeRatio(ratio) => {
-                let r = ((projected.num_hyperwedges() as f64 * ratio).ceil() as usize).max(1);
-                if self.threads > 1 {
-                    mochy_a_plus_parallel(hypergraph, &projected, r, self.threads, self.seed)
-                } else {
-                    mochy_a_plus(hypergraph, &projected, r, &mut rng)
-                }
-            }
-        }
+        CountConfig::new(method)
+            .threads(self.threads)
+            .seed(self.seed.wrapping_add(0x9E37))
+            .build()
+            .count(hypergraph)
     }
 
     /// Estimates the characteristic profile of `hypergraph`.
@@ -194,7 +180,9 @@ mod tests {
         let contact_b = estimator.estimate(&dataset(DomainKind::Contact, 4));
         let coauth = estimator.estimate(&dataset(DomainKind::Coauthorship, 5));
         let within = contact_a.correlation(&contact_b);
-        let across = contact_a.correlation(&coauth).max(contact_b.correlation(&coauth));
+        let across = contact_a
+            .correlation(&coauth)
+            .max(contact_b.correlation(&coauth));
         assert!(
             within > across,
             "within-domain correlation {within} not larger than across-domain {across}"

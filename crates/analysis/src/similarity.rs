@@ -17,11 +17,7 @@ pub struct SimilarityMatrix {
 impl SimilarityMatrix {
     /// Builds the correlation matrix of `profiles`; `names` and `groups`
     /// (domain labels) must be aligned with the profile vectors.
-    pub fn from_profiles(
-        names: &[String],
-        groups: &[String],
-        profiles: &[Vec<f64>],
-    ) -> Self {
+    pub fn from_profiles(names: &[String], groups: &[String], profiles: &[Vec<f64>]) -> Self {
         assert_eq!(names.len(), profiles.len(), "names/profiles mismatch");
         assert_eq!(groups.len(), profiles.len(), "groups/profiles mismatch");
         let n = profiles.len();

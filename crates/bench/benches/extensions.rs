@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mochy_bench::bench_datasets;
-use mochy_core::adaptive::{mochy_a_plus_adaptive, AdaptiveConfig};
+use mochy_core::adaptive::AdaptiveConfig;
+use mochy_core::engine::CountConfig;
 use mochy_core::general::mochy_e_general;
 use mochy_core::pairwise::PairwiseCensus;
 use mochy_motif::GeneralizedCatalog;
@@ -54,18 +55,15 @@ fn bench_extensions(c: &mut Criterion) {
 
     group.bench_function(format!("adaptive_a_plus/{name}"), |b| {
         b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(5);
-            mochy_a_plus_adaptive(
-                &hypergraph,
-                &projected,
-                AdaptiveConfig {
-                    batch_size: 2_000,
-                    min_batches: 3,
-                    max_batches: 8,
-                    target_relative_error: 0.05,
-                },
-                &mut rng,
-            )
+            CountConfig::adaptive(AdaptiveConfig {
+                batch_size: 2_000,
+                min_batches: 3,
+                max_batches: 8,
+                target_relative_error: 0.05,
+            })
+            .seed(5)
+            .build()
+            .count(&hypergraph)
         })
     });
 

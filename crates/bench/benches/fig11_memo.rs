@@ -1,11 +1,12 @@
 //! Figure 11: on-the-fly MoCHy-A+ under memoization budgets and policies.
+//!
+//! Runs through the `MotifEngine` with `Method::OnTheFly`, which never
+//! materializes the projected graph.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mochy_bench::threads_dataset;
-use mochy_core::onthefly::{mochy_a_plus_onthefly, OnTheFlyConfig};
+use mochy_core::engine::CountConfig;
 use mochy_projection::{project, MemoPolicy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_fig11(c: &mut Criterion) {
     let hypergraph = threads_dataset();
@@ -18,21 +19,19 @@ fn bench_fig11(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for budget_fraction in [0.0f64, 0.01, 0.1, 1.0] {
         let budget = (total_entries as f64 * budget_fraction) as usize;
-        for policy in [MemoPolicy::HighestDegree, MemoPolicy::Lru, MemoPolicy::Random] {
+        for policy in [
+            MemoPolicy::HighestDegree,
+            MemoPolicy::Lru,
+            MemoPolicy::Random,
+        ] {
             group.bench_function(
                 format!("budget{:.0}pct/{policy:?}", budget_fraction * 100.0),
                 |b| {
                     b.iter(|| {
-                        let mut rng = StdRng::seed_from_u64(11);
-                        mochy_a_plus_onthefly(
-                            &hypergraph,
-                            OnTheFlyConfig {
-                                num_samples,
-                                budget_entries: budget,
-                                policy,
-                            },
-                            &mut rng,
-                        )
+                        CountConfig::on_the_fly(num_samples, budget, policy)
+                            .seed(11)
+                            .build()
+                            .count(&hypergraph)
                     })
                 },
             );

@@ -1,11 +1,14 @@
 //! Figure 8: MoCHy-E vs MoCHy-A vs MoCHy-A+ at fixed sampling ratios.
+//!
+//! All three algorithms run through the `MotifEngine`, so every timing is
+//! end-to-end (projection + counting) — the same cost a caller of the
+//! public API pays. Kernel-only timings (precomputed projection) live in
+//! `table3_counting`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mochy_bench::bench_datasets;
-use mochy_core::{mochy_a, mochy_a_plus, mochy_e};
+use mochy_core::engine::{CountConfig, Method};
 use mochy_projection::project;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_fig8(c: &mut Criterion) {
     let datasets = bench_datasets();
@@ -14,25 +17,28 @@ fn bench_fig8(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
     for (name, hypergraph) in &datasets {
-        let projected = project(hypergraph);
         let num_edges = hypergraph.num_edges();
-        let num_wedges = projected.num_hyperwedges();
+        let num_wedges = project(hypergraph).num_hyperwedges();
         group.bench_function(format!("mochy_e/{name}"), |b| {
-            b.iter(|| mochy_e(hypergraph, &projected))
+            b.iter(|| CountConfig::exact().build().count(hypergraph))
         });
         for ratio in [0.05f64, 0.25] {
             let s = ((num_edges as f64 * ratio) as usize).max(1);
             let r = ((num_wedges as f64 * ratio) as usize).max(1);
             group.bench_function(format!("mochy_a/{name}/ratio{ratio}"), |b| {
                 b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(8);
-                    mochy_a(hypergraph, &projected, s, &mut rng)
+                    CountConfig::new(Method::EdgeSample { samples: s })
+                        .seed(8)
+                        .build()
+                        .count(hypergraph)
                 })
             });
             group.bench_function(format!("mochy_a_plus/{name}/ratio{ratio}"), |b| {
                 b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(8);
-                    mochy_a_plus(hypergraph, &projected, r, &mut rng)
+                    CountConfig::new(Method::WedgeSample { samples: r })
+                        .seed(8)
+                        .build()
+                        .count(hypergraph)
                 })
             });
         }

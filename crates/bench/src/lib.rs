@@ -27,7 +27,12 @@ pub fn bench_datasets() -> Vec<(&'static str, Hypergraph)> {
     vec![
         (
             "coauth",
-            generate(&GeneratorConfig::new(DomainKind::Coauthorship, 600, 1200, 11)),
+            generate(&GeneratorConfig::new(
+                DomainKind::Coauthorship,
+                600,
+                1200,
+                11,
+            )),
         ),
         (
             "contact",

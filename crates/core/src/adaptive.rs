@@ -15,7 +15,7 @@ use mochy_projection::ProjectedGraph;
 use rand::Rng;
 
 use crate::count::MotifCounts;
-use crate::sample::mochy_a_plus;
+use crate::sample::mochy_a_plus_impl;
 
 /// Configuration of the adaptive estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,7 +92,22 @@ impl AdaptiveOutcome {
 /// Runs MoCHy-A+ in batches until the relative standard error of the total
 /// count estimate drops below `config.target_relative_error` (or
 /// `config.max_batches` is reached).
+/// Prefer [`crate::engine::MotifEngine`] with [`crate::engine::Method::Adaptive`],
+/// which owns RNG construction from a seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a MotifEngine with Method::Adaptive instead; seeds replace RNG values"
+)]
 pub fn mochy_a_plus_adaptive<R: Rng + ?Sized>(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    config: AdaptiveConfig,
+    rng: &mut R,
+) -> AdaptiveOutcome {
+    mochy_a_plus_adaptive_impl(hypergraph, projected, config, rng)
+}
+
+pub(crate) fn mochy_a_plus_adaptive_impl<R: Rng + ?Sized>(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
     config: AdaptiveConfig,
@@ -103,7 +118,7 @@ pub fn mochy_a_plus_adaptive<R: Rng + ?Sized>(
     let mut converged = false;
 
     while batch_estimates.len() < config.max_batches {
-        let batch = mochy_a_plus(hypergraph, projected, config.batch_size, rng);
+        let batch = mochy_a_plus_impl(hypergraph, projected, config.batch_size, rng);
         batch_estimates.push(batch);
         if batch_estimates.len() < config.min_batches {
             continue;
@@ -135,7 +150,7 @@ fn per_motif_standard_errors(batches: &[MotifCounts]) -> [f64; NUM_MOTIFS] {
         return out;
     }
     let mean = MotifCounts::mean(batches);
-    for index in 0..NUM_MOTIFS {
+    for (index, slot) in out.iter_mut().enumerate() {
         let id = (index + 1) as MotifId;
         let center = mean.get(id);
         let variance: f64 = batches
@@ -146,7 +161,7 @@ fn per_motif_standard_errors(batches: &[MotifCounts]) -> [f64; NUM_MOTIFS] {
             })
             .sum::<f64>()
             / (n as f64 - 1.0);
-        out[index] = (variance / n as f64).sqrt();
+        *slot = (variance / n as f64).sqrt();
     }
     out
 }
@@ -168,6 +183,10 @@ fn total_relative_standard_error(batches: &[MotifCounts]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // The tests exercise the paper-numbered wrappers on purpose: they are
+    // the citable algorithm entry points the engine builds on.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::exact::mochy_e;
     use mochy_hypergraph::{HypergraphBuilder, NodeId};
@@ -247,8 +266,7 @@ mod tests {
             max_batches: 5,
             target_relative_error: 0.0, // unreachable -> always hits the cap
         };
-        let outcome =
-            mochy_a_plus_adaptive(&h, &projected, config, &mut StdRng::seed_from_u64(11));
+        let outcome = mochy_a_plus_adaptive(&h, &projected, config, &mut StdRng::seed_from_u64(11));
         assert_eq!(outcome.batches, 5);
         assert!(!outcome.converged);
     }
@@ -264,15 +282,17 @@ mod tests {
             max_batches: 6,
             target_relative_error: 0.0,
         };
-        let outcome =
-            mochy_a_plus_adaptive(&h, &projected, config, &mut StdRng::seed_from_u64(21));
+        let outcome = mochy_a_plus_adaptive(&h, &projected, config, &mut StdRng::seed_from_u64(21));
         // With z = 3 the normal interval should cover the exact value for the
         // overwhelming majority of motifs (small-sample noise allows a few
         // misses among the 26).
         let covered = (1..=NUM_MOTIFS as MotifId)
             .filter(|&id| outcome.covers(id, exact.get(id), 3.0))
             .count();
-        assert!(covered >= 22, "only {covered} of 26 intervals covered the exact count");
+        assert!(
+            covered >= 22,
+            "only {covered} of 26 intervals covered the exact count"
+        );
         // Intervals are well-formed.
         for id in 1..=NUM_MOTIFS as MotifId {
             let (low, high) = outcome.confidence_interval(id, 1.96);
@@ -291,8 +311,7 @@ mod tests {
             max_batches: 0,
             target_relative_error: -1.0,
         };
-        let outcome =
-            mochy_a_plus_adaptive(&h, &projected, config, &mut StdRng::seed_from_u64(31));
+        let outcome = mochy_a_plus_adaptive(&h, &projected, config, &mut StdRng::seed_from_u64(31));
         assert!(outcome.batches >= 2);
         assert!(outcome.samples >= outcome.batches);
     }

@@ -17,6 +17,7 @@ use mochy_projection::ProjectedGraph;
 /// `w_ij`, `w_jk`, `w_ik` are the pairwise intersection sizes; pass 0 for
 /// non-adjacent pairs. The triple intersection is computed from the
 /// hypergraph in `O(min(|e_i|, |e_j|, |e_k|))` time, exactly as in Lemma 2.
+#[allow(clippy::too_many_arguments)]
 pub fn classify_triple_with_weights(
     hypergraph: &Hypergraph,
     catalog: &MotifCatalog,

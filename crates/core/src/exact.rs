@@ -39,10 +39,10 @@ pub fn mochy_e_parallel(
         return mochy_e(hypergraph, projected);
     }
     let threads = num_threads.min(n);
-    let partials: Vec<MotifCounts> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<MotifCounts> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let catalog = MotifCatalog::new();
                 let mut local = MotifCounts::zero();
                 let mut i = t;
@@ -63,8 +63,7 @@ pub fn mochy_e_parallel(
             .into_iter()
             .map(|h| h.join().expect("MoCHy-E worker panicked"))
             .collect()
-    })
-    .expect("MoCHy-E thread scope failed");
+    });
 
     let mut counts = MotifCounts::zero();
     for partial in &partials {
@@ -179,7 +178,12 @@ mod tests {
             .unwrap()
     }
 
-    pub(crate) fn random_hypergraph(seed: u64, nodes: u32, edges: usize, max_size: usize) -> Hypergraph {
+    pub(crate) fn random_hypergraph(
+        seed: u64,
+        nodes: u32,
+        edges: usize,
+        max_size: usize,
+    ) -> Hypergraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut builder = HypergraphBuilder::new();
         for _ in 0..edges {

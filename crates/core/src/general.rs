@@ -324,7 +324,12 @@ mod tests {
             );
             // The multisets of per-motif counts must also agree (labels may
             // be permuted between the two catalogs).
-            let mut a: Vec<u64> = general.as_slice().iter().copied().filter(|&c| c > 0).collect();
+            let mut a: Vec<u64> = general
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|&c| c > 0)
+                .collect();
             let mut b: Vec<u64> = classic
                 .as_slice()
                 .iter()

@@ -1,6 +1,23 @@
 //! MoCHy — Motif Counting in Hypergraphs.
 //!
-//! This crate implements the algorithmic contribution of the paper:
+//! The primary entry point is the [`engine`] module: build a
+//! [`CountConfig`] choosing a [`Method`] (exact, edge-sampled,
+//! wedge-sampled, adaptive, or on-the-fly), and run
+//! [`MotifEngine::count`] to obtain a [`CountReport`] — counts plus
+//! estimator metadata (samples drawn, standard errors, elapsed time,
+//! projection mode). Switching algorithms changes only the configuration,
+//! never the call site:
+//!
+//! | Paper algorithm | [`engine::Method`] variant |
+//! |---|---|
+//! | Algorithm 2 (MoCHy-E, exact; parallel per Section 3.4) | `Method::Exact` |
+//! | Algorithm 4 (MoCHy-A, hyperedge sampling) | `Method::EdgeSample` |
+//! | Algorithm 5 (MoCHy-A+, hyperwedge sampling) | `Method::WedgeSample` |
+//! | Algorithm 5 + batched stopping rule | `Method::Adaptive` |
+//! | Section 3.4 on-the-fly projection | `Method::OnTheFly` |
+//!
+//! The paper-numbered algorithms remain available as free functions so
+//! they stay individually citable:
 //!
 //! - [`exact::mochy_e`] — Algorithm 2, exact counting of every h-motif's
 //!   instances; [`exact::mochy_e_enumerate`] — Algorithm 3, instance
@@ -28,6 +45,7 @@
 pub mod adaptive;
 pub mod classify;
 pub mod count;
+pub mod engine;
 pub mod exact;
 pub mod general;
 pub mod onthefly;
@@ -37,13 +55,20 @@ pub mod profile;
 pub mod sample;
 pub mod variance;
 
-pub use adaptive::{mochy_a_plus_adaptive, AdaptiveConfig, AdaptiveOutcome};
 pub use classify::classify_triple;
 pub use count::MotifCounts;
+pub use engine::{CountConfig, CountReport, Method, MotifEngine, ProjectionMode};
 pub use exact::{mochy_e, mochy_e_enumerate, mochy_e_parallel, mochy_e_per_edge};
 pub use general::{enumerate_connected_sets, mochy_e_general, GeneralCounts};
-pub use onthefly::mochy_a_plus_onthefly;
 pub use pairwise::{PairRelation, PairwiseCensus, PairwiseCollapse, PairwisePattern};
 pub use pernode::{mochy_e_per_node, node_participation_totals};
 pub use profile::{characteristic_profile, significance, SignificanceOptions};
-pub use sample::{mochy_a, mochy_a_parallel, mochy_a_plus, mochy_a_plus_parallel};
+pub use sample::{mochy_a_parallel, mochy_a_plus_parallel};
+
+#[allow(deprecated)]
+pub use adaptive::mochy_a_plus_adaptive;
+pub use adaptive::{AdaptiveConfig, AdaptiveOutcome};
+#[allow(deprecated)]
+pub use onthefly::mochy_a_plus_onthefly;
+#[allow(deprecated)]
+pub use sample::{mochy_a, mochy_a_plus};

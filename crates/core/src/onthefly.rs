@@ -47,7 +47,21 @@ pub struct OnTheFlyOutcome {
 /// per-sample neighbourhood look-ups then go through a [`LazyProjection`]
 /// with the configured budget and policy. Estimates are identical in
 /// distribution to [`crate::sample::mochy_a_plus`].
+/// Prefer [`crate::engine::MotifEngine`] with [`crate::engine::Method::OnTheFly`],
+/// which owns RNG construction from a seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a MotifEngine with Method::OnTheFly instead; seeds replace RNG values"
+)]
 pub fn mochy_a_plus_onthefly<R: Rng + ?Sized>(
+    hypergraph: &Hypergraph,
+    config: OnTheFlyConfig,
+    rng: &mut R,
+) -> OnTheFlyOutcome {
+    mochy_a_plus_onthefly_impl(hypergraph, config, rng)
+}
+
+pub(crate) fn mochy_a_plus_onthefly_impl<R: Rng + ?Sized>(
     hypergraph: &Hypergraph,
     config: OnTheFlyConfig,
     rng: &mut R,
@@ -111,6 +125,10 @@ pub fn mochy_a_plus_onthefly<R: Rng + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    // The tests exercise the paper-numbered wrappers on purpose: they are
+    // the citable algorithm entry points the engine builds on.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::exact::mochy_e;
     use mochy_hypergraph::HypergraphBuilder;

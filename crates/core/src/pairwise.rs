@@ -162,7 +162,11 @@ impl PairwiseCollapse {
     /// The size of the largest class (the paper: twelve h-motifs share one
     /// pairwise pattern).
     pub fn largest_class(&self) -> usize {
-        self.classes.iter().map(|(_, ids)| ids.len()).max().unwrap_or(0)
+        self.classes
+            .iter()
+            .map(|(_, ids)| ids.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The number of h-motifs that share their pairwise pattern with at least

@@ -145,11 +145,7 @@ mod tests {
     fn characteristic_profile_has_unit_norm() {
         let real = counts(&[(1, 100.0), (2, 50.0), (22, 1000.0)]);
         let random = counts(&[(1, 10.0), (2, 500.0), (22, 900.0)]);
-        let cp = characteristic_profile_from_counts(
-            &real,
-            &random,
-            SignificanceOptions::default(),
-        );
+        let cp = characteristic_profile_from_counts(&real, &random, SignificanceOptions::default());
         let norm: f64 = cp.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!((norm - 1.0).abs() < 1e-12);
         assert!(cp.iter().all(|x| (-1.0..=1.0).contains(x)));

@@ -17,7 +17,22 @@ use crate::count::MotifCounts;
 /// MoCHy-A (Algorithm 4): samples `s` hyperedges uniformly at random with
 /// replacement, counts the h-motif instances containing each sample, and
 /// rescales by `|E| / (3s)` to obtain unbiased estimates of every `M[t]`.
+/// Prefer [`crate::engine::MotifEngine`] with [`crate::engine::Method::EdgeSample`],
+/// which owns RNG construction from a seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a MotifEngine with Method::EdgeSample instead; seeds replace RNG values"
+)]
 pub fn mochy_a<R: Rng + ?Sized>(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    num_samples: usize,
+    rng: &mut R,
+) -> MotifCounts {
+    mochy_a_impl(hypergraph, projected, num_samples, rng)
+}
+
+pub(crate) fn mochy_a_impl<R: Rng + ?Sized>(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
     num_samples: usize,
@@ -52,14 +67,14 @@ pub fn mochy_a_parallel(
     }
     if num_threads <= 1 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        return mochy_a(hypergraph, projected, num_samples, &mut rng);
+        return mochy_a_impl(hypergraph, projected, num_samples, &mut rng);
     }
     let threads = num_threads.min(num_samples);
-    let partials: Vec<MotifCounts> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<MotifCounts> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let quota = num_samples / threads + usize::from(t < num_samples % threads);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let catalog = MotifCatalog::new();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
                 let mut raw = MotifCounts::zero();
@@ -74,8 +89,7 @@ pub fn mochy_a_parallel(
             .into_iter()
             .map(|h| h.join().expect("MoCHy-A worker panicked"))
             .collect()
-    })
-    .expect("MoCHy-A thread scope failed");
+    });
 
     let mut counts = MotifCounts::zero();
     for partial in &partials {
@@ -88,7 +102,22 @@ pub fn mochy_a_parallel(
 /// MoCHy-A+ (Algorithm 5): samples `r` hyperwedges uniformly at random with
 /// replacement, counts the instances containing each sampled hyperwedge, and
 /// rescales open motifs by `|∧| / (2r)` and closed motifs by `|∧| / (3r)`.
+/// Prefer [`crate::engine::MotifEngine`] with [`crate::engine::Method::WedgeSample`],
+/// which owns RNG construction from a seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a MotifEngine with Method::WedgeSample instead; seeds replace RNG values"
+)]
 pub fn mochy_a_plus<R: Rng + ?Sized>(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    num_samples: usize,
+    rng: &mut R,
+) -> MotifCounts {
+    mochy_a_plus_impl(hypergraph, projected, num_samples, rng)
+}
+
+pub(crate) fn mochy_a_plus_impl<R: Rng + ?Sized>(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
     num_samples: usize,
@@ -104,12 +133,7 @@ pub fn mochy_a_plus<R: Rng + ?Sized>(
         let (i, j) = sampler.sample(rng);
         count_from_sampled_wedge(hypergraph, projected, &catalog, i, j, &mut raw);
     }
-    rescale_wedge_estimates(
-        &catalog,
-        &mut raw,
-        sampler.num_hyperwedges(),
-        num_samples,
-    );
+    rescale_wedge_estimates(&catalog, &mut raw, sampler.num_hyperwedges(), num_samples);
     raw
 }
 
@@ -123,7 +147,7 @@ pub fn mochy_a_plus_parallel(
 ) -> MotifCounts {
     if num_threads <= 1 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        return mochy_a_plus(hypergraph, projected, num_samples, &mut rng);
+        return mochy_a_plus_impl(hypergraph, projected, num_samples, &mut rng);
     }
     let catalog = MotifCatalog::new();
     let sampler = WedgeSampler::new(projected);
@@ -132,11 +156,11 @@ pub fn mochy_a_plus_parallel(
     }
     let threads = num_threads.min(num_samples);
     let sampler_ref = &sampler;
-    let partials: Vec<MotifCounts> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<MotifCounts> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let quota = num_samples / threads + usize::from(t < num_samples % threads);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let catalog = MotifCatalog::new();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
                 let mut raw = MotifCounts::zero();
@@ -151,14 +175,18 @@ pub fn mochy_a_plus_parallel(
             .into_iter()
             .map(|h| h.join().expect("MoCHy-A+ worker panicked"))
             .collect()
-    })
-    .expect("MoCHy-A+ thread scope failed");
+    });
 
     let mut counts = MotifCounts::zero();
     for partial in &partials {
         counts.merge(partial);
     }
-    rescale_wedge_estimates(&catalog, &mut counts, sampler.num_hyperwedges(), num_samples);
+    rescale_wedge_estimates(
+        &catalog,
+        &mut counts,
+        sampler.num_hyperwedges(),
+        num_samples,
+    );
     counts
 }
 
@@ -236,26 +264,32 @@ pub(crate) fn count_from_sampled_edge(
 ) {
     let neighbors_i = projected.neighbors(i);
     for &(j, w_ij) in neighbors_i {
-        for_each_union_neighbor(neighbors_i, projected.neighbors(j), i, j, |k, w_ik, w_jk| {
-            // Deduplicate within this sample: when e_k is also a neighbour of
-            // e_i, the same instance will be seen again with j and k swapped,
-            // so keep only the ordered occurrence (j < k).
-            if w_ik != 0 && j >= k {
-                return;
-            }
-            if let Some(motif) = classify_triple_with_weights(
-                hypergraph,
-                catalog,
-                i,
-                j,
-                k,
-                w_ij as usize,
-                w_jk as usize,
-                w_ik as usize,
-            ) {
-                raw.increment(motif);
-            }
-        });
+        for_each_union_neighbor(
+            neighbors_i,
+            projected.neighbors(j),
+            i,
+            j,
+            |k, w_ik, w_jk| {
+                // Deduplicate within this sample: when e_k is also a neighbour of
+                // e_i, the same instance will be seen again with j and k swapped,
+                // so keep only the ordered occurrence (j < k).
+                if w_ik != 0 && j >= k {
+                    return;
+                }
+                if let Some(motif) = classify_triple_with_weights(
+                    hypergraph,
+                    catalog,
+                    i,
+                    j,
+                    k,
+                    w_ij as usize,
+                    w_jk as usize,
+                    w_ik as usize,
+                ) {
+                    raw.increment(motif);
+                }
+            },
+        );
     }
 }
 
@@ -277,19 +311,20 @@ pub(crate) fn count_from_sampled_wedge(
         i,
         j,
         |k, w_ik, w_jk| {
-        if let Some(motif) = classify_triple_with_weights(
-            hypergraph,
-            catalog,
-            i,
-            j,
-            k,
-            w_ij as usize,
-            w_jk as usize,
-            w_ik as usize,
-        ) {
-            raw.increment(motif);
-        }
-    });
+            if let Some(motif) = classify_triple_with_weights(
+                hypergraph,
+                catalog,
+                i,
+                j,
+                k,
+                w_ij as usize,
+                w_jk as usize,
+                w_ik as usize,
+            ) {
+                raw.increment(motif);
+            }
+        },
+    );
 }
 
 /// Iterates over `N(e_i) ∪ N(e_j) \ {e_i, e_j}` by merging the two sorted
@@ -343,6 +378,10 @@ pub(crate) fn for_each_union_neighbor<F>(
 
 #[cfg(test)]
 mod tests {
+    // The tests exercise the paper-numbered wrappers on purpose: they are
+    // the citable algorithm entry points the engine builds on.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::exact::{brute_force_counts, mochy_e};
     use mochy_hypergraph::HypergraphBuilder;

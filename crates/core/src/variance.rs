@@ -63,8 +63,7 @@ pub fn instance_overlap_stats(
                 let shared_edges = shared_count(lhs, rhs);
                 // Ordered pairs: each unordered pair contributes twice.
                 stats.edge_share_pairs[t][shared_edges] += 2;
-                let shared_wedges =
-                    shared_hyperwedges(projected, lhs, rhs, is_open);
+                let shared_wedges = shared_hyperwedges(projected, lhs, rhs, is_open);
                 stats.wedge_share_pairs[t][shared_wedges] += 2;
             }
         }
@@ -226,11 +225,8 @@ mod tests {
             for motif in 1..=26u8 {
                 let values: Vec<f64> = per_sample.iter().map(|c| c.get(motif)).collect();
                 let mean = values.iter().sum::<f64>() / num_wedges as f64;
-                let exhaustive_var = values
-                    .iter()
-                    .map(|v| (v - mean) * (v - mean))
-                    .sum::<f64>()
-                    / num_wedges as f64;
+                let exhaustive_var =
+                    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / num_wedges as f64;
                 let formula = variance_mochy_a_plus(&stats, &catalog, motif, 1);
                 assert!(
                     (exhaustive_var - formula).abs() < 1e-6 * (1.0 + exhaustive_var.abs()),

@@ -22,8 +22,7 @@ pub fn corrupt_hyperedge<R: Rng + ?Sized>(
     if num_nodes <= members.len() as u32 {
         return members; // nothing to swap in
     }
-    let num_replace = ((members.len() as f64 * fraction).round() as usize)
-        .clamp(1, members.len());
+    let num_replace = ((members.len() as f64 * fraction).round() as usize).clamp(1, members.len());
     // Choose which positions to replace.
     let mut positions: Vec<usize> = (0..members.len()).collect();
     for i in (1..positions.len()).rev() {
@@ -96,10 +95,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let small = corrupt_hyperedge(&h, 0, 0.25, &mut rng);
         let shared_small = small.iter().filter(|v| h.edge(0).contains(v)).count();
-        assert!(shared_small >= 2, "0.25 corruption should keep most members");
+        assert!(
+            shared_small >= 2,
+            "0.25 corruption should keep most members"
+        );
         let large = corrupt_hyperedge(&h, 0, 1.0, &mut rng);
         let shared_large = large.iter().filter(|v| h.edge(0).contains(v)).count();
-        assert!(shared_large <= 1, "full corruption should drop most members");
+        assert!(
+            shared_large <= 1,
+            "full corruption should drop most members"
+        );
     }
 
     #[test]
@@ -118,7 +123,10 @@ mod tests {
 
     #[test]
     fn tiny_hypergraph_is_handled() {
-        let h = HypergraphBuilder::new().with_edge([0u32, 1]).build().unwrap();
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .build()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         // Only two nodes exist, so no replacement is possible.
         let fake = corrupt_hyperedge(&h, 0, 0.5, &mut rng);

@@ -86,7 +86,9 @@ pub fn generate(config: &GeneratorConfig) -> Hypergraph {
     };
     let mut builder = HypergraphBuilder::with_capacity(edges.len());
     builder.extend_edges(edges);
-    builder.build().expect("generators always produce hyperedges")
+    builder
+        .build()
+        .expect("generators always produce hyperedges")
 }
 
 /// Co-authorship: authors live in research communities; teams are small,
@@ -161,7 +163,8 @@ fn contact(num_nodes: usize, num_edges: usize, rng: &mut StdRng) -> Vec<Vec<Node
     for _ in 0..num_edges {
         if !edges.is_empty() && rng.gen_bool(0.5) {
             // Repeat a recent interaction with one member swapped.
-            let template = edges[rng.gen_range(edges.len().saturating_sub(200)..edges.len())].clone();
+            let template =
+                edges[rng.gen_range(edges.len().saturating_sub(200)..edges.len())].clone();
             let mut members = template;
             if !members.is_empty() {
                 let replace = rng.gen_range(0..members.len());
@@ -370,10 +373,7 @@ mod tests {
         let h = generate(&cfg);
         // Every e-mail hyperedge has at least the sender plus usually some
         // receivers; singleton self-mails are possible but rare.
-        let singletons = h
-            .edge_ids()
-            .filter(|&e| h.edge_size(e) == 1)
-            .count();
+        let singletons = h.edge_ids().filter(|&e| h.edge_size(e) == 1).count();
         assert!(singletons < h.num_edges() / 4);
     }
 

@@ -71,11 +71,17 @@ impl DatasetSpec {
 pub fn standard_suite(scale: SuiteScale) -> Vec<DatasetSpec> {
     let m = scale.multiplier();
     let f = scale.edge_factor();
-    let spec = |name: &str, domain: DomainKind, nodes: usize, edges: usize, seed: u64| DatasetSpec {
-        name: name.to_string(),
-        domain,
-        config: GeneratorConfig::new(domain, nodes, ((edges as f64 * f) as usize).max(40), seed),
-    };
+    let spec =
+        |name: &str, domain: DomainKind, nodes: usize, edges: usize, seed: u64| DatasetSpec {
+            name: name.to_string(),
+            domain,
+            config: GeneratorConfig::new(
+                domain,
+                nodes,
+                ((edges as f64 * f) as usize).max(40),
+                seed,
+            ),
+        };
     vec![
         spec("coauth-alpha", DomainKind::Coauthorship, 420 * m, 500, 101),
         spec("coauth-beta", DomainKind::Coauthorship, 360 * m, 420, 102),
@@ -86,8 +92,20 @@ pub fn standard_suite(scale: SuiteScale) -> Vec<DatasetSpec> {
         spec("email-eu", DomainKind::Email, 900, 800, 302),
         spec("tags-ubuntu", DomainKind::Tags, 2_900, 900, 401),
         spec("tags-math", DomainKind::Tags, 1_600, 1_000, 402),
-        spec("threads-ubuntu", DomainKind::Threads, 1_200 * m / 2 + 600, 600, 501),
-        spec("threads-math", DomainKind::Threads, 1_700 * m / 2 + 600, 800, 502),
+        spec(
+            "threads-ubuntu",
+            DomainKind::Threads,
+            1_200 * m / 2 + 600,
+            600,
+            501,
+        ),
+        spec(
+            "threads-math",
+            DomainKind::Threads,
+            1_700 * m / 2 + 600,
+            800,
+            502,
+        ),
     ]
 }
 

@@ -66,7 +66,10 @@ pub struct YearlySnapshot {
 ///    over the years, so open instances become relatively more frequent.
 pub fn temporal_coauthorship(config: &TemporalConfig) -> Vec<YearlySnapshot> {
     assert!(config.num_years >= 1, "need at least one year");
-    assert!(config.num_authors >= 16, "need a reasonable author population");
+    assert!(
+        config.num_authors >= 16,
+        "need a reasonable author population"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let community_size = 24usize.min(config.num_authors);
     let num_communities = config.num_authors.div_ceil(community_size);
@@ -172,9 +175,8 @@ mod tests {
             ..small_config()
         };
         let snapshots = temporal_coauthorship(&config);
-        let mean_size = |h: &Hypergraph| {
-            h.edge_sizes().iter().sum::<usize>() as f64 / h.num_edges() as f64
-        };
+        let mean_size =
+            |h: &Hypergraph| h.edge_sizes().iter().sum::<usize>() as f64 / h.num_edges() as f64;
         let early = mean_size(&snapshots[0].hypergraph);
         let late = mean_size(&snapshots[9].hypergraph);
         assert!(late > early, "late {late} not larger than early {early}");

@@ -74,8 +74,14 @@ mod tests {
     #[test]
     fn parse_scales() {
         assert_eq!(ExperimentScale::parse("tiny"), Some(ExperimentScale::Tiny));
-        assert_eq!(ExperimentScale::parse("SMALL"), Some(ExperimentScale::Small));
-        assert_eq!(ExperimentScale::parse("medium"), Some(ExperimentScale::Medium));
+        assert_eq!(
+            ExperimentScale::parse("SMALL"),
+            Some(ExperimentScale::Small)
+        );
+        assert_eq!(
+            ExperimentScale::parse("medium"),
+            Some(ExperimentScale::Medium)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
     }
 
@@ -88,7 +94,11 @@ mod tests {
 
     #[test]
     fn suite_is_available_at_every_scale() {
-        for scale in [ExperimentScale::Tiny, ExperimentScale::Small, ExperimentScale::Medium] {
+        for scale in [
+            ExperimentScale::Tiny,
+            ExperimentScale::Small,
+            ExperimentScale::Medium,
+        ] {
             assert_eq!(suite(scale).len(), 11);
             assert!(scale.num_randomizations() >= 2);
             assert!(scale.multiplier() >= 1);

@@ -1,24 +1,21 @@
 //! Figure 10: multi-thread speed-ups of MoCHy-E and MoCHy-A+.
 
-use std::time::Instant;
-
-use mochy_core::{mochy_a_plus_parallel, mochy_e_parallel};
+use mochy_core::engine::CountConfig;
 use mochy_datagen::DomainKind;
-use mochy_projection::project_parallel;
 
 use crate::common::{suite, ExperimentScale};
 
 /// Regenerates Figure 10 on the threads-like dataset: elapsed time and
-/// speed-up of MoCHy-E and MoCHy-A+ for 1, 2, 4 and 8 threads.
+/// speed-up of MoCHy-E and MoCHy-A+ for 1, 2, 4 and 8 threads. Both
+/// algorithms run through the engine, so each timing covers projection plus
+/// counting — both of which parallelize.
 pub fn run(scale: ExperimentScale) -> String {
     let spec = suite(scale)
         .into_iter()
         .find(|s| s.domain == DomainKind::Threads)
         .expect("suite contains a threads dataset");
     let hypergraph = spec.build();
-    let projected = project_parallel(&hypergraph, 4);
     let sample_ratio = 0.5;
-    let r = ((projected.num_hyperwedges() as f64 * sample_ratio) as usize).max(1);
 
     let thread_counts = [1usize, 2, 4, 8];
     let mut out = String::from("# Figure 10: parallel speed-up on the threads-like dataset\n");
@@ -27,25 +24,30 @@ pub fn run(scale: ExperimentScale) -> String {
     let mut baseline_exact = None;
     let mut baseline_sample = None;
     for &threads in &thread_counts {
-        let start = Instant::now();
-        let exact = mochy_e_parallel(&hypergraph, &projected, threads);
-        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+        let report = CountConfig::exact()
+            .threads(threads)
+            .build()
+            .count(&hypergraph);
+        let exact_ms = report.elapsed.as_secs_f64() * 1e3;
         let base = *baseline_exact.get_or_insert(exact_ms);
         out.push_str(&format!(
             "MoCHy-E\t{threads}\t{exact_ms:.2}\t{:.2}\n",
             base / exact_ms.max(1e-9)
         ));
-        debug_assert!(exact.total() >= 0.0);
+        debug_assert!(report.counts.total() >= 0.0);
 
-        let start = Instant::now();
-        let estimate = mochy_a_plus_parallel(&hypergraph, &projected, r, threads, 10);
-        let sample_ms = start.elapsed().as_secs_f64() * 1e3;
+        let report = CountConfig::wedge_sample_ratio(sample_ratio)
+            .threads(threads)
+            .seed(10)
+            .build()
+            .count(&hypergraph);
+        let sample_ms = report.elapsed.as_secs_f64() * 1e3;
         let base = *baseline_sample.get_or_insert(sample_ms);
         out.push_str(&format!(
             "MoCHy-A+\t{threads}\t{sample_ms:.2}\t{:.2}\n",
             base / sample_ms.max(1e-9)
         ));
-        debug_assert!(estimate.total() >= 0.0);
+        debug_assert!(report.counts.total() >= 0.0);
     }
     out
 }

@@ -1,12 +1,8 @@
 //! Figure 11: effect of the on-the-fly memoization budget on MoCHy-A+ speed.
 
-use std::time::Instant;
-
-use mochy_core::onthefly::{mochy_a_plus_onthefly, OnTheFlyConfig};
+use mochy_core::engine::CountConfig;
 use mochy_datagen::DomainKind;
 use mochy_projection::{project, MemoPolicy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::common::{suite, ExperimentScale};
 
@@ -25,7 +21,11 @@ pub fn run(scale: ExperimentScale) -> String {
     let num_samples = (projected.num_hyperwedges() / 2).max(1);
 
     let budgets = [0.0, 0.001, 0.01, 0.1, 1.0];
-    let policies = [MemoPolicy::HighestDegree, MemoPolicy::Lru, MemoPolicy::Random];
+    let policies = [
+        MemoPolicy::HighestDegree,
+        MemoPolicy::Lru,
+        MemoPolicy::Random,
+    ];
 
     let mut out = String::from("# Figure 11: on-the-fly MoCHy-A+ under memoization budgets\n");
     out.push_str("policy\tbudget (% of entries)\telapsed ms\tspeedup vs 0%\thit rate\n");
@@ -33,24 +33,20 @@ pub fn run(scale: ExperimentScale) -> String {
         let mut baseline = None;
         for &fraction in &budgets {
             let budget = (total_entries as f64 * fraction) as usize;
-            let mut rng = StdRng::seed_from_u64(11);
-            let start = Instant::now();
-            let outcome = mochy_a_plus_onthefly(
-                &hypergraph,
-                OnTheFlyConfig {
-                    num_samples,
-                    budget_entries: budget,
-                    policy,
-                },
-                &mut rng,
-            );
-            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let report = CountConfig::on_the_fly(num_samples, budget, policy)
+                .seed(11)
+                .build()
+                .count(&hypergraph);
+            let elapsed = report.elapsed.as_secs_f64() * 1e3;
             let base = *baseline.get_or_insert(elapsed);
             out.push_str(&format!(
                 "{policy:?}\t{:.1}\t{elapsed:.2}\t{:.2}\t{:.3}\n",
                 fraction * 100.0,
                 base / elapsed.max(1e-9),
-                outcome.memo_stats.hit_rate()
+                report
+                    .memo_stats
+                    .expect("on-the-fly runs report memo stats")
+                    .hit_rate()
             ));
         }
     }

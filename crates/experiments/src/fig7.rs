@@ -12,7 +12,11 @@ pub fn run(scale: ExperimentScale) -> String {
     let m = scale.multiplier();
     let config = TemporalConfig {
         first_year: 1984,
-        num_years: if scale == ExperimentScale::Tiny { 8 } else { 33 },
+        num_years: if scale == ExperimentScale::Tiny {
+            8
+        } else {
+            33
+        },
         num_authors: 400 * m,
         papers_first_year: 150 * m,
         papers_growth_per_year: 15 * m,

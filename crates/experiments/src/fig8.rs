@@ -1,11 +1,6 @@
 //! Figure 8: speed vs accuracy trade-off of MoCHy-E, MoCHy-A and MoCHy-A+.
 
-use std::time::Instant;
-
-use mochy_core::{mochy_a, mochy_a_plus, mochy_e};
-use mochy_projection::project;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mochy_core::engine::{CountConfig, Method};
 
 use crate::common::{suite, ExperimentScale};
 
@@ -29,37 +24,42 @@ pub fn run(scale: ExperimentScale) -> String {
 
     for spec in specs {
         let hypergraph = spec.build();
-        let projected = project(&hypergraph);
-        let start = Instant::now();
-        let exact = mochy_e(&hypergraph, &projected);
-        let exact_ms = start.elapsed().as_secs_f64() * 1e3;
+        // All three algorithms go through the engine, so the reported times
+        // are end-to-end (projection + counting) for each of them alike.
+        let exact_report = CountConfig::exact().build().count(&hypergraph);
+        let exact = &exact_report.counts;
         out.push_str(&format!(
-            "{}\tMoCHy-E\t-\t{exact_ms:.2}\t0.0000\n",
-            spec.name
+            "{}\tMoCHy-E\t-\t{:.2}\t0.0000\n",
+            spec.name,
+            exact_report.elapsed.as_secs_f64() * 1e3
         ));
         let num_edges = hypergraph.num_edges();
-        let num_wedges = projected.num_hyperwedges();
+        let num_wedges = exact_report
+            .num_hyperwedges
+            .expect("eager projection reports hyperwedge count");
         for &ratio in &ratios {
-            let mut rng = StdRng::seed_from_u64(800);
             let s = ((num_edges as f64 * ratio).ceil() as usize).max(1);
-            let start = Instant::now();
-            let estimate = mochy_a(&hypergraph, &projected, s, &mut rng);
-            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let report = CountConfig::new(Method::EdgeSample { samples: s })
+                .seed(800)
+                .build()
+                .count(&hypergraph);
             out.push_str(&format!(
-                "{}\tMoCHy-A\t{ratio:.3}\t{elapsed:.2}\t{:.4}\n",
+                "{}\tMoCHy-A\t{ratio:.3}\t{:.2}\t{:.4}\n",
                 spec.name,
-                exact.relative_error(&estimate)
+                report.elapsed.as_secs_f64() * 1e3,
+                exact.relative_error(&report.counts)
             ));
 
-            let mut rng = StdRng::seed_from_u64(801);
             let r = ((num_wedges as f64 * ratio).ceil() as usize).max(1);
-            let start = Instant::now();
-            let estimate = mochy_a_plus(&hypergraph, &projected, r, &mut rng);
-            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            let report = CountConfig::new(Method::WedgeSample { samples: r })
+                .seed(801)
+                .build()
+                .count(&hypergraph);
             out.push_str(&format!(
-                "{}\tMoCHy-A+\t{ratio:.3}\t{elapsed:.2}\t{:.4}\n",
+                "{}\tMoCHy-A+\t{ratio:.3}\t{:.2}\t{:.4}\n",
                 spec.name,
-                exact.relative_error(&estimate)
+                report.elapsed.as_secs_f64() * 1e3,
+                exact.relative_error(&report.counts)
             ));
         }
     }

@@ -12,7 +12,11 @@ use crate::common::{suite, ExperimentScale};
 /// 1 % and 5 % of the hyperwedges.
 pub fn run(scale: ExperimentScale) -> String {
     let ratios = [0.001, 0.005, 0.01, 0.05];
-    let domains = [DomainKind::Email, DomainKind::Contact, DomainKind::Coauthorship];
+    let domains = [
+        DomainKind::Email,
+        DomainKind::Contact,
+        DomainKind::Coauthorship,
+    ];
     let mut out = String::from("# Figure 9: CP estimates vs number of hyperwedge samples\n");
     out.push_str("dataset\tsampling ratio\tcorrelation with exact CP\tmax |deviation|\n");
     for domain in domains {

@@ -68,8 +68,19 @@ pub fn run_experiment(name: &str, scale: ExperimentScale) -> Result<String, Stri
 
 /// The names of every experiment, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "table2", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig9", "fig10", "fig11",
-    "q3domain", "pairwise", "nullmodels",
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "q3domain",
+    "pairwise",
+    "nullmodels",
 ];
 
 #[cfg(test)]

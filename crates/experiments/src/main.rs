@@ -66,7 +66,10 @@ fn run_gen(args: &[String]) {
         std::process::exit(2);
     }
     let domain = tool::parse_domain(&args[0]).unwrap_or_else(|| {
-        eprintln!("unknown domain `{}` (coauth|contact|email|tags|threads)", args[0]);
+        eprintln!(
+            "unknown domain `{}` (coauth|contact|email|tags|threads)",
+            args[0]
+        );
         std::process::exit(2);
     });
     let parse_number = |text: &str, what: &str| -> usize {

@@ -3,8 +3,8 @@
 //! lost when three connected hyperedges are summarized only by their pairwise
 //! relations (the directed projected graph)?
 
-use mochy_core::pairwise::{PairwiseCensus, PairwiseCollapse};
 use mochy_core::mochy_e;
+use mochy_core::pairwise::{PairwiseCensus, PairwiseCollapse};
 use mochy_datagen::DomainKind;
 use mochy_motif::MotifCatalog;
 use mochy_projection::project;

@@ -34,10 +34,7 @@ pub fn run(scale: ExperimentScale) -> String {
         ("nearest-neighbour", DomainRule::NearestNeighbor),
     ] {
         let report = leave_one_out(&profiles, rule);
-        out.push_str(&format!(
-            "\n## {label} (accuracy {:.3})\n",
-            report.accuracy
-        ));
+        out.push_str(&format!("\n## {label} (accuracy {:.3})\n", report.accuracy));
         out.push_str("dataset\ttrue domain\tpredicted domain\tcorrect\n");
         for (name, truth, predicted) in &report.predictions {
             out.push_str(&format!(

@@ -29,7 +29,11 @@ pub fn run(scale: ExperimentScale) -> String {
         let profile = estimator.estimate(&hypergraph);
         let real_ranks = profile.real_counts.ranks();
         let random_ranks = profile.randomized_mean.ranks();
-        out.push_str(&format!("\n## {} ({})\n", spec.name, spec.domain.short_name()));
+        out.push_str(&format!(
+            "\n## {} ({})\n",
+            spec.name,
+            spec.domain.short_name()
+        ));
         out.push_str("motif\treal count (rank)\trandom count (rank)\tRD\tRC\n");
         for t in 1..=26u8 {
             let index = (t - 1) as usize;

@@ -4,13 +4,10 @@
 
 use std::path::Path;
 
-use mochy_core::{mochy_a, mochy_a_plus_parallel, mochy_e_parallel};
+use mochy_core::engine::{CountConfig, Method};
 use mochy_datagen::{generate, DomainKind, GeneratorConfig};
 use mochy_hypergraph::{io, Hypergraph, HypergraphError};
 use mochy_motif::MotifCatalog;
-use mochy_projection::project_parallel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which counting algorithm the `count` sub-command runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,7 +26,10 @@ impl CountAlgorithm {
         if text.eq_ignore_ascii_case("e") {
             return Some(Self::Exact);
         }
-        if let Some(rest) = text.strip_prefix("a+:").or_else(|| text.strip_prefix("A+:")) {
+        if let Some(rest) = text
+            .strip_prefix("a+:")
+            .or_else(|| text.strip_prefix("A+:"))
+        {
             return rest.parse().ok().map(Self::SampleWedges);
         }
         if let Some(rest) = text.strip_prefix("a:").or_else(|| text.strip_prefix("A:")) {
@@ -79,28 +79,34 @@ pub fn count_report(
     threads: usize,
     seed: u64,
 ) -> String {
-    let projected = project_parallel(hypergraph, threads);
-    let counts = match algorithm {
-        CountAlgorithm::Exact => mochy_e_parallel(hypergraph, &projected, threads),
-        CountAlgorithm::SampleEdges(s) => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            mochy_a(hypergraph, &projected, s, &mut rng)
-        }
-        CountAlgorithm::SampleWedges(r) => {
-            mochy_a_plus_parallel(hypergraph, &projected, r, threads, seed)
-        }
+    let method = match algorithm {
+        CountAlgorithm::Exact => Method::Exact,
+        CountAlgorithm::SampleEdges(samples) => Method::EdgeSample { samples },
+        CountAlgorithm::SampleWedges(samples) => Method::WedgeSample { samples },
     };
+    let report = CountConfig::new(method)
+        .threads(threads)
+        .seed(seed)
+        .build()
+        .count(hypergraph);
+    let counts = &report.counts;
     let catalog = MotifCatalog::new();
     let mut out = format!(
         "# |V| = {}, |E| = {}, |wedges| = {}\nmotif\tclass\tcount\n",
         hypergraph.num_nodes(),
         hypergraph.num_edges(),
-        projected.num_hyperwedges()
+        report
+            .num_hyperwedges
+            .expect("eager projection reports hyperwedge count")
     );
     for (id, count) in counts.iter() {
         out.push_str(&format!(
             "{id}\t{}\t{count:.2}\n",
-            if catalog.is_open(id) { "open" } else { "closed" }
+            if catalog.is_open(id) {
+                "open"
+            } else {
+                "closed"
+            }
         ));
     }
     out.push_str(&format!("total\t-\t{:.2}\n", counts.total()));

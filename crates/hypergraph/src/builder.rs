@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn without_relabeling_num_nodes_is_max_plus_one() {
-        let h = HypergraphBuilder::new().with_edge([7u32, 9]).build().unwrap();
+        let h = HypergraphBuilder::new()
+            .with_edge([7u32, 9])
+            .build()
+            .unwrap();
         assert_eq!(h.num_nodes(), 10);
         assert_eq!(h.node_degree(8), 0);
     }

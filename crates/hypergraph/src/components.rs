@@ -114,13 +114,13 @@ impl UnionFind {
         let mut label_of_root = vec![usize::MAX; n];
         let mut labels = vec![0usize; n];
         let mut sizes = Vec::new();
-        for x in 0..n {
+        for (x, label) in labels.iter_mut().enumerate() {
             let root = self.find(x);
             if label_of_root[root] == usize::MAX {
                 label_of_root[root] = sizes.len();
                 sizes.push(0);
             }
-            labels[x] = label_of_root[root];
+            *label = label_of_root[root];
             sizes[label_of_root[root]] += 1;
         }
         Components { labels, sizes }
@@ -273,7 +273,10 @@ mod tests {
 
     #[test]
     fn singleton_hypergraph_is_one_component() {
-        let h = HypergraphBuilder::new().with_edge([0u32, 1]).build().unwrap();
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .build()
+            .unwrap();
         assert_eq!(node_components(&h).count(), 1);
         assert_eq!(edge_components(&h).count(), 1);
         assert_eq!(edge_components(&h).giant_fraction(), 1.0);

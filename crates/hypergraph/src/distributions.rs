@@ -280,7 +280,9 @@ mod tests {
         let mut values = Vec::new();
         let mut state = 0x12345678u64;
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
             let x = (1.0 - u).powf(-1.0 / (alpha - 1.0));
             values.push(x.floor() as usize);

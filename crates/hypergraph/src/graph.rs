@@ -177,12 +177,12 @@ impl Hypergraph {
 
     /// Iterator over all hyperedge identifiers.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.num_edges() as EdgeId).into_iter()
+        0..self.num_edges() as EdgeId
     }
 
     /// Iterator over all node identifiers.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes as NodeId).into_iter()
+        0..self.num_nodes as NodeId
     }
 
     /// Iterator over `(EdgeId, &[NodeId])` pairs.
@@ -192,7 +192,10 @@ impl Hypergraph {
 
     /// The maximum hyperedge size, or 0 for an edge-less hypergraph.
     pub fn max_edge_size(&self) -> usize {
-        self.edge_ids().map(|e| self.edge_size(e)).max().unwrap_or(0)
+        self.edge_ids()
+            .map(|e| self.edge_size(e))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The per-edge member lists as owned vectors (useful for randomization

@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn isolated_ids_counted_separately() {
-        let h = HypergraphBuilder::new().with_edge([0u32, 9]).build().unwrap();
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 9])
+            .build()
+            .unwrap();
         let stats = HypergraphStats::compute(&h);
         assert_eq!(stats.num_nodes, 2);
         assert_eq!(stats.num_node_ids, 10);

@@ -323,8 +323,14 @@ mod tests {
 
     #[test]
     fn union_concatenates_edges() {
-        let a = HypergraphBuilder::new().with_edge([0u32, 1]).build().unwrap();
-        let b = HypergraphBuilder::new().with_edge([1u32, 2]).build().unwrap();
+        let a = HypergraphBuilder::new()
+            .with_edge([0u32, 1])
+            .build()
+            .unwrap();
+        let b = HypergraphBuilder::new()
+            .with_edge([1u32, 2])
+            .build()
+            .unwrap();
         let u = union(&a, &b);
         assert_eq!(u.num_edges(), 2);
         assert_eq!(u.num_nodes(), 3);

@@ -1,14 +1,46 @@
-//! Property-based tests for the hypergraph substrate.
+//! Property-style tests for the hypergraph substrate.
+//!
+//! The build environment cannot fetch `proptest`, so these run each
+//! property over a deterministic corpus of seeded random hypergraphs
+//! (plus the shrunk edge cases proptest would typically find: single
+//! node, single edge, duplicate nodes within an edge, duplicate edges).
 
 use mochy_hypergraph::{io, Hypergraph, HypergraphBuilder};
-use proptest::prelude::*;
+use rand::prelude::*;
 
-/// Strategy producing a random small hypergraph as raw edge lists.
-fn raw_edges() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..40, 1..8),
-        1..30,
-    )
+const CASES_PER_PROPERTY: u64 = 64;
+
+/// A random small hypergraph as raw edge lists: 1..30 edges over 40 nodes,
+/// each with 1..8 (possibly repeated) members.
+fn raw_edges(rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let num_edges = rng.gen_range(1..30usize);
+    (0..num_edges)
+        .map(|_| {
+            let size = rng.gen_range(1..8usize);
+            (0..size).map(|_| rng.gen_range(0..40u32)).collect()
+        })
+        .collect()
+}
+
+/// Hand-picked degenerate inputs that random generation may miss.
+fn edge_cases() -> Vec<Vec<Vec<u32>>> {
+    vec![
+        vec![vec![0]],
+        vec![vec![7, 7, 7]],
+        vec![vec![0, 1], vec![0, 1]],
+        vec![vec![0, 1, 2], vec![3, 4, 5]],
+    ]
+}
+
+fn for_each_case(property_seed: u64, mut check: impl FnMut(&[Vec<u32>])) {
+    for edges in edge_cases() {
+        check(&edges);
+    }
+    let mut rng = StdRng::seed_from_u64(property_seed);
+    for _ in 0..CASES_PER_PROPERTY {
+        let edges = raw_edges(&mut rng);
+        check(&edges);
+    }
 }
 
 fn build(edges: &[Vec<u32>]) -> Hypergraph {
@@ -19,52 +51,49 @@ fn build(edges: &[Vec<u32>]) -> Hypergraph {
     builder.build().expect("non-empty hypergraph must build")
 }
 
-proptest! {
-    /// Node degrees always sum to the total number of incidences, and the
-    /// incidence index is the exact transpose of the edge lists.
-    #[test]
-    fn incidence_is_transpose(edges in raw_edges()) {
-        let h = build(&edges);
-        prop_assert_eq!(
-            h.node_degrees().iter().sum::<usize>(),
-            h.num_incidences()
-        );
+/// Node degrees always sum to the total number of incidences, and the
+/// incidence index is the exact transpose of the edge lists.
+#[test]
+fn incidence_is_transpose() {
+    for_each_case(0xA1, |edges| {
+        let h = build(edges);
+        assert_eq!(h.node_degrees().iter().sum::<usize>(), h.num_incidences());
         for e in h.edge_ids() {
             for &v in h.edge(e) {
-                prop_assert!(h.edges_of_node(v).contains(&e));
+                assert!(h.edges_of_node(v).contains(&e));
             }
         }
         for v in h.node_ids() {
             for &e in h.edges_of_node(v) {
-                prop_assert!(h.edge_contains(e, v));
+                assert!(h.edge_contains(e, v));
             }
         }
-    }
+    });
+}
 
-    /// Pairwise intersection sizes computed by the merge helper agree with a
-    /// naive set-based computation, and adjacency is symmetric.
-    #[test]
-    fn intersections_match_naive(edges in raw_edges()) {
-        let h = build(&edges);
+/// Pairwise intersection sizes computed by the merge helper agree with a
+/// naive set-based computation, and adjacency is symmetric.
+#[test]
+fn intersections_match_naive() {
+    for_each_case(0xA2, |edges| {
+        let h = build(edges);
         let n = h.num_edges() as u32;
         for i in 0..n.min(12) {
             for j in 0..n.min(12) {
-                let naive = h
-                    .edge(i)
-                    .iter()
-                    .filter(|v| h.edge(j).contains(v))
-                    .count();
-                prop_assert_eq!(h.intersection_size(i, j), naive);
-                prop_assert_eq!(h.are_adjacent(i, j), naive > 0);
-                prop_assert_eq!(h.are_adjacent(i, j), h.are_adjacent(j, i));
+                let naive = h.edge(i).iter().filter(|v| h.edge(j).contains(v)).count();
+                assert_eq!(h.intersection_size(i, j), naive);
+                assert_eq!(h.are_adjacent(i, j), naive > 0);
+                assert_eq!(h.are_adjacent(i, j), h.are_adjacent(j, i));
             }
         }
-    }
+    });
+}
 
-    /// Triple intersections agree with a naive computation.
-    #[test]
-    fn triple_intersections_match_naive(edges in raw_edges()) {
-        let h = build(&edges);
+/// Triple intersections agree with a naive computation.
+#[test]
+fn triple_intersections_match_naive() {
+    for_each_case(0xA3, |edges| {
+        let h = build(edges);
         let n = h.num_edges() as u32;
         let limit = n.min(8);
         for i in 0..limit {
@@ -75,38 +104,45 @@ proptest! {
                         .iter()
                         .filter(|v| h.edge(j).contains(v) && h.edge(k).contains(v))
                         .count();
-                    prop_assert_eq!(h.triple_intersection_size(i, j, k), naive);
+                    assert_eq!(h.triple_intersection_size(i, j, k), naive);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Writing to the text format and reading back yields the same hypergraph
-    /// (when duplicate hyperedges are not removed).
-    #[test]
-    fn io_round_trip(edges in raw_edges()) {
-        let h = build(&edges);
+/// Writing to the text format and reading back yields the same hypergraph
+/// (when duplicate hyperedges are not removed).
+#[test]
+fn io_round_trip() {
+    for_each_case(0xA4, |edges| {
+        let h = build(edges);
         let mut buffer = Vec::new();
         io::write_edge_list(&h, &mut buffer).unwrap();
-        let options = io::ReadOptions { dedup_hyperedges: false, relabel_nodes: false };
+        let options = io::ReadOptions {
+            dedup_hyperedges: false,
+            relabel_nodes: false,
+        };
         let restored = io::read_edge_list_with(std::io::Cursor::new(buffer), options).unwrap();
-        prop_assert_eq!(h.num_edges(), restored.num_edges());
+        assert_eq!(h.num_edges(), restored.num_edges());
         for e in h.edge_ids() {
-            prop_assert_eq!(h.edge(e), restored.edge(e));
+            assert_eq!(h.edge(e), restored.edge(e));
         }
-    }
+    });
+}
 
-    /// The star expansion preserves degrees and sizes exactly.
-    #[test]
-    fn star_expansion_degrees(edges in raw_edges()) {
-        let h = build(&edges);
+/// The star expansion preserves degrees and sizes exactly.
+#[test]
+fn star_expansion_degrees() {
+    for_each_case(0xA5, |edges| {
+        let h = build(edges);
         let b = mochy_hypergraph::BipartiteGraph::from_hypergraph(&h);
-        prop_assert_eq!(b.num_incidences(), h.num_incidences());
+        assert_eq!(b.num_incidences(), h.num_incidences());
         for v in h.node_ids() {
-            prop_assert_eq!(b.left_degree(v), h.node_degree(v));
+            assert_eq!(b.left_degree(v), h.node_degree(v));
         }
         for e in h.edge_ids() {
-            prop_assert_eq!(b.right_degree(e), h.edge_size(e));
+            assert_eq!(b.right_degree(e), h.edge_size(e));
         }
-    }
+    });
 }

@@ -240,8 +240,8 @@ mod tests {
         let transformed = standardizer.transform(&d);
         let column: Vec<f64> = transformed.features.iter().map(|r| r[0]).collect();
         let mean: f64 = column.iter().sum::<f64>() / column.len() as f64;
-        let var: f64 = column.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / column.len() as f64;
+        let var: f64 =
+            column.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / column.len() as f64;
         assert!(mean.abs() < 1e-12);
         assert!((var - 1.0).abs() < 1e-9);
         // Constant column stays finite (std forced to 1).

@@ -85,9 +85,7 @@ impl ClassifierKind {
     /// the Table 4 reproduction, seeded for determinism.
     pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
         match self {
-            ClassifierKind::LogisticRegression => {
-                Box::new(LogisticRegression::new(0.1, 300, 1e-4))
-            }
+            ClassifierKind::LogisticRegression => Box::new(LogisticRegression::new(0.1, 300, 1e-4)),
             ClassifierKind::RandomForest => Box::new(RandomForest::new(40, 8, 4, seed)),
             ClassifierKind::DecisionTree => Box::new(DecisionTree::new(8, 4)),
             ClassifierKind::KNearestNeighbors => Box::new(KNearestNeighbors::new(15)),

@@ -94,9 +94,9 @@ impl Classifier for MlpClassifier {
                 // Output layer gradient (cross-entropy with sigmoid).
                 let delta_output = output - target;
                 // Hidden layer gradients (ReLU derivative).
-                for h in 0..self.hidden_units {
-                    let grad_w2 = delta_output * hidden[h];
-                    let delta_hidden = if hidden[h] > 0.0 {
+                for (h, &activation) in hidden.iter().enumerate().take(self.hidden_units) {
+                    let grad_w2 = delta_output * activation;
+                    let delta_hidden = if activation > 0.0 {
                         delta_output * self.w2[h]
                     } else {
                         0.0

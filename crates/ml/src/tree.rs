@@ -118,7 +118,7 @@ impl DecisionTree {
                     + (right_total / total) * Self::gini(right_positive, right_total);
                 let gain = parent_gini - weighted;
                 let threshold = (this_value + next_value) / 2.0;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((feature, threshold, gain));
                 }
             }
@@ -130,9 +130,8 @@ impl DecisionTree {
         if gain <= 1e-12 {
             return Node::Leaf { positive_fraction };
         }
-        let (left_indices, right_indices): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| x[i][feature] <= threshold);
+        let (left_indices, right_indices): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
         if left_indices.is_empty() || right_indices.is_empty() {
             return Node::Leaf { positive_fraction };
         }

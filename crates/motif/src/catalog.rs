@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cardinalities::RegionCardinalities;
-use crate::pattern::{Pattern, BIT_ABC, BIT_A_ONLY, BIT_AB, BIT_CA};
+use crate::pattern::{Pattern, BIT_AB, BIT_ABC, BIT_A_ONLY, BIT_CA};
 
 /// Number of h-motifs over three hyperedges.
 pub const NUM_MOTIFS: usize = 26;
@@ -120,8 +120,8 @@ impl MotifCatalog {
 
         // Open group: the two "host + two disjoint subsets" patterns come
         // first (17, 18), then the rest by (regions, code).
-        let subset_pattern_exact = Pattern::from_regions(false, false, false, true, false, true, false)
-            .canonical();
+        let subset_pattern_exact =
+            Pattern::from_regions(false, false, false, true, false, true, false).canonical();
         let subset_pattern_private =
             Pattern::from_regions(true, false, false, true, false, true, false).canonical();
         let mut open_rest: Vec<Pattern> = group_open
@@ -405,7 +405,9 @@ mod tests {
             .unwrap();
         assert!(catalog.motif(id).is_open());
         // Inconsistent quantities yield None.
-        assert!(catalog.classify_from_intersections(1, 1, 1, 5, 0, 0, 0).is_none());
+        assert!(catalog
+            .classify_from_intersections(1, 1, 1, 5, 0, 0, 0)
+            .is_none());
     }
 
     #[test]
@@ -435,7 +437,10 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for motif in catalog.motifs() {
             assert!(!motif.description.is_empty());
-            assert!(seen.insert(motif.description.clone()), "duplicate description");
+            assert!(
+                seen.insert(motif.description.clone()),
+                "duplicate description"
+            );
         }
     }
 }

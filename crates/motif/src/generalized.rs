@@ -79,9 +79,9 @@ impl GeneralPattern {
         visited[0] = true;
         let mut seen = 1usize;
         while let Some(u) = stack.pop() {
-            for v in 0..k {
-                if !visited[v] && self.pair_intersects(u as u32, v as u32) {
-                    visited[v] = true;
+            for (v, vis) in visited.iter_mut().enumerate().take(k) {
+                if !*vis && self.pair_intersects(u as u32, v as u32) {
+                    *vis = true;
                     seen += 1;
                     stack.push(v);
                 }
@@ -180,7 +180,10 @@ pub struct GeneralizedCatalog {
 impl GeneralizedCatalog {
     /// Enumerates the catalog for `k` hyperedges (`2 ≤ k ≤ 4`).
     pub fn new(k: u32) -> Self {
-        assert!((2..=4).contains(&k), "enumeration supported for k = 2, 3, 4");
+        assert!(
+            (2..=4).contains(&k),
+            "enumeration supported for k = 2, 3, 4"
+        );
         let num_regions = (1u64 << k) - 1;
         let num_patterns = 1u64 << num_regions;
         let mut canonicals = std::collections::BTreeSet::new();

@@ -44,6 +44,6 @@ pub mod generalized;
 pub mod pattern;
 
 pub use cardinalities::RegionCardinalities;
-pub use catalog::{HMotif, MotifCatalog, MotifId, MotifClass, NUM_MOTIFS};
+pub use catalog::{HMotif, MotifCatalog, MotifClass, MotifId, NUM_MOTIFS};
 pub use generalized::{count_generalized_motifs, GeneralPattern, GeneralizedCatalog};
 pub use pattern::Pattern;

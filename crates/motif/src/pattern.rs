@@ -172,8 +172,8 @@ impl Pattern {
     /// hyperedge `permutation[x]`.
     pub fn permute(self, permutation: [usize; 3]) -> Self {
         let mut bits = 0u8;
-        for x in 0..3 {
-            if self.region(only_bit(permutation[x])) {
+        for (x, &source) in permutation.iter().enumerate() {
+            if self.region(only_bit(source)) {
                 bits |= 1 << only_bit(x);
             }
         }

@@ -121,6 +121,7 @@ mod tests {
         let g = SimpleGraph::from_bipartite(&bipartite);
         assert_eq!(g.num_vertices(), 6); // 4 nodes + 2 hyperedges
         assert_eq!(g.num_edges(), 5); // five incidences
+
         // Node-side vertices only connect to edge-side vertices.
         for v in 0..4u32 {
             for &n in g.neighbors(v) {

@@ -134,7 +134,10 @@ pub fn count_graphlets(graph: &SimpleGraph) -> GraphletCounts {
             }
         }
     }
-    let paired: u64 = codegree.values().map(|&c| c * c.saturating_sub(1) / 2).sum();
+    let paired: u64 = codegree
+        .values()
+        .map(|&c| c * c.saturating_sub(1) / 2)
+        .sum();
     counts.cycles4 = paired / 2;
 
     counts

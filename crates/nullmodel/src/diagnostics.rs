@@ -168,10 +168,8 @@ mod tests {
     #[test]
     fn uniform_model_destroys_the_degree_distribution_more() {
         let h = sample_hypergraph();
-        let chung_lu = PreservationReport::compare(
-            &h,
-            &chung_lu_randomize(&h, &mut StdRng::seed_from_u64(5)),
-        );
+        let chung_lu =
+            PreservationReport::compare(&h, &chung_lu_randomize(&h, &mut StdRng::seed_from_u64(5)));
         let uniform = PreservationReport::compare(
             &h,
             &uniform_size_randomize(&h, &mut StdRng::seed_from_u64(5)),

@@ -56,8 +56,7 @@ pub enum NullModel {
 pub fn chung_lu_randomize<R: Rng + ?Sized>(hypergraph: &Hypergraph, rng: &mut R) -> Hypergraph {
     let degrees = hypergraph.node_degrees();
     let weights: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
-    let distribution =
-        WeightedIndex::new(&weights).expect("hypergraph has at least one incidence");
+    let distribution = WeightedIndex::new(&weights).expect("hypergraph has at least one incidence");
     let mut builder = HypergraphBuilder::with_capacity(hypergraph.num_edges());
     let mut members: Vec<NodeId> = Vec::new();
     for e in hypergraph.edge_ids() {
@@ -123,9 +122,7 @@ pub fn configuration_randomize<R: Rng + ?Sized>(
         let (start, end) = (offsets[e], offsets[e + 1]);
         for pos in start..end {
             let mut retries = 0usize;
-            while stubs[start..pos].contains(&stubs[pos])
-                && pos + 1 < stubs.len()
-                && retries < 500
+            while stubs[start..pos].contains(&stubs[pos]) && pos + 1 < stubs.len() && retries < 500
             {
                 let swap_with = rng.gen_range(pos + 1..stubs.len());
                 stubs.swap(pos, swap_with);
@@ -254,12 +251,7 @@ mod tests {
         let randomized_degree = |nodes: &[u32]| -> f64 {
             nodes
                 .iter()
-                .map(|&v| {
-                    randomized
-                        .iter()
-                        .map(|r| r.node_degree(v))
-                        .sum::<usize>() as f64
-                })
+                .map(|&v| randomized.iter().map(|r| r.node_degree(v)).sum::<usize>() as f64)
                 .sum::<f64>()
                 / nodes.len() as f64
         };
@@ -323,7 +315,11 @@ mod tests {
                 for (_, members) in r.edges() {
                     let mut unique = members.to_vec();
                     unique.dedup();
-                    assert_eq!(unique.len(), members.len(), "duplicate member under {model:?}");
+                    assert_eq!(
+                        unique.len(),
+                        members.len(),
+                        "duplicate member under {model:?}"
+                    );
                 }
             }
         }

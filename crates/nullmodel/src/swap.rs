@@ -108,17 +108,19 @@ pub fn swap_randomize_with<R: Rng + ?Sized>(
 /// [`swap_randomize_with`] using the conventional 10 × (number of incidences)
 /// swap attempts, discarding the statistics.
 pub fn swap_randomize<R: Rng + ?Sized>(hypergraph: &Hypergraph, rng: &mut R) -> Hypergraph {
-    swap_randomize_with(hypergraph, hypergraph.num_incidences().saturating_mul(10), rng).0
+    swap_randomize_with(
+        hypergraph,
+        hypergraph.num_incidences().saturating_mul(10),
+        rng,
+    )
+    .0
 }
 
 /// Randomizes a hypergraph by keeping every hyperedge's size but drawing its
 /// members uniformly at random (without replacement within the hyperedge)
 /// from the full node set. This destroys the node-degree distribution and is
 /// used only as a baseline/ablation.
-pub fn uniform_size_randomize<R: Rng + ?Sized>(
-    hypergraph: &Hypergraph,
-    rng: &mut R,
-) -> Hypergraph {
+pub fn uniform_size_randomize<R: Rng + ?Sized>(hypergraph: &Hypergraph, rng: &mut R) -> Hypergraph {
     let n = hypergraph.num_nodes();
     let mut pool: Vec<NodeId> = (0..n as NodeId).collect();
     let mut builder = HypergraphBuilder::with_capacity(hypergraph.num_edges());

@@ -215,7 +215,11 @@ mod tests {
     fn lazy_matches_eager_for_every_policy_and_budget() {
         let h = sample();
         let eager = project(&h);
-        for policy in [MemoPolicy::HighestDegree, MemoPolicy::Lru, MemoPolicy::Random] {
+        for policy in [
+            MemoPolicy::HighestDegree,
+            MemoPolicy::Lru,
+            MemoPolicy::Random,
+        ] {
             for budget in [0usize, 1, 3, 10, 1000] {
                 let mut lazy = LazyProjection::new(&h, budget, policy);
                 for round in 0..3 {
@@ -265,10 +269,7 @@ mod tests {
     fn by_degree_policy_retains_large_neighborhoods() {
         let h = sample();
         let eager = project(&h);
-        let max_degree_edge = h
-            .edge_ids()
-            .max_by_key(|&e| eager.degree(e))
-            .unwrap();
+        let max_degree_edge = h.edge_ids().max_by_key(|&e| eager.degree(e)).unwrap();
         let budget = eager.degree(max_degree_edge);
         let mut lazy = LazyProjection::new(&h, budget, MemoPolicy::HighestDegree);
         // Touch everything twice: the big neighbourhood should win the cache.

@@ -76,12 +76,15 @@ impl ProjectedGraph {
 
     /// Iterator over every hyperwedge `(i, j)` with `i < j` and its weight.
     pub fn hyperwedges(&self) -> impl Iterator<Item = (EdgeId, EdgeId, u32)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(i, neighbors)| {
-            neighbors
-                .iter()
-                .filter(move |&&(j, _)| (i as EdgeId) < j)
-                .map(move |&(j, w)| (i as EdgeId, j, w))
-        })
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(i, neighbors)| {
+                neighbors
+                    .iter()
+                    .filter(move |&&(j, _)| (i as EdgeId) < j)
+                    .map(move |&(j, w)| (i as EdgeId, j, w))
+            })
     }
 
     /// Total work term `Σ_{e_i} |e_i| · |N_{e_i}|²` appearing in the time
@@ -137,7 +140,7 @@ pub fn project_parallel(hypergraph: &Hypergraph, num_threads: usize) -> Projecte
     let chunk = n.div_ceil(threads);
     let mut adjacency: Vec<Vec<WeightedNeighbor>> = vec![Vec::new(); n];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut remaining: &mut [Vec<WeightedNeighbor>] = &mut adjacency;
         let mut start = 0usize;
         let mut handles = Vec::new();
@@ -147,7 +150,7 @@ pub fn project_parallel(hypergraph: &Hypergraph, num_threads: usize) -> Projecte
             remaining = tail;
             let begin = start;
             start += take;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 for (offset, slot) in head.iter_mut().enumerate() {
                     *slot = compute_neighborhood(hypergraph, (begin + offset) as EdgeId);
                 }
@@ -156,8 +159,7 @@ pub fn project_parallel(hypergraph: &Hypergraph, num_threads: usize) -> Projecte
         for handle in handles {
             handle.join().expect("projection worker panicked");
         }
-    })
-    .expect("projection thread scope failed");
+    });
 
     ProjectedGraph::from_adjacency(adjacency)
 }

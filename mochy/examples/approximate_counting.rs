@@ -1,0 +1,64 @@
+//! Approximate counting: compare MoCHy-E, MoCHy-A and MoCHy-A+ on the same
+//! hypergraph — the speed/accuracy trade-off of Figure 8 in miniature.
+//!
+//! Every algorithm runs through the `MotifEngine`: the call site never
+//! changes, only the `CountConfig`. The engine owns projection, so every
+//! reported time is end-to-end (projection + counting) — at small sampling
+//! ratios the shared projection cost dominates, and the trade-off shows up
+//! in the *error* column: at an equal ratio, hyperwedge sampling (A+) is
+//! far more accurate than hyperedge sampling (A), which is Section 3.3's
+//! point.
+//!
+//! Run with `cargo run --release --example approximate_counting`.
+
+use mochy::prelude::*;
+
+fn main() {
+    let config = GeneratorConfig::new(DomainKind::Tags, 800, 3000, 7);
+    let hypergraph = mochy::datagen::generate(&config);
+
+    let exact_report = CountConfig::exact().build().count(&hypergraph);
+    let exact = &exact_report.counts;
+    let num_wedges = exact_report
+        .num_hyperwedges
+        .expect("eager projection reports hyperwedge count");
+    println!(
+        "dataset: |V| = {}, |E| = {}, |∧| = {}",
+        hypergraph.num_nodes(),
+        hypergraph.num_edges(),
+        num_wedges
+    );
+    println!(
+        "MoCHy-E   : {:>10.0} instances in {:>8.1} ms ({:?} projection)",
+        exact.total(),
+        exact_report.elapsed.as_secs_f64() * 1e3,
+        exact_report.projection
+    );
+
+    for ratio in [0.05f64, 0.1, 0.25] {
+        let s = ((hypergraph.num_edges() as f64 * ratio) as usize).max(1);
+
+        let report_a = CountConfig::edge_sample(s)
+            .seed(1)
+            .build()
+            .count(&hypergraph);
+        let report_a_plus = CountConfig::wedge_sample_ratio(ratio)
+            .seed(1)
+            .build()
+            .count(&hypergraph);
+
+        println!(
+            "ratio {:>4.0}% | MoCHy-A : err {:.4} in {:>7.1} ms | MoCHy-A+: err {:.4} in {:>7.1} ms",
+            ratio * 100.0,
+            exact.relative_error(&report_a.counts),
+            report_a.elapsed.as_secs_f64() * 1e3,
+            exact.relative_error(&report_a_plus.counts),
+            report_a_plus.elapsed.as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\nAt an equal sampling ratio MoCHy-A+ is far more accurate than MoCHy-A,");
+    println!("matching the analysis in Section 3.3 of the paper. (Times here are");
+    println!("end-to-end through the engine, so the shared projection cost dominates");
+    println!("at small ratios; kernel-only timings live in the `fig8_tradeoff` bench.)");
+}

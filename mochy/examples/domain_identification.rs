@@ -11,7 +11,6 @@
 
 use mochy::analysis::domain::{leave_one_out, DomainRule, LabelledProfile};
 use mochy::analysis::profile::CountingMethod;
-use mochy::core::adaptive::{mochy_a_plus_adaptive, AdaptiveConfig};
 use mochy::datagen::{generate, DomainKind, GeneratorConfig};
 use mochy::nullmodel::{swap_randomize, PreservationReport};
 use mochy::prelude::*;
@@ -26,7 +25,11 @@ fn main() {
         threads: 2,
         seed: 17,
     };
-    let domains = [DomainKind::Contact, DomainKind::Coauthorship, DomainKind::Tags];
+    let domains = [
+        DomainKind::Contact,
+        DomainKind::Coauthorship,
+        DomainKind::Tags,
+    ];
     let mut labelled = Vec::new();
     for (index, domain) in domains.iter().enumerate() {
         for copy in 0..2u64 {
@@ -65,28 +68,31 @@ fn main() {
     );
 
     // --- 4. Adaptive MoCHy-A+ picks its own sample size. --------------------
-    let projected = project(&hypergraph);
-    let exact = mochy_e(&hypergraph, &projected);
-    let outcome = mochy_a_plus_adaptive(
-        &hypergraph,
-        &projected,
-        AdaptiveConfig {
-            batch_size: 5_000,
-            min_batches: 3,
-            max_batches: 40,
-            target_relative_error: 0.01,
-        },
-        &mut rng,
-    );
+    // Both runs go through the engine: exact and adaptive differ only in
+    // the configured `Method`.
+    let exact = CountConfig::exact().build().count(&hypergraph).counts;
+    let report = CountConfig::adaptive(AdaptiveConfig {
+        batch_size: 5_000,
+        min_batches: 3,
+        max_batches: 40,
+        target_relative_error: 0.01,
+    })
+    .seed(5)
+    .build()
+    .count(&hypergraph);
     println!(
         "\nadaptive MoCHy-A+: {} batches, {} samples, converged = {}",
-        outcome.batches, outcome.samples, outcome.converged
+        report.batches.unwrap_or(0),
+        report.samples_drawn.unwrap_or(0),
+        report.converged.unwrap_or(false)
     );
     println!(
         "relative error vs exact counts: {:.4}",
-        exact.relative_error(&outcome.estimate)
+        exact.relative_error(&report.counts)
     );
-    let (low, high) = outcome.confidence_interval(22, 1.96);
+    let (low, high) = report
+        .confidence_interval(22, 1.96)
+        .expect("adaptive runs report standard errors");
     println!(
         "95% interval for the most common motif (id 22): [{low:.1}, {high:.1}] (exact {})",
         exact.get(22)

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example domain_profiles`.
 
-use mochy::prelude::*;
 use mochy::analysis::profile::CountingMethod;
+use mochy::prelude::*;
 
 fn main() {
     let estimator = ProfileEstimator {
@@ -46,5 +46,8 @@ fn main() {
     let (within, across) = similarity.within_across_means();
     println!("within-domain mean correlation : {within:.3}");
     println!("across-domain mean correlation : {across:.3}");
-    println!("separation gap                 : {:.3}", similarity.separation_gap());
+    println!(
+        "separation gap                 : {:.3}",
+        similarity.separation_gap()
+    );
 }

@@ -11,7 +11,6 @@
 //!
 //! Run with `cargo run --example generalized_motifs`.
 
-use mochy::core::general::mochy_e_general;
 use mochy::core::pairwise::{PairwiseCensus, PairwiseCollapse};
 use mochy::datagen::{generate, DomainKind, GeneratorConfig};
 use mochy::motif::GeneralizedCatalog;
@@ -37,9 +36,14 @@ fn main() {
         catalog4.len()
     );
 
-    // 2. Exact counts of 3-edge and 4-edge motifs.
-    let classic = mochy_e(&hypergraph, &projected);
-    let quads = mochy_e_general(&hypergraph, &projected, &catalog4);
+    // 2. Exact counts of 3-edge and 4-edge motifs, in one engine run: the
+    // `generalized(4)` option adds the k = 4 counts to the report.
+    let report = CountConfig::exact()
+        .generalized(4)
+        .build()
+        .count(&hypergraph);
+    let classic = report.counts;
+    let quads = report.generalized.expect("generalized(4) was configured");
     println!(
         "3-edge instances: {} (across {} motifs)",
         classic.total(),
@@ -52,10 +56,7 @@ fn main() {
     );
     println!("most frequent 4-edge motifs (catalog id, count):");
     for (id, count) in quads.top(5) {
-        println!(
-            "  #{id:<4} {count:>8}   open={}",
-            catalog4.is_open(id)
-        );
+        println!("  #{id:<4} {count:>8}   open={}", catalog4.is_open(id));
     }
 
     // 3. The pairwise collapse.

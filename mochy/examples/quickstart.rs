@@ -22,12 +22,15 @@ fn main() {
         hypergraph.num_edges()
     );
 
-    // Algorithm 1: the projected graph (hyperwedges with overlap sizes).
-    let projected = project(&hypergraph);
-    println!("hyperwedges |∧| = {}", projected.num_hyperwedges());
-
-    // Algorithm 2: exact h-motif counts.
-    let counts = mochy_e(&hypergraph, &projected);
+    // The engine runs Algorithm 1 (projection) and Algorithm 2 (MoCHy-E)
+    // in one configured call; sampling algorithms are one config change
+    // away (e.g. `CountConfig::wedge_sample(100)`).
+    let report = CountConfig::exact().build().count(&hypergraph);
+    println!(
+        "hyperwedges |∧| = {}",
+        report.num_hyperwedges.expect("eager projection")
+    );
+    let counts = report.counts;
     println!("h-motif instances: {}", counts.total());
 
     let catalog = MotifCatalog::new();
@@ -42,9 +45,18 @@ fn main() {
         );
     }
 
-    // Enumerate the instances themselves (Algorithm 3).
+    // Enumerate the instances themselves (Algorithm 3, a free function:
+    // enumeration yields instances, not counts, so it stays outside the
+    // engine's count API).
     println!("instances:");
+    let projected = project(&hypergraph);
     mochy::core::exact::mochy_e_enumerate(&hypergraph, &projected, |i, j, k, motif| {
-        println!("  {{e{}, e{}, e{}}} -> motif {}", i + 1, j + 1, k + 1, motif);
+        println!(
+            "  {{e{}, e{}, e{}}} -> motif {}",
+            i + 1,
+            j + 1,
+            k + 1,
+            motif
+        );
     });
 }

@@ -20,6 +20,10 @@
 //!
 //! ## Quickstart
 //!
+//! Counting goes through the [`core::engine::MotifEngine`]: pick a
+//! [`core::engine::Method`], build a [`core::engine::CountConfig`], and
+//! every algorithm of the paper is one configuration change away.
+//!
 //! ```
 //! use mochy::prelude::*;
 //!
@@ -32,10 +36,23 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let proj = project(&h);
-//! let counts = mochy_e(&h, &proj);
-//! assert_eq!(counts.total(), 3.0); // {e1,e2,e3}, {e1,e2,e4}, {e1,e3,e4}
+//! // MoCHy-E (Algorithm 2), exact counts.
+//! let report = CountConfig::exact().build().count(&h);
+//! assert_eq!(report.counts.total(), 3.0); // {e1,e2,e3}, {e1,e2,e4}, {e1,e3,e4}
+//!
+//! // MoCHy-A+ (Algorithm 5): same call, different config.
+//! let estimate = CountConfig::wedge_sample(100).seed(7).build().count(&h);
+//! assert_eq!(estimate.samples_drawn, Some(100));
+//! assert!(estimate.counts.total() > 0.0);
 //! ```
+//!
+//! | Paper algorithm | `Method` variant |
+//! |---|---|
+//! | Algorithm 2 (MoCHy-E; parallel per Section 3.4) | [`Method::Exact`](core::engine::Method::Exact) |
+//! | Algorithm 4 (MoCHy-A) | [`Method::EdgeSample`](core::engine::Method::EdgeSample) |
+//! | Algorithm 5 (MoCHy-A+) | [`Method::WedgeSample`](core::engine::Method::WedgeSample) |
+//! | Algorithm 5 + stopping rule | [`Method::Adaptive`](core::engine::Method::Adaptive) |
+//! | Section 3.4 on-the-fly projection | [`Method::OnTheFly`](core::engine::Method::OnTheFly) |
 
 pub use mochy_analysis as analysis;
 pub use mochy_core as core;
@@ -56,19 +73,23 @@ pub mod prelude {
         profile::{CharacteristicProfile, ProfileEstimator},
         similarity::SimilarityMatrix,
     };
+    #[allow(deprecated)]
     pub use mochy_core::{
-        adaptive::{mochy_a_plus_adaptive, AdaptiveConfig},
+        adaptive::mochy_a_plus_adaptive,
+        sample::{mochy_a, mochy_a_plus},
+    };
+    pub use mochy_core::{
+        adaptive::AdaptiveConfig,
         count::MotifCounts,
+        engine::{CountConfig, CountReport, Method, MotifEngine, ProjectionMode},
         exact::{mochy_e, mochy_e_parallel},
         general::mochy_e_general,
         pairwise::{PairwiseCensus, PairwiseCollapse},
         profile::{characteristic_profile, significance},
-        sample::{mochy_a, mochy_a_plus, mochy_a_plus_parallel, mochy_a_parallel},
+        sample::{mochy_a_parallel, mochy_a_plus_parallel},
     };
     pub use mochy_datagen::{DomainKind, GeneratorConfig};
-    pub use mochy_hypergraph::{
-        EmpiricalDistribution, Hypergraph, HypergraphBuilder, NodeId,
-    };
+    pub use mochy_hypergraph::{EmpiricalDistribution, Hypergraph, HypergraphBuilder, NodeId};
     pub use mochy_motif::{
         GeneralizedCatalog, HMotif, MotifCatalog, MotifClass, RegionCardinalities,
     };

@@ -1,0 +1,212 @@
+//! Offline vendored mini benchmark harness exposing the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace's
+//! bench targets use: `Criterion::benchmark_group`, group configuration
+//! (`sample_size`, `warm_up_time`, `measurement_time`), `bench_function`
+//! with a `Bencher::iter` closure, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurements are real (monotonic-clock timings of batched iterations
+//! with warm-up, reporting mean and min), but there is no statistical
+//! bootstrap, no HTML report, and no baseline comparison — swapping the
+//! real criterion back in is a one-line manifest change once the build
+//! environment can reach crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Entry point handed to every bench target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards the filter as an argument.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+            filter: self.filter.clone(),
+            _marker_lifetime: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_with_full_id(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    // Mirrors real criterion, whose groups borrow the `Criterion` value.
+    _marker_lifetime: std::marker::PhantomData<&'a ()>,
+}
+
+// Struct update for the private phantom field.
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.bench_with_full_id(full, f);
+        self
+    }
+
+    fn bench_with_full_id<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: run the closure until the warm-up budget is spent.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        while Instant::now() < warm_up_end {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iterations = 0;
+            f(&mut bencher);
+            if bencher.iterations == 0 {
+                break; // closure never called iter(); nothing to measure
+            }
+        }
+        // Measurement: collect per-sample mean iteration times.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iterations = 0;
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        if samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<48} mean {:>12} min {:>12} ({} samples)",
+            format_time(mean),
+            format_time(min),
+            samples.len()
+        );
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` in a timed loop and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One timed batch per sample: enough for the multi-millisecond
+        // workloads in this workspace without per-iteration clock overhead.
+        let iterations = 1u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iterations;
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,608 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, implementing the API subset this workspace uses.
+//!
+//! The build environment has no network access, so the real `rand` crate
+//! cannot be fetched from crates.io. This crate provides a drop-in
+//! replacement with the same module layout (`rngs::StdRng`, `Rng`,
+//! `SeedableRng`, `distributions::{Distribution, WeightedIndex}`,
+//! `seq::SliceRandom`, `prelude::*`) backed by a deterministic
+//! xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The stream of random values differs from the real `rand` crate's
+//! `StdRng` (which is ChaCha12-based); everything in this workspace treats
+//! seeds as opaque determinism handles, never as a cross-library contract,
+//! so only reproducibility within the workspace matters.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for `StdRng`).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanding it with SplitMix64
+    /// (the convention used by the `rand_xoshiro` family).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (Blackman & Vigna).
+    ///
+    /// Deterministic, fast, and of high statistical quality; not
+    /// cryptographically secure (neither use in this workspace needs it).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Types that `gen_range` / `Rng::gen` can produce uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from the half-open range `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from the closed range `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                low.wrapping_add(uniform_u64(rng, span) as $ty)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as $unsigned).wrapping_sub(low as $unsigned) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                low.wrapping_add(uniform_u64(rng, span + 1) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = unit_f64(rng) as $ty;
+                low + unit * (high - low)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                Self::sample_half_open(rng, low, high)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Uniform `u64` in `[0, bound)` by multiply-shift with rejection
+/// (Lemire's method), bias-free. `bound == 0` means the full 2^64 range.
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 random bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardSample {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_sample_int {
+    ($($ty:ty),*) => {$(
+        impl StandardSample for $ty {
+            #[inline]
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing random value interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`Range` or `RangeInclusive`).
+    #[inline]
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A value from the standard distribution (`[0, 1)` for floats).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// Draws one value from `distribution`.
+    #[inline]
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distribution: D) -> T {
+        distribution.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distribution sampling, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::{unit_f64, Rng};
+
+    /// A sampling distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Error from constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// The weight list was empty.
+        NoItem,
+        /// A weight was negative, NaN, or the total was not positive.
+        InvalidWeight,
+    }
+
+    impl core::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                WeightedError::NoItem => f.write_str("no weights provided"),
+                WeightedError::InvalidWeight => f.write_str("invalid weight"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// A weight type accepted by [`WeightedIndex`].
+    pub trait Weight: Copy {
+        /// The weight as an `f64`.
+        fn to_f64(self) -> f64;
+    }
+
+    macro_rules! impl_weight {
+        ($($ty:ty),*) => {$(
+            impl Weight for $ty {
+                #[inline]
+                fn to_f64(self) -> f64 {
+                    self as f64
+                }
+            }
+        )*};
+    }
+
+    impl_weight!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Owned-or-borrowed weight, mirroring `rand`'s `SampleBorrow`: the
+    /// constrained impls let type inference pin the weight type from either
+    /// `&[X]` or owned `X` iterators.
+    pub trait SampleBorrow<X> {
+        /// The borrowed weight.
+        fn borrow_weight(&self) -> X;
+    }
+
+    impl<X: Weight> SampleBorrow<X> for X {
+        #[inline]
+        fn borrow_weight(&self) -> X {
+            *self
+        }
+    }
+
+    impl<X: Weight> SampleBorrow<X> for &X {
+        #[inline]
+        fn borrow_weight(&self) -> X {
+            **self
+        }
+    }
+
+    /// Samples indices `0..n` proportionally to a list of weights, via
+    /// inversion on the cumulative sum (binary search per sample).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct WeightedIndex<X = f64> {
+        cumulative: Vec<f64>,
+        total: f64,
+        _weight: core::marker::PhantomData<X>,
+    }
+
+    impl<X: Weight> WeightedIndex<X> {
+        /// Builds the sampler from an iterator of non-negative weights.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: SampleBorrow<X>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = w.borrow_weight().to_f64();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            Ok(Self {
+                cumulative,
+                total,
+                _weight: core::marker::PhantomData,
+            })
+        }
+    }
+
+    impl<X> Distribution<usize> for WeightedIndex<X> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let target = unit_f64(rng) * self.total;
+            match self
+                .cumulative
+                .binary_search_by(|probe| probe.partial_cmp(&target).expect("finite weights"))
+            {
+                Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+
+    /// The standard distribution (`[0, 1)` for floats), for `rng.sample`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl<T: super::StandardSample> Distribution<T> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::standard_sample(rng)
+        }
+    }
+
+    /// Uniform distribution over a half-open range, for `rng.sample`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: super::SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Self { low, high }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> UniformInclusive<T> {
+            UniformInclusive { low, high }
+        }
+    }
+
+    impl<T: super::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.low, self.high)
+        }
+    }
+
+    /// Uniform distribution over a closed range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformInclusive<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: super::SampleUniform> Distribution<T> for UniformInclusive<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, self.low, self.high)
+        }
+    }
+}
+
+/// Sequence-related random operations, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the first `amount` elements into a uniform random
+        /// sample drawn from the whole slice, returning `(sample, rest)`.
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn partial_shuffle<R: Rng + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            // Forward Fisher–Yates over the prefix only.
+            for i in 0..amount {
+                let j = rng.gen_range(i..self.len());
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+    }
+}
+
+/// The most commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::WeightedIndex;
+    use super::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn weighted_index_is_proportional() {
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline vendored stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! Nothing in this workspace serializes data (no `serde_json`, no format
+//! crate), but the public data types derive `Serialize` / `Deserialize` so
+//! a build against the real serde stays a drop-in switch. This stub keeps
+//! those derives compiling offline: the traits are markers and the derive
+//! macros emit empty impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,103 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so
+//! that downstream users of the real `serde` could plug in, but nothing in
+//! the workspace actually serializes — there is no `serde_json` and no
+//! format crate in the dependency tree. These derive macros therefore emit
+//! marker-trait impls for the vendored `serde` stub: enough to compile and
+//! to keep the derive attributes in place for a future switch to real
+//! serde, without implementing the full data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the type name and generic parameter names of the item the
+/// derive is attached to. Supports the plain and lifetime-free generic
+/// shapes used in this workspace.
+fn type_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`), visibility, and doc comments until the
+    // `struct` / `enum` / `union` keyword.
+    for token in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    // Collect simple generic parameter idents from `<A, B: Bound, ...>`.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            for token in tokens.by_ref() {
+                match &token {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(ident) if depth == 1 && expect_param => {
+                        generics.push(ident.to_string());
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let _ = tokens; // remainder (body, where-clauses) is irrelevant
+    let _ = Delimiter::Brace;
+    (name, generics)
+}
+
+fn impl_marker(input: TokenStream, trait_path: &str, lifetime: Option<&str>) -> TokenStream {
+    let (name, generics) = type_header(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(generics.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    let lt_arg = lifetime.map(|lt| format!("<{lt}>")).unwrap_or_default();
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path}{lt_arg} for {name}{ty_generics} {{}}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Serialize", None)
+}
+
+/// No-op `Deserialize` derive: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Deserialize", Some("'de"))
+}
