@@ -1,21 +1,29 @@
 #!/usr/bin/env bash
-# CI entry point: formatting, lints, build, tests, and a compile check of
-# the Criterion bench targets. Everything runs offline against the
-# vendored dependency stubs.
+# CI entry point: formatting, lints, build, tests, a compile check of the
+# Criterion bench targets, and a deterministic perf smoke that seeds the
+# BENCH.json trajectory. Everything runs offline against the vendored
+# dependency stubs; every dependency-resolving cargo invocation (fmt does
+# not resolve) passes --locked so CI fails loudly if Cargo.lock drifts
+# from the vendored deps.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --workspace --all-targets -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --locked --workspace --all-targets -D warnings"
+cargo clippy --locked --workspace --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
+echo "==> tier-1: cargo build --locked --release && cargo test --locked -q"
+cargo build --locked --release
+cargo test --locked -q
 
-echo "==> cargo bench --no-run (compile check for Criterion targets)"
-cargo bench --no-run
+echo "==> cargo bench --locked --no-run (compile check for Criterion targets)"
+cargo bench --locked --no-run
+
+echo "==> perf smoke: mochy-exp perf --json BENCH.json"
+cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
+    perf --json BENCH.json --threads 4
+head -n 5 BENCH.json
 
 echo "CI OK"

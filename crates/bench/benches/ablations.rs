@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mochy_bench::bench_datasets;
 use mochy_core::sample::WedgeSampler;
 use mochy_motif::{MotifCatalog, Pattern};
-use mochy_projection::project;
+use mochy_projection::{compute_neighborhood, project, NeighborhoodScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +37,34 @@ fn bench_ablations(c: &mut Criterion) {
 
     let (name, hypergraph) = bench_datasets().remove(0);
     let projected = project(&hypergraph);
+
+    // Neighbourhood-construction strategies: the reusable dense scratch
+    // (used by the eager builders) vs the allocation-light gather-sort path
+    // (used by one-off / lazy lookups).
+    group.bench_function(format!("projection/dense_scratch/{name}"), |b| {
+        // The scratch and output buffer are reused across iterations, as the
+        // eager builders reuse them across hyperedges — the bench measures
+        // steady-state accumulation, not the one-off O(|E|) allocation.
+        let mut scratch = NeighborhoodScratch::new(&hypergraph);
+        let mut flat = Vec::new();
+        b.iter(|| {
+            flat.clear();
+            let mut entries = 0usize;
+            for e in hypergraph.edge_ids() {
+                entries += scratch.append_neighborhood(&hypergraph, e, &mut flat);
+            }
+            entries
+        })
+    });
+    group.bench_function(format!("projection/gather_sort/{name}"), |b| {
+        b.iter(|| {
+            let mut entries = 0usize;
+            for e in hypergraph.edge_ids() {
+                entries += compute_neighborhood(&hypergraph, e).len();
+            }
+            entries
+        })
+    });
     group.bench_function(format!("triple_intersection/{name}"), |b| {
         b.iter(|| {
             let mut total = 0usize;

@@ -10,8 +10,12 @@
 //! - `fig11_memo` — on-the-fly MoCHy-A+ under memoization budgets/policies.
 //! - `table4_prediction` — feature extraction and classifier training.
 //! - `ablations` — design-choice ablations called out in DESIGN.md
-//!   (hash-based vs merge-based intersections, catalog construction,
-//!   hyperwedge sampling).
+//!   (dense-scratch vs gather-sort neighbourhood construction, catalog
+//!   construction, hyperwedge sampling).
+//!
+//! [`bench_datasets`] is also the workload of the `mochy-exp perf` smoke
+//! harness (see `mochy_experiments::perf`), which is what CI times and
+//! publishes as `BENCH.json`.
 
 #![forbid(unsafe_code)]
 

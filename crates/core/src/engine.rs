@@ -44,10 +44,20 @@
 //!   ([`project_parallel`]) or lazy ([`mochy_projection::LazyProjection`]),
 //!   chosen from the method and thread count (reported as
 //!   [`ProjectionMode`]).
-//! - **RNG construction** — sampling methods derive a `StdRng` from the
-//!   configured `u64` seed; no RNG value crosses the API.
-//! - **Thread dispatch** — `threads > 1` selects the scoped-thread
-//!   implementations where they exist.
+//! - **RNG construction** — sampling methods derive every random draw from
+//!   the configured `u64` seed; no RNG value crosses the API. Parallel
+//!   sampling derives one stream per *sample index*, so counts are
+//!   identical for every thread count.
+//! - **Thread dispatch** — `threads > 1` routes projection and counting
+//!   through the shared work-stealing pool
+//!   ([`mochy_hypergraph::parallel`]): workers claim hyperedge (or sample)
+//!   blocks from an atomic chunked queue, so skewed-degree datasets do not
+//!   serialize on one heavy static shard.
+//! - **Per-stage timings** — every [`CountReport`] records
+//!   [`CountReport::projection_time`] and [`CountReport::counting_time`]
+//!   alongside the total [`CountReport::elapsed`], which is what the
+//!   `mochy-exp perf` harness (and `BENCH.json`) reads. Timing fields are
+//!   excluded from report equality.
 
 use std::time::{Duration, Instant};
 
@@ -237,9 +247,10 @@ pub enum ProjectionMode {
 /// The result of a [`MotifEngine::count`] run: the counts plus estimator
 /// metadata.
 ///
-/// Equality compares everything **except** [`CountReport::elapsed`], so two
-/// runs with the same configuration and seed compare equal even though
-/// their wall-clock times differ.
+/// Equality compares everything **except** the wall-clock fields
+/// ([`CountReport::elapsed`], [`CountReport::projection_time`],
+/// [`CountReport::counting_time`]), so two runs with the same configuration
+/// and seed compare equal even though their timings differ.
 #[derive(Debug, Clone)]
 pub struct CountReport {
     /// Exact counts ([`Method::Exact`]) or unbiased estimates (all other
@@ -271,7 +282,16 @@ pub struct CountReport {
     pub generalized: Option<GeneralCounts>,
     /// How the projected graph was obtained.
     pub projection: ProjectionMode,
-    /// Wall-clock duration of the run (excluded from equality).
+    /// Wall-clock time spent materializing the projected graph (excluded
+    /// from equality). Zero for [`Method::OnTheFly`], whose neighbourhoods
+    /// are computed on demand during counting.
+    pub projection_time: Duration,
+    /// Wall-clock time spent in the counting/sampling stage proper
+    /// (excluded from equality). For [`Method::OnTheFly`] this includes the
+    /// lazy neighbourhood computation.
+    pub counting_time: Duration,
+    /// Wall-clock duration of the whole run, including report assembly and
+    /// any generalized-count ride-along (excluded from equality).
     pub elapsed: Duration,
 }
 
@@ -329,21 +349,28 @@ impl MotifEngine {
         let threads = self.config.threads.max(1);
         let seed = self.config.seed;
 
-        let mut report = match self.config.method {
+        let (mut report, projection_time, counting_time) = match self.config.method {
             Method::Exact => {
-                let (projected, projection) = self.eager_projection(hypergraph, threads);
-                let counts = if threads > 1 {
-                    mochy_e_parallel(hypergraph, &projected, threads)
-                } else {
-                    mochy_e(hypergraph, &projected)
-                };
-                self.base_report(counts, projection, Some(&projected), hypergraph)
+                let ((projected, projection), projection_time) =
+                    timed(|| self.eager_projection(hypergraph, threads));
+                let (counts, counting_time) = timed(|| {
+                    if threads > 1 {
+                        mochy_e_parallel(hypergraph, &projected, threads)
+                    } else {
+                        mochy_e(hypergraph, &projected)
+                    }
+                });
+                let report = self.base_report(counts, projection, Some(&projected), hypergraph);
+                (report, projection_time, counting_time)
             }
             Method::EdgeSample { samples } => {
-                let (projected, projection) = self.eager_projection(hypergraph, threads);
+                let ((projected, projection), projection_time) =
+                    timed(|| self.eager_projection(hypergraph, threads));
                 // Sequential and parallel dispatch share this entry point;
-                // it derives per-thread StdRngs from the seed internally.
-                let counts = mochy_a_parallel(hypergraph, &projected, samples, threads, seed);
+                // it derives a per-sample-index StdRng from the seed, so the
+                // estimate is thread-count invariant.
+                let (counts, counting_time) =
+                    timed(|| mochy_a_parallel(hypergraph, &projected, samples, threads, seed));
                 let mut report = self.base_report(counts, projection, Some(&projected), hypergraph);
                 // The sampler early-returns without drawing on an empty
                 // hypergraph; report what was actually drawn.
@@ -352,11 +379,13 @@ impl MotifEngine {
                 } else {
                     samples
                 });
-                report
+                (report, projection_time, counting_time)
             }
             Method::WedgeSample { samples } => {
-                let (projected, projection) = self.eager_projection(hypergraph, threads);
-                let counts = mochy_a_plus_parallel(hypergraph, &projected, samples, threads, seed);
+                let ((projected, projection), projection_time) =
+                    timed(|| self.eager_projection(hypergraph, threads));
+                let (counts, counting_time) =
+                    timed(|| mochy_a_plus_parallel(hypergraph, &projected, samples, threads, seed));
                 let drawn = if projected.num_hyperwedges() == 0 {
                     0
                 } else {
@@ -364,29 +393,33 @@ impl MotifEngine {
                 };
                 let mut report = self.base_report(counts, projection, Some(&projected), hypergraph);
                 report.samples_drawn = Some(drawn);
-                report
+                (report, projection_time, counting_time)
             }
             Method::WedgeSampleRatio { ratio } => {
-                let (projected, projection) = self.eager_projection(hypergraph, threads);
+                let ((projected, projection), projection_time) =
+                    timed(|| self.eager_projection(hypergraph, threads));
                 let num_hyperwedges = projected.num_hyperwedges();
                 let samples = if num_hyperwedges == 0 {
                     0
                 } else {
                     ((num_hyperwedges as f64 * ratio).ceil() as usize).max(1)
                 };
-                let counts = mochy_a_plus_parallel(hypergraph, &projected, samples, threads, seed);
+                let (counts, counting_time) =
+                    timed(|| mochy_a_plus_parallel(hypergraph, &projected, samples, threads, seed));
                 let mut report = self.base_report(counts, projection, Some(&projected), hypergraph);
                 report.samples_drawn = Some(samples);
-                report
+                (report, projection_time, counting_time)
             }
             Method::Adaptive(adaptive_config) => {
                 // The stopping rule is inherently sequential (each batch
                 // decides whether another is needed), so `threads` only
                 // accelerates the projection.
-                let (projected, projection) = self.eager_projection(hypergraph, threads);
+                let ((projected, projection), projection_time) =
+                    timed(|| self.eager_projection(hypergraph, threads));
                 let mut rng = StdRng::seed_from_u64(seed);
-                let outcome =
-                    mochy_a_plus_adaptive_impl(hypergraph, &projected, adaptive_config, &mut rng);
+                let (outcome, counting_time) = timed(|| {
+                    mochy_a_plus_adaptive_impl(hypergraph, &projected, adaptive_config, &mut rng)
+                });
                 let mut report =
                     self.base_report(outcome.estimate, projection, Some(&projected), hypergraph);
                 report.samples_drawn = Some(outcome.samples);
@@ -394,7 +427,7 @@ impl MotifEngine {
                 report.standard_errors = Some(outcome.standard_errors);
                 report.total_relative_error = Some(outcome.total_relative_error);
                 report.converged = Some(outcome.converged);
-                report
+                (report, projection_time, counting_time)
             }
             Method::OnTheFly {
                 samples,
@@ -407,7 +440,10 @@ impl MotifEngine {
                     budget_entries,
                     policy,
                 };
-                let outcome = mochy_a_plus_onthefly_impl(hypergraph, config, &mut rng);
+                // No projection stage: neighbourhoods are computed on demand
+                // inside the sampling loop, so the whole run is counting.
+                let (outcome, counting_time) =
+                    timed(|| mochy_a_plus_onthefly_impl(hypergraph, config, &mut rng));
                 let projection = ProjectionMode::Lazy {
                     budget_entries,
                     policy,
@@ -420,10 +456,12 @@ impl MotifEngine {
                 });
                 report.memo_stats = Some(outcome.memo_stats);
                 report.num_hyperwedges = Some(outcome.num_hyperwedges);
-                report
+                (report, Duration::ZERO, counting_time)
             }
         };
 
+        report.projection_time = projection_time;
+        report.counting_time = counting_time;
         report.elapsed = start.elapsed();
         report
     }
@@ -472,7 +510,16 @@ impl MotifEngine {
             num_hyperwedges: projected.map(ProjectedGraph::num_hyperwedges),
             generalized,
             projection,
+            projection_time: Duration::ZERO,
+            counting_time: Duration::ZERO,
             elapsed: Duration::ZERO,
         }
     }
+}
+
+/// Runs `f` and returns its result together with the wall-clock duration.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
 }

@@ -1,6 +1,6 @@
 //! MoCHy-E: exact h-motif counting and enumeration (Algorithms 2 and 3).
 
-use mochy_hypergraph::{EdgeId, Hypergraph};
+use mochy_hypergraph::{default_chunk_size, map_reduce_chunks, EdgeId, Hypergraph};
 use mochy_motif::{MotifCatalog, MotifId};
 use mochy_projection::ProjectedGraph;
 
@@ -25,10 +25,12 @@ pub fn mochy_e(hypergraph: &Hypergraph, projected: &ProjectedGraph) -> MotifCoun
     counts
 }
 
-/// Parallel MoCHy-E (Section 3.4): hyperedges are partitioned across
-/// `num_threads` worker threads, each accumulating into a private count
-/// vector; the results are summed at the end, so the output is bit-identical
-/// to [`mochy_e`].
+/// Parallel MoCHy-E (Section 3.4): worker threads claim hyperedge blocks
+/// from an atomic work queue (work stealing, so skewed-degree datasets do
+/// not serialize on one heavy static shard), each accumulating into a
+/// private count vector; the partials are summed at the end. Every raw
+/// contribution is an exact integer-valued `f64` increment, so the output is
+/// bit-identical to [`mochy_e`] for every thread count and schedule.
 pub fn mochy_e_parallel(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
@@ -38,35 +40,26 @@ pub fn mochy_e_parallel(
     if num_threads <= 1 || n < 2 {
         return mochy_e(hypergraph, projected);
     }
-    let threads = num_threads.min(n);
-    let partials: Vec<MotifCounts> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            handles.push(scope.spawn(move || {
-                let catalog = MotifCatalog::new();
-                let mut local = MotifCounts::zero();
-                let mut i = t;
-                while i < n {
-                    count_instances_centred_at(
-                        hypergraph,
-                        projected,
-                        &catalog,
-                        i as EdgeId,
-                        |motif, _, _| local.increment(motif),
-                    );
-                    i += threads;
-                }
-                local
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("MoCHy-E worker panicked"))
-            .collect()
-    });
+    let partials = map_reduce_chunks(
+        n,
+        num_threads,
+        default_chunk_size(n, num_threads),
+        || (MotifCatalog::new(), MotifCounts::zero()),
+        |(catalog, local), range| {
+            for i in range {
+                count_instances_centred_at(
+                    hypergraph,
+                    projected,
+                    catalog,
+                    i as EdgeId,
+                    |motif, _, _| local.increment(motif),
+                );
+            }
+        },
+    );
 
     let mut counts = MotifCounts::zero();
-    for partial in &partials {
+    for (_, partial) in &partials {
         counts.merge(partial);
     }
     counts

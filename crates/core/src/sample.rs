@@ -5,14 +5,24 @@
 //! variance for the same expected work (Section 3.3), which Figure 8 of the
 //! paper and the `fig8_tradeoff` bench of this repository confirm.
 
-use mochy_hypergraph::{EdgeId, Hypergraph};
+use mochy_hypergraph::{default_chunk_size, map_reduce_chunks, EdgeId, Hypergraph};
 use mochy_motif::MotifCatalog;
 use mochy_projection::ProjectedGraph;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
 use crate::classify::classify_triple_with_weights;
 use crate::count::MotifCounts;
+
+/// Deterministic per-sample RNG: sample `index` under `seed` always draws
+/// from the same stream no matter which worker thread claims it, which makes
+/// sampled counts identical for every thread count (the raw per-motif
+/// contributions are integer-valued `f64` additions, so merge order cannot
+/// change the result either).
+fn sample_rng(seed: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// MoCHy-A (Algorithm 4): samples `s` hyperedges uniformly at random with
 /// replacement, counts the h-motif instances containing each sample, and
@@ -52,8 +62,10 @@ pub(crate) fn mochy_a_impl<R: Rng + ?Sized>(
     raw
 }
 
-/// Parallel MoCHy-A: `num_samples` are split across `num_threads` workers,
-/// each with an independent deterministic RNG derived from `seed`.
+/// Parallel MoCHy-A: sample indices are claimed in blocks from an atomic
+/// work queue by `num_threads` workers, and each sample draws from its own
+/// RNG stream derived from `(seed, index)` — see [`sample_rng`] — so the
+/// estimate is identical for every thread count (including 1).
 pub fn mochy_a_parallel(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
@@ -65,34 +77,22 @@ pub fn mochy_a_parallel(
     if num_edges == 0 || num_samples == 0 {
         return MotifCounts::zero();
     }
-    if num_threads <= 1 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        return mochy_a_impl(hypergraph, projected, num_samples, &mut rng);
-    }
-    let threads = num_threads.min(num_samples);
-    let partials: Vec<MotifCounts> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let quota = num_samples / threads + usize::from(t < num_samples % threads);
-            handles.push(scope.spawn(move || {
-                let catalog = MotifCatalog::new();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-                let mut raw = MotifCounts::zero();
-                for _ in 0..quota {
-                    let sample = rng.gen_range(0..num_edges) as EdgeId;
-                    count_from_sampled_edge(hypergraph, projected, &catalog, sample, &mut raw);
-                }
-                raw
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("MoCHy-A worker panicked"))
-            .collect()
-    });
+    let partials = map_reduce_chunks(
+        num_samples,
+        num_threads,
+        default_chunk_size(num_samples, num_threads.max(1)),
+        || (MotifCatalog::new(), MotifCounts::zero()),
+        |(catalog, raw), range| {
+            for index in range {
+                let mut rng = sample_rng(seed, index);
+                let sample = rng.gen_range(0..num_edges) as EdgeId;
+                count_from_sampled_edge(hypergraph, projected, catalog, sample, raw);
+            }
+        },
+    );
 
     let mut counts = MotifCounts::zero();
-    for partial in &partials {
+    for (_, partial) in &partials {
         counts.merge(partial);
     }
     counts.scale(num_edges as f64 / (3.0 * num_samples as f64));
@@ -137,7 +137,10 @@ pub(crate) fn mochy_a_plus_impl<R: Rng + ?Sized>(
     raw
 }
 
-/// Parallel MoCHy-A+ with deterministic per-thread RNGs derived from `seed`.
+/// Parallel MoCHy-A+: like [`mochy_a_parallel`], sample indices are pulled
+/// from an atomic chunked work queue and each sample draws from its own
+/// `(seed, index)`-derived RNG stream, so the estimate is identical for
+/// every thread count (including 1).
 pub fn mochy_a_plus_parallel(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
@@ -145,40 +148,28 @@ pub fn mochy_a_plus_parallel(
     num_threads: usize,
     seed: u64,
 ) -> MotifCounts {
-    if num_threads <= 1 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        return mochy_a_plus_impl(hypergraph, projected, num_samples, &mut rng);
-    }
     let catalog = MotifCatalog::new();
     let sampler = WedgeSampler::new(projected);
     if sampler.num_hyperwedges() == 0 || num_samples == 0 {
         return MotifCounts::zero();
     }
-    let threads = num_threads.min(num_samples);
     let sampler_ref = &sampler;
-    let partials: Vec<MotifCounts> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let quota = num_samples / threads + usize::from(t < num_samples % threads);
-            handles.push(scope.spawn(move || {
-                let catalog = MotifCatalog::new();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-                let mut raw = MotifCounts::zero();
-                for _ in 0..quota {
-                    let (i, j) = sampler_ref.sample(&mut rng);
-                    count_from_sampled_wedge(hypergraph, projected, &catalog, i, j, &mut raw);
-                }
-                raw
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("MoCHy-A+ worker panicked"))
-            .collect()
-    });
+    let partials = map_reduce_chunks(
+        num_samples,
+        num_threads,
+        default_chunk_size(num_samples, num_threads.max(1)),
+        || (MotifCatalog::new(), MotifCounts::zero()),
+        |(catalog, raw), range| {
+            for index in range {
+                let mut rng = sample_rng(seed, index);
+                let (i, j) = sampler_ref.sample(&mut rng);
+                count_from_sampled_wedge(hypergraph, projected, catalog, i, j, raw);
+            }
+        },
+    );
 
     let mut counts = MotifCounts::zero();
-    for partial in &partials {
+    for (_, partial) in &partials {
         counts.merge(partial);
     }
     rescale_wedge_estimates(
@@ -551,6 +542,28 @@ mod tests {
             mochy_a(&disconnected, &proj_disconnected, 10, &mut rng).total(),
             0.0
         );
+    }
+
+    #[test]
+    fn parallel_sampling_is_thread_count_invariant() {
+        // Per-sample RNG derivation makes the estimate a pure function of
+        // (seed, num_samples), independent of threads and scheduling.
+        let h = random_hypergraph(12, 20, 30, 5);
+        let proj = project(&h);
+        let base_a = mochy_a_parallel(&h, &proj, 777, 1, 5);
+        let base_a_plus = mochy_a_plus_parallel(&h, &proj, 777, 1, 5);
+        for threads in [2, 4, 8, 32] {
+            assert_eq!(
+                mochy_a_parallel(&h, &proj, 777, threads, 5),
+                base_a,
+                "MoCHy-A, threads {threads}"
+            );
+            assert_eq!(
+                mochy_a_plus_parallel(&h, &proj, 777, threads, 5),
+                base_a_plus,
+                "MoCHy-A+, threads {threads}"
+            );
+        }
     }
 
     #[test]

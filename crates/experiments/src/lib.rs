@@ -21,6 +21,11 @@
 //! | [`q3domain`] | Q3 — leave-one-out domain identification from CPs |
 //! | [`pairwise`] | Section 2.2 / 3 — pairwise-baseline collapse study |
 //! | [`nullmodels`] | Appendix D — null-model preservation diagnostics |
+//!
+//! In addition, [`perf`] implements the `mochy-exp perf` subcommand: the
+//! deterministic perf-smoke harness that times projection vs counting for
+//! all five methods on the bench workloads and emits `BENCH.json` (run by
+//! `ci.sh`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +40,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod nullmodels;
 pub mod pairwise;
+pub mod perf;
 pub mod q3domain;
 pub mod table2;
 pub mod table3;

@@ -7,10 +7,11 @@
 //! mochy-exp list
 //! mochy-exp gen <domain> <nodes> <edges> <seed> <path>
 //! mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]
+//! mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]
 //! ```
 
 use mochy_experiments::tool::{self, CountAlgorithm};
-use mochy_experiments::{run_experiment, ExperimentScale, ALL_EXPERIMENTS};
+use mochy_experiments::{perf, run_experiment, ExperimentScale, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +26,10 @@ fn main() {
     }
     if command == "count" {
         run_count(&args[1..]);
+        return;
+    }
+    if command == "perf" {
+        run_perf(&args[1..]);
         return;
     }
     let scale = parse_scale(&args).unwrap_or_else(|message| {
@@ -122,6 +127,54 @@ fn run_count(args: &[String]) {
     }
 }
 
+fn run_perf(args: &[String]) {
+    let mut options = perf::PerfOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--json" => json_path = Some(take_value("--json")),
+            "--threads" => {
+                options.threads = take_value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid thread count");
+                    std::process::exit(2);
+                })
+            }
+            "--samples" => {
+                options.samples = take_value("--samples").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid sample count");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = perf::run(&options);
+    match json_path {
+        Some(path) => {
+            if let Err(error) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {error}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote perf matrix to {path} (threads = {}, samples = {}, seed = {})",
+                options.threads, options.samples, options.seed
+            );
+        }
+        None => print!("{json}"),
+    }
+}
+
 fn parse_scale(args: &[String]) -> Result<ExperimentScale, String> {
     let mut scale = ExperimentScale::Small;
     let mut iter = args.iter().skip(1);
@@ -143,5 +196,6 @@ fn print_usage() {
     eprintln!("usage: mochy-exp <experiment|all|list> [--scale tiny|small|medium]");
     eprintln!("       mochy-exp gen <domain> <nodes> <edges> <seed> <path>");
     eprintln!("       mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]");
+    eprintln!("       mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
 }

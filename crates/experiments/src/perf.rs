@@ -1,0 +1,437 @@
+//! `mochy-exp perf` — the deterministic perf-smoke harness behind
+//! `BENCH.json`.
+//!
+//! Times projection and counting separately (via the engine's per-stage
+//! [`CountReport`](mochy_core::CountReport) timings) for all five counting
+//! methods — MoCHy-E, MoCHy-A, MoCHy-A+, adaptive MoCHy-A+, and on-the-fly
+//! MoCHy-A+ — on every [`mochy_bench::bench_datasets`] workload, and renders
+//! the result as machine-readable JSON. Seeds are fixed, so the *counts* in
+//! the output are bit-reproducible; the timings are what CI tracks over time
+//! as the `BENCH_*.json` trajectory.
+
+use mochy_core::engine::{CountConfig, Method};
+use mochy_core::AdaptiveConfig;
+use mochy_hypergraph::Hypergraph;
+use mochy_projection::MemoPolicy;
+
+/// Configuration of a perf run. Everything is fixed/deterministic except
+/// wall-clock timings.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOptions {
+    /// Worker threads for projection and counting (0 and 1 mean sequential).
+    pub threads: usize,
+    /// Samples per sampling method.
+    pub samples: usize,
+    /// RNG seed shared by every sampling run.
+    pub seed: u64,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            samples: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// The five methods of the perf matrix, keyed by their stable report names.
+fn perf_methods(options: &PerfOptions) -> Vec<Method> {
+    vec![
+        Method::Exact,
+        Method::EdgeSample {
+            samples: options.samples,
+        },
+        Method::WedgeSample {
+            samples: options.samples,
+        },
+        Method::Adaptive(AdaptiveConfig {
+            batch_size: (options.samples / 8).max(1),
+            min_batches: 2,
+            max_batches: 8,
+            target_relative_error: 0.05,
+        }),
+        Method::OnTheFly {
+            samples: options.samples,
+            budget_entries: 4_096,
+            policy: MemoPolicy::Lru,
+        },
+    ]
+}
+
+/// One timed engine run in the output matrix.
+struct MethodRow {
+    method_name: &'static str,
+    projection_ms: f64,
+    counting_ms: f64,
+    total_ms: f64,
+    samples_drawn: Option<usize>,
+    total_count: f64,
+}
+
+/// One dataset block in the output.
+struct DatasetBlock {
+    name: String,
+    num_nodes: usize,
+    num_edges: usize,
+    num_hyperwedges: Option<usize>,
+    rows: Vec<MethodRow>,
+}
+
+fn run_dataset(name: &str, hypergraph: &Hypergraph, options: &PerfOptions) -> DatasetBlock {
+    let mut block = DatasetBlock {
+        name: name.to_string(),
+        num_nodes: hypergraph.num_nodes(),
+        num_edges: hypergraph.num_edges(),
+        num_hyperwedges: None,
+        rows: Vec::new(),
+    };
+    for method in perf_methods(options) {
+        let report = CountConfig::new(method)
+            .threads(options.threads)
+            .seed(options.seed)
+            .build()
+            .count(hypergraph);
+        if block.num_hyperwedges.is_none() {
+            block.num_hyperwedges = report.num_hyperwedges;
+        }
+        block.rows.push(MethodRow {
+            method_name: method.name(),
+            projection_ms: report.projection_time.as_secs_f64() * 1e3,
+            counting_ms: report.counting_time.as_secs_f64() * 1e3,
+            total_ms: report.elapsed.as_secs_f64() * 1e3,
+            samples_drawn: report.samples_drawn,
+            total_count: report.counts.total(),
+        });
+    }
+    block
+}
+
+/// Runs the perf matrix on explicit `(name, hypergraph)` workloads and
+/// renders the JSON document. [`run`] feeds it the standard bench datasets.
+pub fn run_on(datasets: &[(&str, Hypergraph)], options: &PerfOptions) -> String {
+    let blocks: Vec<DatasetBlock> = datasets
+        .iter()
+        .map(|(name, hypergraph)| run_dataset(name, hypergraph, options))
+        .collect();
+    render_json(&blocks, options)
+}
+
+/// Runs the perf matrix on the [`mochy_bench::bench_datasets`] workloads and
+/// returns the `BENCH.json` document.
+pub fn run(options: &PerfOptions) -> String {
+    let datasets = mochy_bench::bench_datasets();
+    run_on(&datasets, options)
+}
+
+fn render_json(blocks: &[DatasetBlock], options: &PerfOptions) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mochy-perf/1\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", options.threads.max(1)));
+    out.push_str(&format!("  \"samples\": {},\n", options.samples));
+    out.push_str(&format!("  \"seed\": {},\n", options.seed));
+    out.push_str("  \"datasets\": [\n");
+    for (d, block) in blocks.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            escape_json(&block.name)
+        ));
+        out.push_str(&format!("      \"num_nodes\": {},\n", block.num_nodes));
+        out.push_str(&format!("      \"num_edges\": {},\n", block.num_edges));
+        out.push_str(&format!(
+            "      \"num_hyperwedges\": {},\n",
+            block
+                .num_hyperwedges
+                .map_or_else(|| "null".to_string(), |w| w.to_string())
+        ));
+        out.push_str("      \"methods\": [\n");
+        for (m, row) in block.rows.iter().enumerate() {
+            out.push_str("        {\n");
+            out.push_str(&format!(
+                "          \"method\": \"{}\",\n",
+                escape_json(row.method_name)
+            ));
+            out.push_str(&format!(
+                "          \"projection_ms\": {},\n",
+                json_number(row.projection_ms)
+            ));
+            out.push_str(&format!(
+                "          \"counting_ms\": {},\n",
+                json_number(row.counting_ms)
+            ));
+            out.push_str(&format!(
+                "          \"total_ms\": {},\n",
+                json_number(row.total_ms)
+            ));
+            out.push_str(&format!(
+                "          \"samples_drawn\": {},\n",
+                row.samples_drawn
+                    .map_or_else(|| "null".to_string(), |s| s.to_string())
+            ));
+            out.push_str(&format!(
+                "          \"total_count\": {}\n",
+                json_number(row.total_count)
+            ));
+            out.push_str(if m + 1 < block.rows.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if d + 1 < blocks.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (JSON has no NaN/Infinity; the
+/// perf matrix never produces them, but clamp defensively).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_datagen::{generate, DomainKind, GeneratorConfig};
+
+    /// A minimal recursive-descent JSON syntax checker, so the tests assert
+    /// *valid JSON* rather than just balanced braces.
+    mod json_check {
+        pub fn validate(text: &str) -> Result<(), String> {
+            let bytes = text.as_bytes();
+            let mut pos = 0usize;
+            skip_ws(bytes, &mut pos);
+            value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing content at byte {pos}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(bytes: &[u8], pos: &mut usize) {
+            while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+
+        fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            match bytes.get(*pos) {
+                Some(b'{') => object(bytes, pos),
+                Some(b'[') => array(bytes, pos),
+                Some(b'"') => string(bytes, pos),
+                Some(b't') => literal(bytes, pos, b"true"),
+                Some(b'f') => literal(bytes, pos, b"false"),
+                Some(b'n') => literal(bytes, pos, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(bytes, pos),
+                other => Err(format!("unexpected {other:?} at byte {pos}")),
+            }
+        }
+
+        fn literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
+            if bytes[*pos..].starts_with(expected) {
+                *pos += expected.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {pos}"))
+            }
+        }
+
+        fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            let digits = |bytes: &[u8], pos: &mut usize| {
+                let from = *pos;
+                while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                    *pos += 1;
+                }
+                *pos > from
+            };
+            if !digits(bytes, pos) {
+                return Err(format!("bad number at byte {start}"));
+            }
+            if bytes.get(*pos) == Some(&b'.') {
+                *pos += 1;
+                if !digits(bytes, pos) {
+                    return Err(format!("bad fraction at byte {start}"));
+                }
+            }
+            if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+                *pos += 1;
+                if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+                    *pos += 1;
+                }
+                if !digits(bytes, pos) {
+                    return Err(format!("bad exponent at byte {start}"));
+                }
+            }
+            Ok(())
+        }
+
+        fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            *pos += 1; // opening quote
+            while let Some(&c) = bytes.get(*pos) {
+                match c {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *pos += 2,
+                    _ => *pos += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+
+        fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(bytes, pos);
+                string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+
+        fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(bytes, pos);
+                value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+    }
+
+    fn tiny_options() -> PerfOptions {
+        PerfOptions {
+            threads: 2,
+            samples: 200,
+            seed: 0,
+        }
+    }
+
+    fn tiny_dataset() -> (&'static str, Hypergraph) {
+        (
+            "tiny-email",
+            generate(&GeneratorConfig::new(DomainKind::Email, 60, 90, 5)),
+        )
+    }
+
+    #[test]
+    fn perf_json_is_valid_and_covers_all_five_methods() {
+        let datasets = vec![tiny_dataset()];
+        let json = run_on(&datasets, &tiny_options());
+        json_check::validate(&json).expect("perf output must be valid JSON");
+        for name in [
+            "mochy-e",
+            "mochy-a\"",
+            "mochy-a+\"",
+            "mochy-a+-adaptive",
+            "mochy-a+-otf",
+        ] {
+            assert!(json.contains(name), "missing method {name} in:\n{json}");
+        }
+        for key in [
+            "\"schema\"",
+            "\"projection_ms\"",
+            "\"counting_ms\"",
+            "\"total_ms\"",
+            "\"num_hyperwedges\"",
+            "\"samples_drawn\"",
+            "\"total_count\"",
+        ] {
+            assert!(json.contains(key), "missing key {key}");
+        }
+    }
+
+    #[test]
+    fn perf_counts_are_deterministic_across_runs() {
+        // Timings differ between runs; everything else must not. Compare the
+        // JSON after zeroing the *_ms fields.
+        let datasets = vec![tiny_dataset()];
+        let strip = |json: &str| -> String {
+            json.lines()
+                .filter(|line| !line.contains("_ms\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let first = run_on(&datasets, &tiny_options());
+        let second = run_on(&datasets, &tiny_options());
+        assert_eq!(strip(&first), strip(&second));
+    }
+
+    #[test]
+    fn json_escaping_and_number_formatting() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_number(1.5), "1.500");
+        assert_eq!(json_number(f64::NAN), "null");
+        json_check::validate("{\"a\": [1, 2.5, null, \"x\"]}").unwrap();
+        assert!(json_check::validate("{\"a\": }").is_err());
+        assert!(json_check::validate("[1, 2").is_err());
+    }
+}

@@ -7,6 +7,7 @@
 //! (`E_v`, the hyperedges containing each node), which Algorithm 1 of the
 //! paper traverses to build the projected graph.
 
+use crate::csr::Csr;
 use crate::error::HypergraphError;
 
 /// Identifier of a node (author, tag, e-mail account, ...).
@@ -22,14 +23,11 @@ pub type EdgeId = u32;
 pub struct Hypergraph {
     /// Number of nodes. Node identifiers are `0..num_nodes`.
     num_nodes: usize,
-    /// Offsets into `edge_nodes`; length `num_edges + 1`.
-    edge_offsets: Vec<usize>,
-    /// Concatenated, per-edge-sorted node members.
-    edge_nodes: Vec<NodeId>,
-    /// Offsets into `node_edges`; length `num_nodes + 1`.
-    node_offsets: Vec<usize>,
-    /// Concatenated, per-node-sorted incident hyperedges (`E_v`).
-    node_edges: Vec<EdgeId>,
+    /// Per-edge-sorted node members; row `e` is hyperedge `e`.
+    edges: Csr<NodeId>,
+    /// Transposed incidence (`E_v`); row `v` lists the hyperedges containing
+    /// node `v`, sorted ascending.
+    incidence: Csr<EdgeId>,
 }
 
 impl Hypergraph {
@@ -46,21 +44,18 @@ impl Hypergraph {
             return Err(HypergraphError::NoEdges);
         }
         let total: usize = edges.iter().map(Vec::len).sum();
-        let mut edge_offsets = Vec::with_capacity(edges.len() + 1);
-        let mut edge_nodes = Vec::with_capacity(total);
-        edge_offsets.push(0);
+        let mut edge_csr = Csr::with_capacity(edges.len(), total);
         for (index, edge) in edges.iter().enumerate() {
             if edge.is_empty() {
                 return Err(HypergraphError::EmptyEdge { index });
             }
             debug_assert!(edge.windows(2).all(|w| w[0] < w[1]), "edges must be sorted");
-            edge_nodes.extend_from_slice(edge);
-            edge_offsets.push(edge_nodes.len());
+            edge_csr.push_row(edge);
         }
 
         // Transpose: count node degrees, then fill.
         let mut degrees = vec![0usize; num_nodes];
-        for &v in &edge_nodes {
+        for &v in edge_csr.values() {
             degrees[v as usize] += 1;
         }
         let mut node_offsets = Vec::with_capacity(num_nodes + 1);
@@ -80,10 +75,8 @@ impl Hypergraph {
         // list is already sorted ascending by edge id.
         Ok(Self {
             num_nodes,
-            edge_offsets,
-            edge_nodes,
-            node_offsets,
-            node_edges,
+            edges: edge_csr,
+            incidence: Csr::from_parts(node_offsets, node_edges),
         })
     }
 
@@ -96,13 +89,13 @@ impl Hypergraph {
     /// Number of hyperedges `|E|`.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edge_offsets.len() - 1
+        self.edges.num_rows()
     }
 
     /// Total number of (node, hyperedge) incidences, i.e. `Σ_e |e|`.
     #[inline]
     pub fn num_incidences(&self) -> usize {
-        self.edge_nodes.len()
+        self.edges.num_entries()
     }
 
     /// The members of hyperedge `e`, sorted ascending.
@@ -111,29 +104,25 @@ impl Hypergraph {
     /// Panics if `e` is out of range.
     #[inline]
     pub fn edge(&self, e: EdgeId) -> &[NodeId] {
-        let e = e as usize;
-        &self.edge_nodes[self.edge_offsets[e]..self.edge_offsets[e + 1]]
+        self.edges.row(e as usize)
     }
 
     /// The size `|e|` of hyperedge `e`.
     #[inline]
     pub fn edge_size(&self, e: EdgeId) -> usize {
-        let e = e as usize;
-        self.edge_offsets[e + 1] - self.edge_offsets[e]
+        self.edges.row_len(e as usize)
     }
 
     /// The hyperedges containing node `v` (`E_v`), sorted ascending.
     #[inline]
     pub fn edges_of_node(&self, v: NodeId) -> &[EdgeId] {
-        let v = v as usize;
-        &self.node_edges[self.node_offsets[v]..self.node_offsets[v + 1]]
+        self.incidence.row(v as usize)
     }
 
     /// The degree of node `v`, i.e. `|E_v|`.
     #[inline]
     pub fn node_degree(&self, v: NodeId) -> usize {
-        let v = v as usize;
-        self.node_offsets[v + 1] - self.node_offsets[v]
+        self.incidence.row_len(v as usize)
     }
 
     /// Whether hyperedge `e` contains node `v` (binary search on the sorted
@@ -215,11 +204,24 @@ impl Hypergraph {
     }
 }
 
+/// When one sorted slice is at least this many times longer than the other,
+/// binary probes of the short slice into the long one beat a linear merge
+/// (`k · log n` vs `k + n` comparisons).
+const GALLOP_RATIO: usize = 8;
+
 /// Size of the intersection of two ascending-sorted slices.
+///
+/// Degree-ordered hybrid: balanced inputs use a linear merge; skewed inputs
+/// (one side ≥ [`GALLOP_RATIO`]× longer) gallop the short slice through the
+/// long one with an advancing binary search.
 pub fn sorted_intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len().saturating_mul(GALLOP_RATIO) < large.len() {
+        return probe_intersection(small, large, false);
+    }
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
@@ -232,11 +234,41 @@ pub fn sorted_intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
     count
 }
 
-/// Whether two ascending-sorted slices share at least one element.
+/// Intersection by probing: every element of the (much shorter) `small`
+/// slice is located in `large` by a binary search restricted to the
+/// not-yet-passed suffix, so the search window only shrinks. With
+/// `early_exit` the scan stops at the first common element (count is then
+/// 0 or 1).
+fn probe_intersection(small: &[NodeId], large: &[NodeId], early_exit: bool) -> usize {
+    let mut lo = 0usize;
+    let mut count = 0usize;
+    for &v in small {
+        lo += large[lo..].partition_point(|&x| x < v);
+        if lo >= large.len() {
+            break;
+        }
+        if large[lo] == v {
+            count += 1;
+            if early_exit {
+                break;
+            }
+            lo += 1;
+        }
+    }
+    count
+}
+
+/// Whether two ascending-sorted slices share at least one element. Uses the
+/// same hybrid merge/probe strategy as [`sorted_intersection_size`], with
+/// early exit on the first common element.
 pub fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len().saturating_mul(GALLOP_RATIO) < large.len() {
+        return probe_intersection(small, large, true) > 0;
+    }
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => return true,
@@ -345,6 +377,35 @@ mod tests {
         assert_eq!(sorted_intersection_size(&[], &[1, 2]), 0);
         assert!(sorted_intersects(&[1, 9], &[9]));
         assert!(!sorted_intersects(&[1, 2, 3], &[4, 5]));
+    }
+
+    #[test]
+    fn hybrid_gallop_matches_merge_on_skewed_inputs() {
+        // A 3-element probe against a 1000-element slice takes the galloping
+        // path; cross-check it against the naive definition.
+        let large: Vec<NodeId> = (0..1000).map(|i| i * 3).collect();
+        for small in [
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 3, 2997],
+            vec![2, 4, 5, 2998],
+            vec![5000],
+        ] {
+            let expected = small.iter().filter(|v| large.contains(v)).count();
+            assert_eq!(
+                sorted_intersection_size(&small, &large),
+                expected,
+                "small {small:?}"
+            );
+            assert_eq!(
+                sorted_intersection_size(&large, &small),
+                expected,
+                "swapped {small:?}"
+            );
+            assert_eq!(sorted_intersects(&small, &large), expected > 0);
+            assert_eq!(sorted_intersects(&large, &small), expected > 0);
+        }
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! - [`stats`]: summary statistics used in Table 2 of the paper.
 //! - [`bipartite`]: the star expansion (bipartite incidence graph) `G'` used
 //!   by the null model and the network-motif baseline.
+//! - [`csr`]: the flat compressed-sparse-row container backing both the
+//!   hypergraph and the projected graph.
+//! - [`parallel`]: a scoped thread pool over an atomic chunked work queue,
+//!   shared by every parallel MoCHy variant (Section 3.4).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,18 +24,22 @@
 pub mod bipartite;
 pub mod builder;
 pub mod components;
+pub mod csr;
 pub mod distributions;
 pub mod error;
 pub mod graph;
 pub mod io;
+pub mod parallel;
 pub mod stats;
 pub mod transform;
 
 pub use bipartite::BipartiteGraph;
 pub use builder::HypergraphBuilder;
 pub use components::{edge_components, node_components, Components, DistanceStats};
+pub use csr::Csr;
 pub use distributions::EmpiricalDistribution;
 pub use error::HypergraphError;
 pub use graph::{EdgeId, Hypergraph, NodeId};
+pub use parallel::{default_chunk_size, map_reduce_chunks, ChunkQueue};
 pub use stats::HypergraphStats;
 pub use transform::{clique_expansion, dual, WeightedGraph};

@@ -8,9 +8,11 @@
 //!
 //! Three construction strategies are provided:
 //!
-//! - [`project`]: the sequential Algorithm 1.
-//! - [`project_parallel`]: the multi-threaded variant of Section 3.4 (each
-//!   thread projects an independent slice of hyperedges).
+//! - [`project`]: the sequential Algorithm 1, streaming every hyperedge
+//!   through one reusable dense [`NeighborhoodScratch`] into CSR storage.
+//! - [`project_parallel`]: the multi-threaded variant of Section 3.4
+//!   (workers steal hyperedge blocks from an atomic work queue, each with a
+//!   private scratch; output is identical to [`project`]).
 //! - [`lazy::LazyProjection`]: the on-the-fly variant of Section 3.4, which
 //!   computes hyperedge neighbourhoods on demand and memoizes them within a
 //!   configurable budget, prioritized by degree / LRU / random (Figure 11).
@@ -23,5 +25,6 @@ pub mod projected;
 
 pub use lazy::{LazyProjection, MemoPolicy, MemoStats};
 pub use projected::{
-    compute_neighborhood, project, project_parallel, ProjectedGraph, WeightedNeighbor,
+    compute_neighborhood, project, project_parallel, NeighborhoodScratch, ProjectedGraph,
+    WeightedNeighbor,
 };

@@ -6,7 +6,8 @@
 //! This facade crate re-exports the public API of every crate in the
 //! workspace so downstream users can depend on a single crate:
 //!
-//! - [`hypergraph`] — hypergraph data structures, builders, IO, statistics.
+//! - [`hypergraph`] — hypergraph data structures (CSR), builders, IO,
+//!   statistics, and the shared work-stealing thread pool.
 //! - [`motif`] — the 26 h-motifs: patterns, canonicalization, catalog.
 //! - [`projection`] — the projected graph (hyperwedges) and lazy projection.
 //! - [`core`] — the MoCHy counting algorithms (exact, sampling, parallel),
@@ -94,5 +95,5 @@ pub mod prelude {
         GeneralizedCatalog, HMotif, MotifCatalog, MotifClass, RegionCardinalities,
     };
     pub use mochy_nullmodel::{chung_lu_randomize, swap_randomize, PreservationReport};
-    pub use mochy_projection::{project, project_parallel, ProjectedGraph};
+    pub use mochy_projection::{project, project_parallel, NeighborhoodScratch, ProjectedGraph};
 }
