@@ -1,29 +1,99 @@
 #!/usr/bin/env bash
-# CI entry point: formatting, lints, build, tests, a compile check of the
-# Criterion bench targets, and a deterministic perf smoke that seeds the
-# BENCH.json trajectory. Everything runs offline against the vendored
-# dependency stubs; every dependency-resolving cargo invocation (fmt does
-# not resolve) passes --locked so CI fails loudly if Cargo.lock drifts
-# from the vendored deps.
+# CI entry point: formatting, lints, build, tests, explicit thread-invariance
+# runs, a compile check of the Criterion bench targets, the deterministic
+# perf smoke behind BENCH.json, the perf-regression gate against the
+# committed BENCH_BASELINE.json, and the streaming-vs-batch equivalence
+# check of `mochy-exp evolve`.
+#
+# Everything runs offline against the vendored dependency stubs; every
+# dependency-resolving cargo invocation (fmt does not resolve) passes
+# --locked so CI fails loudly if Cargo.lock drifts from the vendored deps.
+#
+# PROFILE=debug|release (default release) selects the build/test profile —
+# the GitHub workflow runs both as a matrix. The bench compile check, perf
+# smoke, perf gate, and evolve check only run in the release lane: debug
+# timings would be meaningless against a release baseline.
+#
+# Every stage is timed; a summary (and the failing stage, if any) is printed
+# on exit, so CI logs show exactly where the time goes.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+PROFILE="${PROFILE:-release}"
+CARGO_FLAGS=(--locked)
+case "$PROFILE" in
+  debug) ;;
+  release) CARGO_FLAGS+=(--release) ;;
+  *)
+    echo "unknown PROFILE '$PROFILE' (expected debug or release)" >&2
+    exit 2
+    ;;
+esac
 
-echo "==> cargo clippy --locked --workspace --all-targets -D warnings"
-cargo clippy --locked --workspace --all-targets -- -D warnings
+STAGE_NAMES=()
+STAGE_MS=()
+CURRENT_STAGE=""
 
-echo "==> tier-1: cargo build --locked --release && cargo test --locked -q"
-cargo build --locked --release
-cargo test --locked -q
+now_ms() { date +%s%3N; }
 
-echo "==> cargo bench --locked --no-run (compile check for Criterion targets)"
-cargo bench --locked --no-run
+print_summary() {
+  local status=$?
+  echo
+  echo "==> stage timing summary (PROFILE=${PROFILE})"
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %-24s %8d ms\n' "${STAGE_NAMES[$i]}" "${STAGE_MS[$i]}"
+  done
+  if [[ $status -ne 0 && -n "$CURRENT_STAGE" ]]; then
+    echo "CI FAILED in stage: ${CURRENT_STAGE} (exit ${status})"
+  elif [[ $status -eq 0 ]]; then
+    echo "CI OK"
+  fi
+}
+trap print_summary EXIT
 
-echo "==> perf smoke: mochy-exp perf --json BENCH.json"
-cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
-    perf --json BENCH.json --threads 4
-head -n 5 BENCH.json
+run_stage() {
+  local name="$1"
+  shift
+  CURRENT_STAGE="$name"
+  echo "==> ${name}: $*"
+  local start
+  start=$(now_ms)
+  "$@"
+  STAGE_NAMES+=("$name")
+  STAGE_MS+=($(($(now_ms) - start)))
+  CURRENT_STAGE=""
+}
 
-echo "CI OK"
+run_stage fmt cargo fmt --all --check
+run_stage clippy cargo clippy --locked --workspace --all-targets -- -D warnings
+run_stage build cargo build "${CARGO_FLAGS[@]}"
+run_stage test cargo test "${CARGO_FLAGS[@]}" -q
+
+# Thread-count invariance. Every suite run counts at threads=1 AND at
+# threads=$MOCHY_POOL_THREADS and asserts bit-equality, so these two
+# stages explicitly pin threads=1 against both a minimal pool (2, the
+# cheapest configuration that exercises work stealing at all) and the
+# standard pool (8).
+run_stage invariance-1v2 env MOCHY_POOL_THREADS=2 \
+  cargo test "${CARGO_FLAGS[@]}" -q -p mochy_core --test thread_invariance
+run_stage invariance-1v8 env MOCHY_POOL_THREADS=8 \
+  cargo test "${CARGO_FLAGS[@]}" -q -p mochy_core --test thread_invariance
+
+if [[ "$PROFILE" == "release" ]]; then
+  run_stage bench-compile cargo bench --locked --no-run
+
+  # Perf smoke + regression gate: writes BENCH.json (uploaded as a CI
+  # artifact) and compares it against the committed baseline. Counts must
+  # match exactly; timings may drift up to the tolerance (see README for
+  # how to refresh BENCH_BASELINE.json after a legitimate perf change).
+  run_stage perf-gate cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
+    perf --json BENCH.json --threads 4 \
+    --check BENCH_BASELINE.json --tolerance 500 --min-ms 20
+
+  # Streaming equivalence: replay a windowed temporal event stream through
+  # the StreamingEngine, verifying every yearly checkpoint against a
+  # from-scratch MotifEngine run (non-zero exit on any divergence).
+  run_stage evolve-verify cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
+    evolve --years 8 --window 3
+fi

@@ -72,6 +72,15 @@ impl MotifCounts {
         }
     }
 
+    /// Element-wise difference with another count vector (used by the
+    /// streaming engine to retract the delta of a removed hyperedge; with
+    /// integer-valued entries the subtraction is exact).
+    pub fn subtract(&mut self, other: &MotifCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a -= *b;
+        }
+    }
+
     /// Multiplies every entry by `factor` (used for the rescaling steps of
     /// Algorithms 4 and 5).
     pub fn scale(&mut self, factor: f64) {

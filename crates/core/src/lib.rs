@@ -15,6 +15,7 @@
 //! | Algorithm 5 (MoCHy-A+, hyperwedge sampling) | `Method::WedgeSample` |
 //! | Algorithm 5 + batched stopping rule | `Method::Adaptive` |
 //! | Section 3.4 on-the-fly projection | `Method::OnTheFly` |
+//! | Streamed replay of the incremental counter | `Method::Incremental` |
 //!
 //! The paper-numbered algorithms remain available as free functions so
 //! they stay individually citable:
@@ -38,6 +39,9 @@
 //!   confidence intervals, built on batched independent estimates.
 //! - [`general`] — exact counting of the generalized h-motifs over `k = 3`
 //!   or `k = 4` hyperedges (Section 2.2's generalization).
+//! - [`streaming`] — [`streaming::StreamingEngine`]: exact counts maintained
+//!   incrementally under hyperedge insertions and deletions, over a mutable
+//!   projection overlay (evolving-hypergraph workloads).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +57,7 @@ pub mod pairwise;
 pub mod pernode;
 pub mod profile;
 pub mod sample;
+pub mod streaming;
 pub mod variance;
 
 pub use classify::classify_triple;
@@ -64,6 +69,7 @@ pub use pairwise::{PairRelation, PairwiseCensus, PairwiseCollapse, PairwisePatte
 pub use pernode::{mochy_e_per_node, node_participation_totals};
 pub use profile::{characteristic_profile, significance, SignificanceOptions};
 pub use sample::{mochy_a_parallel, mochy_a_plus_parallel};
+pub use streaming::{StreamConfig, StreamStats, StreamingEngine};
 
 #[allow(deprecated)]
 pub use adaptive::mochy_a_plus_adaptive;

@@ -4,9 +4,15 @@
 //! so scheduling is non-deterministic — but results must not be. Exact
 //! counting sums integer-valued per-block partials, and sampling derives one
 //! RNG stream per sample index, so for every [`Method`] the counts with
-//! `threads = 1` and `threads = 8` must be **identical** (not merely close),
+//! `threads = 1` and `threads = N` must be **identical** (not merely close),
 //! both on the paper's Figure 2 example and on a skewed-degree synthetic
 //! dataset that actually exercises load imbalance across blocks.
+//!
+//! `N` defaults to 8; CI overrides it through the `MOCHY_POOL_THREADS`
+//! environment variable to pin `threads=1` explicitly against both a
+//! minimal pool (`N = 2`) and the standard pool (`N = 8`). `threads=1` is
+//! always one side of the comparison, so setting `N = 1` would be vacuous —
+//! vary only the pooled side.
 
 use mochy_core::engine::{CountConfig, Method};
 use mochy_core::AdaptiveConfig;
@@ -32,10 +38,23 @@ fn skewed() -> Hypergraph {
     generate(&GeneratorConfig::new(DomainKind::Tags, 300, 300, 77))
 }
 
+/// The pooled thread count under test: `MOCHY_POOL_THREADS` when set (CI
+/// runs the suite at 2 and at 8), 8 otherwise. Values below 2 are ignored —
+/// the single-threaded run is always the other side of the comparison, so a
+/// pool of 1 would make the whole suite vacuous.
+fn pooled_threads() -> usize {
+    std::env::var("MOCHY_POOL_THREADS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .filter(|&threads| threads >= 2)
+        .unwrap_or(8)
+}
+
 /// One representative configuration per `Method` variant.
 fn all_methods() -> Vec<Method> {
     vec![
         Method::Exact,
+        Method::Incremental,
         Method::EdgeSample { samples: 600 },
         Method::WedgeSample { samples: 600 },
         Method::WedgeSampleRatio { ratio: 0.05 },
@@ -54,6 +73,7 @@ fn all_methods() -> Vec<Method> {
 }
 
 fn assert_invariant(hypergraph: &Hypergraph, label: &str) {
+    let threads = pooled_threads();
     for method in all_methods() {
         let single = CountConfig::new(method)
             .seed(11)
@@ -62,13 +82,13 @@ fn assert_invariant(hypergraph: &Hypergraph, label: &str) {
             .count(hypergraph);
         let pooled = CountConfig::new(method)
             .seed(11)
-            .threads(8)
+            .threads(threads)
             .build()
             .count(hypergraph);
         assert_eq!(
             single.counts,
             pooled.counts,
-            "{label}: {} counts differ between threads=1 and threads=8",
+            "{label}: {} counts differ between threads=1 and threads={threads}",
             method.name()
         );
         assert_eq!(
@@ -112,7 +132,7 @@ fn repeated_pooled_runs_are_deterministic() {
     // Work stealing makes the schedule racy; the report must not be.
     let h = skewed();
     for method in all_methods() {
-        let config = CountConfig::new(method).seed(3).threads(8);
+        let config = CountConfig::new(method).seed(3).threads(pooled_threads());
         let first = config.build().count(&h);
         let second = config.build().count(&h);
         assert_eq!(first, second, "{}", method.name());

@@ -27,4 +27,7 @@ pub mod util;
 pub use corrupt::corrupt_hyperedge;
 pub use domains::{generate, DomainKind, GeneratorConfig};
 pub use suite::{standard_suite, DatasetSpec, SuiteScale};
-pub use temporal::{temporal_coauthorship, TemporalConfig, YearlySnapshot};
+pub use temporal::{
+    temporal_coauthorship, temporal_event_stream, EdgeEvent, EventStreamConfig, TemporalConfig,
+    YearlySnapshot,
+};

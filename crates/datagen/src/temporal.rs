@@ -137,6 +137,80 @@ pub fn temporal_coauthorship(config: &TemporalConfig) -> Vec<YearlySnapshot> {
     snapshots
 }
 
+/// One mutation of an evolving hypergraph, as consumed by the streaming
+/// counter (`mochy_core::streaming::StreamingEngine`).
+///
+/// Insertions are numbered implicitly by their position in the stream: the
+/// `n`-th `Insert` event has sequence number `n` (0-based), and `Remove`
+/// events refer to that number. The driver maps sequence numbers to the
+/// engine-assigned edge ids (they coincide for an engine that starts empty,
+/// since ids are handed out 0, 1, 2, … and never reused).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeEvent {
+    /// A new hyperedge appears.
+    Insert {
+        /// Its member nodes (unsorted; the consumer normalizes).
+        members: Vec<NodeId>,
+    },
+    /// A previously inserted hyperedge disappears.
+    Remove {
+        /// Sequence number of the corresponding `Insert` event.
+        seq: usize,
+    },
+    /// End of a simulated year: consumers snapshot their state here.
+    Checkpoint {
+        /// Calendar year just completed.
+        year: u32,
+    },
+}
+
+/// Configuration of [`temporal_event_stream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventStreamConfig {
+    /// The underlying yearly co-authorship generator.
+    pub temporal: TemporalConfig,
+    /// When `Some(w)`, only the last `w` years of publications stay live: at
+    /// the start of each year, the papers of year `current − w` are removed.
+    /// `None` keeps every paper forever (insert-only stream).
+    pub window_years: Option<usize>,
+}
+
+/// Renders the yearly co-authorship generator as an *event stream*: per
+/// year, first the removals that fall out of the sliding window, then one
+/// insertion per new publication, then a [`EdgeEvent::Checkpoint`]. This is
+/// the workload of the streaming engine — the paper's Figure 7 analysis
+/// recast as continuous evolution instead of independent per-year batches.
+pub fn temporal_event_stream(config: &EventStreamConfig) -> Vec<EdgeEvent> {
+    if let Some(window) = config.window_years {
+        assert!(window >= 1, "window must cover at least one year");
+    }
+    let snapshots = temporal_coauthorship(&config.temporal);
+    let mut events = Vec::new();
+    // Per-year range of insertion sequence numbers, for window eviction.
+    let mut year_ranges: Vec<(usize, usize)> = Vec::with_capacity(snapshots.len());
+    let mut next_seq = 0usize;
+    for (index, snapshot) in snapshots.iter().enumerate() {
+        if let Some(window) = config.window_years {
+            if index >= window {
+                let (start, end) = year_ranges[index - window];
+                events.extend((start..end).map(|seq| EdgeEvent::Remove { seq }));
+            }
+        }
+        let start = next_seq;
+        for (_, members) in snapshot.hypergraph.edges() {
+            events.push(EdgeEvent::Insert {
+                members: members.to_vec(),
+            });
+            next_seq += 1;
+        }
+        year_ranges.push((start, next_seq));
+        events.push(EdgeEvent::Checkpoint {
+            year: snapshot.year,
+        });
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +273,88 @@ mod tests {
             ..small_config()
         };
         let _ = temporal_coauthorship(&config);
+    }
+
+    /// Replays an event stream over a plain live-set, asserting stream
+    /// well-formedness (every removal refers to a live insertion, no double
+    /// removal) and returning the live-count trajectory at checkpoints.
+    fn replay(events: &[EdgeEvent]) -> Vec<(u32, usize)> {
+        let mut live = Vec::new();
+        let mut inserted = 0usize;
+        let mut trajectory = Vec::new();
+        for event in events {
+            match event {
+                EdgeEvent::Insert { members } => {
+                    assert!(!members.is_empty());
+                    live.push(inserted);
+                    inserted += 1;
+                }
+                EdgeEvent::Remove { seq } => {
+                    let position = live
+                        .iter()
+                        .position(|s| s == seq)
+                        .unwrap_or_else(|| panic!("removal of dead/unknown seq {seq}"));
+                    live.remove(position);
+                }
+                EdgeEvent::Checkpoint { year } => trajectory.push((*year, live.len())),
+            }
+        }
+        trajectory
+    }
+
+    #[test]
+    fn cumulative_stream_has_no_removals_and_yearly_checkpoints() {
+        let events = temporal_event_stream(&EventStreamConfig {
+            temporal: small_config(),
+            window_years: None,
+        });
+        assert!(!events.iter().any(|e| matches!(e, EdgeEvent::Remove { .. })));
+        let trajectory = replay(&events);
+        assert_eq!(trajectory.len(), 6);
+        // Live count accumulates the linearly growing yearly paper counts.
+        let mut expected = 0usize;
+        for (i, &(year, live)) in trajectory.iter().enumerate() {
+            expected += 80 + 20 * i;
+            assert_eq!(year, 2000 + i as u32);
+            assert_eq!(live, expected);
+        }
+    }
+
+    #[test]
+    fn windowed_stream_keeps_exactly_the_last_years_live() {
+        let window = 2usize;
+        let events = temporal_event_stream(&EventStreamConfig {
+            temporal: small_config(),
+            window_years: Some(window),
+        });
+        assert!(events.iter().any(|e| matches!(e, EdgeEvent::Remove { .. })));
+        let trajectory = replay(&events);
+        for (i, &(_, live)) in trajectory.iter().enumerate() {
+            let expected: usize = (i.saturating_sub(window - 1)..=i)
+                .map(|y| 80 + 20 * y)
+                .sum();
+            assert_eq!(live, expected, "checkpoint {i}");
+        }
+    }
+
+    #[test]
+    fn event_stream_is_deterministic() {
+        let config = EventStreamConfig {
+            temporal: small_config(),
+            window_years: Some(3),
+        };
+        assert_eq!(
+            temporal_event_stream(&config),
+            temporal_event_stream(&config)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one year")]
+    fn zero_window_rejected() {
+        let _ = temporal_event_stream(&EventStreamConfig {
+            temporal: small_config(),
+            window_years: Some(0),
+        });
     }
 }

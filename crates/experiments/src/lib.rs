@@ -22,15 +22,19 @@
 //! | [`pairwise`] | Section 2.2 / 3 — pairwise-baseline collapse study |
 //! | [`nullmodels`] | Appendix D — null-model preservation diagnostics |
 //!
-//! In addition, [`perf`] implements the `mochy-exp perf` subcommand: the
+//! In addition, [`perf`] implements the `mochy-exp perf` subcommand — the
 //! deterministic perf-smoke harness that times projection vs counting for
-//! all five methods on the bench workloads and emits `BENCH.json` (run by
+//! every method on the bench workloads, emits `BENCH.json`, and (with
+//! `--check`) gates against a committed baseline — and [`evolve`] implements
+//! `mochy-exp evolve`, which drives the streaming engine over a temporal
+//! hyperedge event stream with per-checkpoint verification (both run by
 //! `ci.sh`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod evolve;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;
@@ -38,6 +42,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod json;
 pub mod nullmodels;
 pub mod pairwise;
 pub mod perf;

@@ -8,10 +8,13 @@
 //! mochy-exp gen <domain> <nodes> <edges> <seed> <path>
 //! mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]
 //! mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]
+//!           [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]
+//! mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>]
+//!           [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]
 //! ```
 
 use mochy_experiments::tool::{self, CountAlgorithm};
-use mochy_experiments::{perf, run_experiment, ExperimentScale, ALL_EXPERIMENTS};
+use mochy_experiments::{evolve, perf, run_experiment, ExperimentScale, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +33,10 @@ fn main() {
     }
     if command == "perf" {
         run_perf(&args[1..]);
+        return;
+    }
+    if command == "evolve" {
+        run_evolve(&args[1..]);
         return;
     }
     let scale = parse_scale(&args).unwrap_or_else(|message| {
@@ -129,7 +136,9 @@ fn run_count(args: &[String]) {
 
 fn run_perf(args: &[String]) {
     let mut options = perf::PerfOptions::default();
+    let mut check_options = perf::CheckOptions::default();
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(argument) = iter.next() {
         let mut take_value = |what: &str| -> String {
@@ -138,8 +147,19 @@ fn run_perf(args: &[String]) {
                 std::process::exit(2);
             })
         };
+        let parse_number = |text: String, what: &str| -> f64 {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
         match argument.as_str() {
             "--json" => json_path = Some(take_value("--json")),
+            "--check" => baseline_path = Some(take_value("--check")),
+            "--tolerance" => {
+                check_options.tolerance_pct = parse_number(take_value("--tolerance"), "tolerance")
+            }
+            "--min-ms" => check_options.min_ms = parse_number(take_value("--min-ms"), "floor"),
             "--threads" => {
                 options.threads = take_value("--threads").parse().unwrap_or_else(|_| {
                     eprintln!("invalid thread count");
@@ -154,15 +174,18 @@ fn run_perf(args: &[String]) {
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]");
+                eprintln!(
+                    "usage: mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>] \
+                     [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]"
+                );
                 std::process::exit(2);
             }
         }
     }
     let json = perf::run(&options);
-    match json_path {
+    match &json_path {
         Some(path) => {
-            if let Err(error) = std::fs::write(&path, &json) {
+            if let Err(error) = std::fs::write(path, &json) {
                 eprintln!("failed to write {path}: {error}");
                 std::process::exit(1);
             }
@@ -171,7 +194,80 @@ fn run_perf(args: &[String]) {
                 options.threads, options.samples, options.seed
             );
         }
-        None => print!("{json}"),
+        None => {
+            if baseline_path.is_none() {
+                print!("{json}");
+            }
+        }
+    }
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+            eprintln!("failed to read baseline {path}: {error}");
+            std::process::exit(1);
+        });
+        match perf::check(&baseline, &json, &check_options) {
+            Ok(summary) => println!("{summary}"),
+            Err(violations) => {
+                eprintln!("perf gate FAILED against {path}:\n{violations}");
+                eprintln!(
+                    "(if this change legitimately moves timings or counts, refresh the baseline: \
+                     mochy-exp perf --json {path} --threads <as before>)"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_evolve(args: &[String]) {
+    let mut options = mochy_experiments::evolve::EvolveOptions::default();
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |text: String, what: &str| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--years" => options.years = parse_count(take_value("--years"), "year count"),
+            "--window" => {
+                let value = take_value("--window");
+                options.window = if value == "none" {
+                    None
+                } else {
+                    Some(parse_count(value, "window"))
+                };
+            }
+            "--authors" => options.authors = parse_count(take_value("--authors"), "author count"),
+            "--papers" => {
+                options.papers_first_year = parse_count(take_value("--papers"), "paper count")
+            }
+            "--growth" => options.papers_growth = parse_count(take_value("--growth"), "growth"),
+            "--seed" => options.seed = parse_count(take_value("--seed"), "seed") as u64,
+            "--no-verify" => options.verify = false,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>] \
+                     [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    match evolve::run(&options) {
+        Ok(table) => print!("{table}"),
+        Err(error) => {
+            eprintln!("evolve failed: {error}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -197,5 +293,10 @@ fn print_usage() {
     eprintln!("       mochy-exp gen <domain> <nodes> <edges> <seed> <path>");
     eprintln!("       mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]");
     eprintln!("       mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]");
+    eprintln!(
+        "                      [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]"
+    );
+    eprintln!("       mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>]");
+    eprintln!("                        [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
 }

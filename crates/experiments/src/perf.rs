@@ -1,18 +1,28 @@
 //! `mochy-exp perf` — the deterministic perf-smoke harness behind
-//! `BENCH.json`.
+//! `BENCH.json`, and the CI perf-regression gate behind `--check`.
 //!
 //! Times projection and counting separately (via the engine's per-stage
-//! [`CountReport`](mochy_core::CountReport) timings) for all five counting
-//! methods — MoCHy-E, MoCHy-A, MoCHy-A+, adaptive MoCHy-A+, and on-the-fly
-//! MoCHy-A+ — on every [`mochy_bench::bench_datasets`] workload, and renders
-//! the result as machine-readable JSON. Seeds are fixed, so the *counts* in
-//! the output are bit-reproducible; the timings are what CI tracks over time
-//! as the `BENCH_*.json` trajectory.
+//! [`CountReport`](mochy_core::CountReport) timings) for all six counting
+//! methods — MoCHy-E, streamed-incremental, MoCHy-A, MoCHy-A+, adaptive
+//! MoCHy-A+, and on-the-fly MoCHy-A+ — on every
+//! [`mochy_bench::bench_datasets`] workload, and renders the result as
+//! machine-readable JSON. Seeds are fixed, so the *counts* in the output are
+//! bit-reproducible; the timings are what CI tracks over time as the
+//! `BENCH_*.json` trajectory.
+//!
+//! [`check`] turns the matrix into a regression gate: the current run is
+//! compared against a committed baseline (`BENCH_BASELINE.json`), failing on
+//! **any** count/shape mismatch (those are deterministic — a mismatch is a
+//! correctness bug or an unacknowledged behaviour change) and on timing
+//! regressions beyond a configurable tolerance (those are noisy — the
+//! tolerance is generous and rows faster than a floor are skipped).
 
 use mochy_core::engine::{CountConfig, Method};
 use mochy_core::AdaptiveConfig;
 use mochy_hypergraph::Hypergraph;
 use mochy_projection::MemoPolicy;
+
+use crate::json::{self, JsonValue};
 
 /// Configuration of a perf run. Everything is fixed/deterministic except
 /// wall-clock timings.
@@ -36,10 +46,11 @@ impl Default for PerfOptions {
     }
 }
 
-/// The five methods of the perf matrix, keyed by their stable report names.
+/// The methods of the perf matrix, keyed by their stable report names.
 fn perf_methods(options: &PerfOptions) -> Vec<Method> {
     vec![
         Method::Exact,
+        Method::Incremental,
         Method::EdgeSample {
             samples: options.samples,
         },
@@ -192,6 +203,217 @@ fn render_json(blocks: &[DatasetBlock], options: &PerfOptions) -> String {
     out
 }
 
+/// Options of the perf-regression gate (`mochy-exp perf --check`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckOptions {
+    /// Maximum tolerated slowdown of `total_ms` over the baseline, in
+    /// percent. Timings are noisy across machines and runs, so the default
+    /// is deliberately generous — the gate is meant to catch order-of-
+    /// magnitude regressions, not 10% jitter. Count mismatches are always
+    /// fatal regardless of this setting.
+    pub tolerance_pct: f64,
+    /// Baseline rows whose `total_ms` is below this floor are exempt from
+    /// the timing comparison (sub-floor timings are dominated by noise).
+    pub min_ms: f64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            tolerance_pct: 400.0,
+            min_ms: 20.0,
+        }
+    }
+}
+
+fn field<'a>(value: &'a JsonValue, key: &str, context: &str) -> Result<&'a JsonValue, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{context}: missing key `{key}`"))
+}
+
+fn number_field(value: &JsonValue, key: &str, context: &str) -> Result<f64, String> {
+    field(value, key, context)?
+        .as_f64()
+        .ok_or_else(|| format!("{context}: key `{key}` is not a number"))
+}
+
+/// `samples_drawn` is a number or `null`; normalize for comparison.
+fn optional_number(value: &JsonValue, key: &str, context: &str) -> Result<Option<f64>, String> {
+    let value = field(value, key, context)?;
+    if value.is_null() {
+        return Ok(None);
+    }
+    value
+        .as_f64()
+        .map(Some)
+        .ok_or_else(|| format!("{context}: key `{key}` is neither number nor null"))
+}
+
+/// Compares a current perf matrix against a baseline matrix.
+///
+/// Fails (returns `Err` with one line per violation) on:
+/// - differing run configuration (`schema`, `threads`, `samples`, `seed`) —
+///   counts are only comparable under identical configuration;
+/// - any dataset or method present in the baseline but missing now;
+/// - any mismatch in the deterministic fields (`num_nodes`, `num_edges`,
+///   `num_hyperwedges`, `total_count`, `samples_drawn`);
+/// - any method whose `total_ms` exceeds the baseline by more than
+///   [`CheckOptions::tolerance_pct`] percent (rows under
+///   [`CheckOptions::min_ms`] in the baseline are skipped).
+///
+/// On success returns a one-paragraph summary of what was compared.
+pub fn check(baseline: &str, current: &str, options: &CheckOptions) -> Result<String, String> {
+    let baseline = json::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let current =
+        json::parse(current).map_err(|e| format!("current run is not valid JSON: {e}"))?;
+    let mut violations: Vec<String> = Vec::new();
+
+    for key in ["schema", "threads", "samples", "seed"] {
+        let b = baseline.get(key);
+        let c = current.get(key);
+        if b != c {
+            violations.push(format!(
+                "configuration mismatch on `{key}`: baseline {b:?} vs current {c:?}"
+            ));
+        }
+    }
+
+    let empty = Vec::new();
+    let baseline_datasets = baseline
+        .get("datasets")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let current_datasets = current
+        .get("datasets")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let mut compared_rows = 0usize;
+    let mut skipped_fast_rows = 0usize;
+
+    for base_dataset in baseline_datasets {
+        let context = "baseline dataset";
+        let name = match field(base_dataset, "name", context).and_then(|v| {
+            v.as_str()
+                .ok_or_else(|| format!("{context}: `name` is not a string"))
+        }) {
+            Ok(name) => name,
+            Err(error) => {
+                violations.push(error);
+                continue;
+            }
+        };
+        let Some(current_dataset) = current_datasets
+            .iter()
+            .find(|d| d.get("name").and_then(JsonValue::as_str) == Some(name))
+        else {
+            violations.push(format!("dataset `{name}` missing from current run"));
+            continue;
+        };
+        for key in ["num_nodes", "num_edges", "num_hyperwedges"] {
+            if base_dataset.get(key) != current_dataset.get(key) {
+                violations.push(format!(
+                    "dataset `{name}`: `{key}` changed: baseline {:?} vs current {:?}",
+                    base_dataset.get(key),
+                    current_dataset.get(key)
+                ));
+            }
+        }
+
+        let base_methods = base_dataset
+            .get("methods")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&empty);
+        let current_methods = current_dataset
+            .get("methods")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&empty);
+        for base_row in base_methods {
+            let context = format!("dataset `{name}`");
+            let method = match field(base_row, "method", &context).and_then(|v| {
+                v.as_str()
+                    .ok_or_else(|| format!("{context}: `method` is not a string"))
+            }) {
+                Ok(method) => method,
+                Err(error) => {
+                    violations.push(error);
+                    continue;
+                }
+            };
+            let row_context = format!("dataset `{name}`, method `{method}`");
+            let Some(current_row) = current_methods
+                .iter()
+                .find(|r| r.get("method").and_then(JsonValue::as_str) == Some(method))
+            else {
+                violations.push(format!("{row_context}: missing from current run"));
+                continue;
+            };
+            compared_rows += 1;
+
+            // Deterministic fields: any drift is a hard failure.
+            match (
+                number_field(base_row, "total_count", &row_context),
+                number_field(current_row, "total_count", &row_context),
+            ) {
+                (Ok(b), Ok(c)) => {
+                    if (b - c).abs() > 1e-9 * b.abs().max(1.0) {
+                        violations.push(format!(
+                            "{row_context}: total_count changed: baseline {b} vs current {c}"
+                        ));
+                    }
+                }
+                (Err(error), _) | (_, Err(error)) => violations.push(error),
+            }
+            match (
+                optional_number(base_row, "samples_drawn", &row_context),
+                optional_number(current_row, "samples_drawn", &row_context),
+            ) {
+                (Ok(b), Ok(c)) => {
+                    if b != c {
+                        violations.push(format!(
+                            "{row_context}: samples_drawn changed: baseline {b:?} vs current {c:?}"
+                        ));
+                    }
+                }
+                (Err(error), _) | (_, Err(error)) => violations.push(error),
+            }
+
+            // Timing: generous tolerance, noise floor.
+            match (
+                number_field(base_row, "total_ms", &row_context),
+                number_field(current_row, "total_ms", &row_context),
+            ) {
+                (Ok(b), Ok(c)) => {
+                    if b < options.min_ms {
+                        skipped_fast_rows += 1;
+                    } else if c > b * (1.0 + options.tolerance_pct / 100.0) {
+                        violations.push(format!(
+                            "{row_context}: timing regression: baseline {b:.3} ms vs current \
+                             {c:.3} ms (tolerance {:.0}%)",
+                            options.tolerance_pct
+                        ));
+                    }
+                }
+                (Err(error), _) | (_, Err(error)) => violations.push(error),
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(format!(
+            "perf gate passed: {} dataset(s), {} method row(s) compared; counts identical; \
+             {} row(s) under the {:.0} ms timing floor skipped; tolerance {:.0}%",
+            baseline_datasets.len(),
+            compared_rows,
+            skipped_fast_rows,
+            options.min_ms,
+            options.tolerance_pct
+        ))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
 /// Formats a finite `f64` as a JSON number (JSON has no NaN/Infinity; the
 /// perf matrix never produces them, but clamp defensively).
 fn json_number(value: f64) -> String {
@@ -224,149 +446,6 @@ mod tests {
     use super::*;
     use mochy_datagen::{generate, DomainKind, GeneratorConfig};
 
-    /// A minimal recursive-descent JSON syntax checker, so the tests assert
-    /// *valid JSON* rather than just balanced braces.
-    mod json_check {
-        pub fn validate(text: &str) -> Result<(), String> {
-            let bytes = text.as_bytes();
-            let mut pos = 0usize;
-            skip_ws(bytes, &mut pos);
-            value(bytes, &mut pos)?;
-            skip_ws(bytes, &mut pos);
-            if pos != bytes.len() {
-                return Err(format!("trailing content at byte {pos}"));
-            }
-            Ok(())
-        }
-
-        fn skip_ws(bytes: &[u8], pos: &mut usize) {
-            while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-                *pos += 1;
-            }
-        }
-
-        fn value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-            match bytes.get(*pos) {
-                Some(b'{') => object(bytes, pos),
-                Some(b'[') => array(bytes, pos),
-                Some(b'"') => string(bytes, pos),
-                Some(b't') => literal(bytes, pos, b"true"),
-                Some(b'f') => literal(bytes, pos, b"false"),
-                Some(b'n') => literal(bytes, pos, b"null"),
-                Some(c) if c.is_ascii_digit() || *c == b'-' => number(bytes, pos),
-                other => Err(format!("unexpected {other:?} at byte {pos}")),
-            }
-        }
-
-        fn literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
-            if bytes[*pos..].starts_with(expected) {
-                *pos += expected.len();
-                Ok(())
-            } else {
-                Err(format!("bad literal at byte {pos}"))
-            }
-        }
-
-        fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-            let start = *pos;
-            if bytes.get(*pos) == Some(&b'-') {
-                *pos += 1;
-            }
-            let digits = |bytes: &[u8], pos: &mut usize| {
-                let from = *pos;
-                while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
-                    *pos += 1;
-                }
-                *pos > from
-            };
-            if !digits(bytes, pos) {
-                return Err(format!("bad number at byte {start}"));
-            }
-            if bytes.get(*pos) == Some(&b'.') {
-                *pos += 1;
-                if !digits(bytes, pos) {
-                    return Err(format!("bad fraction at byte {start}"));
-                }
-            }
-            if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
-                *pos += 1;
-                if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
-                    *pos += 1;
-                }
-                if !digits(bytes, pos) {
-                    return Err(format!("bad exponent at byte {start}"));
-                }
-            }
-            Ok(())
-        }
-
-        fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-            *pos += 1; // opening quote
-            while let Some(&c) = bytes.get(*pos) {
-                match c {
-                    b'"' => {
-                        *pos += 1;
-                        return Ok(());
-                    }
-                    b'\\' => *pos += 2,
-                    _ => *pos += 1,
-                }
-            }
-            Err("unterminated string".to_string())
-        }
-
-        fn object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-            *pos += 1;
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(bytes, pos);
-                string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                skip_ws(bytes, pos);
-                value(bytes, pos)?;
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(());
-                    }
-                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
-                }
-            }
-        }
-
-        fn array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-            *pos += 1;
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(bytes, pos);
-                value(bytes, pos)?;
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(());
-                    }
-                    other => return Err(format!("expected ',' or ']', got {other:?}")),
-                }
-            }
-        }
-    }
-
     fn tiny_options() -> PerfOptions {
         PerfOptions {
             threads: 2,
@@ -383,12 +462,13 @@ mod tests {
     }
 
     #[test]
-    fn perf_json_is_valid_and_covers_all_five_methods() {
+    fn perf_json_is_valid_and_covers_all_six_methods() {
         let datasets = vec![tiny_dataset()];
         let json = run_on(&datasets, &tiny_options());
-        json_check::validate(&json).expect("perf output must be valid JSON");
+        json::validate(&json).expect("perf output must be valid JSON");
         for name in [
             "mochy-e",
+            "incremental",
             "mochy-a\"",
             "mochy-a+\"",
             "mochy-a+-adaptive",
@@ -430,8 +510,102 @@ mod tests {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_number(1.5), "1.500");
         assert_eq!(json_number(f64::NAN), "null");
-        json_check::validate("{\"a\": [1, 2.5, null, \"x\"]}").unwrap();
-        assert!(json_check::validate("{\"a\": }").is_err());
-        assert!(json_check::validate("[1, 2").is_err());
+        json::validate("{\"a\": [1, 2.5, null, \"x\"]}").unwrap();
+        assert!(json::validate("{\"a\": }").is_err());
+        assert!(json::validate("[1, 2").is_err());
+    }
+
+    #[test]
+    fn exact_and_incremental_rows_agree() {
+        // The streamed-incremental method is exact: its total_count must
+        // match MoCHy-E's on every dataset of the matrix.
+        let datasets = vec![tiny_dataset()];
+        let report = json::parse(&run_on(&datasets, &tiny_options())).unwrap();
+        let methods = report.get("datasets").unwrap().as_array().unwrap()[0]
+            .get("methods")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
+        let total = |name: &str| {
+            methods
+                .iter()
+                .find(|r| r.get("method").and_then(JsonValue::as_str) == Some(name))
+                .and_then(|r| r.get("total_count"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+        };
+        assert_eq!(total("mochy-e"), total("incremental"));
+    }
+
+    #[test]
+    fn check_passes_against_itself_and_catches_count_drift() {
+        let datasets = vec![tiny_dataset()];
+        let baseline = run_on(&datasets, &tiny_options());
+        let current = run_on(&datasets, &tiny_options());
+        let options = CheckOptions::default();
+        let summary = check(&baseline, &current, &options).expect("identical runs must pass");
+        assert!(summary.contains("perf gate passed"));
+
+        // Any count drift is fatal, regardless of timing tolerance.
+        let tampered = baseline.replacen("\"total_count\": ", "\"total_count\": 1", 1);
+        let error = check(&baseline, &tampered, &options).unwrap_err();
+        assert!(error.contains("total_count changed"), "{error}");
+    }
+
+    #[test]
+    fn check_catches_timing_regressions_beyond_tolerance_only() {
+        let baseline = r#"{
+            "schema": "mochy-perf/1", "threads": 2, "samples": 200, "seed": 0,
+            "datasets": [{
+                "name": "d", "num_nodes": 1, "num_edges": 1, "num_hyperwedges": 0,
+                "methods": [{
+                    "method": "mochy-e", "projection_ms": 1.0, "counting_ms": 99.0,
+                    "total_ms": 100.0, "samples_drawn": null, "total_count": 5
+                }]
+            }]
+        }"#;
+        let slow = baseline.replace("\"total_ms\": 100.0", "\"total_ms\": 260.0");
+        let very_slow = baseline.replace("\"total_ms\": 100.0", "\"total_ms\": 2600.0");
+        let options = CheckOptions {
+            tolerance_pct: 200.0,
+            min_ms: 20.0,
+        };
+        // 2.6x is inside a 200% (= 3x) tolerance; 26x is not.
+        assert!(check(baseline, &slow, &options).is_ok());
+        let error = check(baseline, &very_slow, &options).unwrap_err();
+        assert!(error.contains("timing regression"), "{error}");
+        // Below the noise floor, even huge relative slowdowns are ignored.
+        let floored = CheckOptions {
+            tolerance_pct: 200.0,
+            min_ms: 500.0,
+        };
+        assert!(check(baseline, &very_slow, &floored).is_ok());
+    }
+
+    #[test]
+    fn check_catches_config_and_coverage_mismatches() {
+        let datasets = vec![tiny_dataset()];
+        let baseline = run_on(&datasets, &tiny_options());
+        let options = CheckOptions::default();
+
+        let other_threads = run_on(
+            &datasets,
+            &PerfOptions {
+                threads: 1,
+                ..tiny_options()
+            },
+        );
+        let error = check(&baseline, &other_threads, &options).unwrap_err();
+        assert!(error.contains("configuration mismatch"), "{error}");
+
+        let missing_method = baseline.replacen("\"incremental\"", "\"renamed\"", 1);
+        let error = check(&baseline, &missing_method, &options).unwrap_err();
+        assert!(error.contains("missing from current run"), "{error}");
+
+        let empty = r#"{"schema": "mochy-perf/1", "threads": 2, "samples": 200,
+                        "seed": 0, "datasets": []}"#;
+        let error = check(&baseline, empty, &options).unwrap_err();
+        assert!(error.contains("missing from current run"), "{error}");
     }
 }

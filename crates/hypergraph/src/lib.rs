@@ -17,6 +17,8 @@
 //!   hypergraph and the projected graph.
 //! - [`parallel`]: a scoped thread pool over an atomic chunked work queue,
 //!   shared by every parallel MoCHy variant (Section 3.4).
+//! - [`dynamic`]: a mutable hypergraph (insert/remove with monotone,
+//!   never-reused edge ids) backing the streaming motif counter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod distributions;
+pub mod dynamic;
 pub mod error;
 pub mod graph;
 pub mod io;
@@ -38,6 +41,7 @@ pub use builder::HypergraphBuilder;
 pub use components::{edge_components, node_components, Components, DistanceStats};
 pub use csr::Csr;
 pub use distributions::EmpiricalDistribution;
+pub use dynamic::DynamicHypergraph;
 pub use error::HypergraphError;
 pub use graph::{EdgeId, Hypergraph, NodeId};
 pub use parallel::{default_chunk_size, map_reduce_chunks, ChunkQueue};

@@ -1,0 +1,166 @@
+//! Malformed-input coverage for `mochy_hypergraph::io`: every rejection
+//! path of the edge-list and Benson readers reports a typed error with
+//! enough context (line numbers, offending values) to act on.
+
+use std::io::Cursor;
+
+use mochy_hypergraph::io::{read_benson, read_edge_list, read_edge_list_with, ReadOptions};
+use mochy_hypergraph::HypergraphError;
+
+fn keep_duplicates() -> ReadOptions {
+    ReadOptions {
+        dedup_hyperedges: false,
+        relabel_nodes: false,
+    }
+}
+
+#[test]
+fn non_numeric_token_reports_its_line() {
+    let input = "0 1 2\n0 3\nnot-a-node 4\n";
+    match read_edge_list(Cursor::new(input)).unwrap_err() {
+        HypergraphError::Parse { line, message } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("not-a-node"), "{message}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn separator_only_line_is_an_empty_hyperedge() {
+    // A line of nothing but separators parses to zero members — an empty
+    // hyperedge, which the format forbids.
+    let input = "0 1\n, ,,\n";
+    match read_edge_list(Cursor::new(input)).unwrap_err() {
+        HypergraphError::Parse { line, message } => {
+            assert_eq!(line, 2);
+            assert!(message.contains("no members"), "{message}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn dangling_node_id_beyond_u32_is_rejected() {
+    // Node ids must fit the u32 id space; a dangling 64-bit id cannot be
+    // bound to any node.
+    let overflowing = u64::from(u32::MAX);
+    let input = format!("0 1\n2 {overflowing}\n");
+    match read_edge_list(Cursor::new(input)).unwrap_err() {
+        HypergraphError::NodeIdOverflow { node } => assert_eq!(node, overflowing),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn file_with_no_hyperedges_is_rejected() {
+    for input in ["", "# only comments\n% and more\n", "\n\n\n"] {
+        assert!(
+            matches!(
+                read_edge_list(Cursor::new(input)).unwrap_err(),
+                HypergraphError::NoEdges
+            ),
+            "input {input:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_hyperedges_dedup_by_default_and_survive_when_asked() {
+    // The same member set twice (order and separators irrelevant).
+    let input = "0 1 2\n2,1,0\n3 4\n";
+    let deduped = read_edge_list(Cursor::new(input)).unwrap();
+    assert_eq!(deduped.num_edges(), 2);
+    let kept = read_edge_list_with(Cursor::new(input), keep_duplicates()).unwrap();
+    assert_eq!(kept.num_edges(), 3);
+    assert_eq!(kept.edge(0), kept.edge(1));
+}
+
+#[test]
+fn benson_invalid_size_token_reports_its_line() {
+    let nverts = "2\nthree\n";
+    let simplices = "0\n1\n2\n3\n4\n";
+    match read_benson(
+        Cursor::new(nverts),
+        Cursor::new(simplices),
+        ReadOptions::default(),
+    )
+    .unwrap_err()
+    {
+        HypergraphError::Parse { line, message } => {
+            assert_eq!(line, 2);
+            assert!(message.contains("three"), "{message}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn benson_member_count_mismatch_is_rejected() {
+    // Sizes promise 5 members, the simplices file delivers 3.
+    let nverts = "3\n2\n";
+    let simplices = "0\n1\n2\n";
+    match read_benson(
+        Cursor::new(nverts),
+        Cursor::new(simplices),
+        ReadOptions::default(),
+    )
+    .unwrap_err()
+    {
+        HypergraphError::Parse { message, .. } => {
+            assert!(message.contains("expects 5"), "{message}");
+            assert!(message.contains('3'), "{message}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn benson_node_overflow_is_rejected() {
+    let nverts = "1\n";
+    let simplices = format!("{}\n", u64::from(u32::MAX));
+    assert!(matches!(
+        read_benson(
+            Cursor::new(nverts),
+            Cursor::new(simplices),
+            ReadOptions::default(),
+        )
+        .unwrap_err(),
+        HypergraphError::NodeIdOverflow { .. }
+    ));
+}
+
+#[test]
+fn io_error_from_reader_is_propagated() {
+    /// A reader that fails after its buffered prefix.
+    struct FailingReader {
+        prefix: Cursor<&'static [u8]>,
+        failed: bool,
+    }
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, buffer: &mut [u8]) -> std::io::Result<usize> {
+            let n = std::io::Read::read(&mut self.prefix, buffer)?;
+            if n == 0 {
+                if self.failed {
+                    return Ok(0);
+                }
+                self.failed = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "stream died",
+                ));
+            }
+            Ok(n)
+        }
+    }
+    let reader = std::io::BufReader::new(FailingReader {
+        prefix: Cursor::new(b"0 1\n2 3\n"),
+        failed: false,
+    });
+    match read_edge_list(reader).unwrap_err() {
+        HypergraphError::Io(error) => {
+            assert_eq!(error.kind(), std::io::ErrorKind::BrokenPipe);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}

@@ -16,14 +16,19 @@
 //! - [`lazy::LazyProjection`]: the on-the-fly variant of Section 3.4, which
 //!   computes hyperedge neighbourhoods on demand and memoizes them within a
 //!   configurable budget, prioritized by degree / LRU / random (Figure 11).
+//! - [`overlay::ProjectionOverlay`]: a mutable adjacency (CSR base + delta
+//!   rows, periodic compaction) maintained under hyperedge insertions and
+//!   deletions by the streaming counter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lazy;
+pub mod overlay;
 pub mod projected;
 
 pub use lazy::{LazyProjection, MemoPolicy, MemoStats};
+pub use overlay::ProjectionOverlay;
 pub use projected::{
     compute_neighborhood, project, project_parallel, NeighborhoodScratch, ProjectedGraph,
     WeightedNeighbor,

@@ -11,7 +11,8 @@
 //! - [`motif`] — the 26 h-motifs: patterns, canonicalization, catalog.
 //! - [`projection`] — the projected graph (hyperwedges) and lazy projection.
 //! - [`core`] — the MoCHy counting algorithms (exact, sampling, parallel),
-//!   significance and characteristic profiles.
+//!   significance and characteristic profiles, and the streaming engine for
+//!   evolving hypergraphs ([`core::streaming::StreamingEngine`]).
 //! - [`nullmodel`] — Chung-Lu randomization of hypergraphs.
 //! - [`datagen`] — synthetic domain-flavoured hypergraph generators.
 //! - [`netmotif`] — network-motif (graphlet) baseline counting.
@@ -54,6 +55,27 @@
 //! | Algorithm 5 (MoCHy-A+) | [`Method::WedgeSample`](core::engine::Method::WedgeSample) |
 //! | Algorithm 5 + stopping rule | [`Method::Adaptive`](core::engine::Method::Adaptive) |
 //! | Section 3.4 on-the-fly projection | [`Method::OnTheFly`](core::engine::Method::OnTheFly) |
+//! | Streamed replay of the incremental counter | [`Method::Incremental`](core::engine::Method::Incremental) |
+//!
+//! ## Evolving hypergraphs
+//!
+//! For a hypergraph under hyperedge churn, skip the batch engine entirely:
+//! a [`core::streaming::StreamingEngine`] maintains the exact counts under
+//! `insert` / `remove`, recomputing only the delta contributed by the
+//! touched hyperedge's hyperwedge neighbourhood.
+//!
+//! ```
+//! use mochy::prelude::*;
+//!
+//! let mut stream = StreamingEngine::new(StreamConfig::default());
+//! let e1 = stream.insert([0u32, 1, 2]);
+//! let _ = stream.insert([0u32, 3, 1]);
+//! let _ = stream.insert([4u32, 5, 0]);
+//! let _ = stream.insert([6u32, 7, 2]);
+//! assert_eq!(stream.counts().total(), 3.0); // same three instances as above
+//! stream.remove(e1);
+//! assert_eq!(stream.counts().total(), 0.0);
+//! ```
 
 pub use mochy_analysis as analysis;
 pub use mochy_core as core;
@@ -88,12 +110,19 @@ pub mod prelude {
         pairwise::{PairwiseCensus, PairwiseCollapse},
         profile::{characteristic_profile, significance},
         sample::{mochy_a_parallel, mochy_a_plus_parallel},
+        streaming::{StreamConfig, StreamStats, StreamingEngine},
     };
-    pub use mochy_datagen::{DomainKind, GeneratorConfig};
-    pub use mochy_hypergraph::{EmpiricalDistribution, Hypergraph, HypergraphBuilder, NodeId};
+    pub use mochy_datagen::{
+        temporal_event_stream, DomainKind, EdgeEvent, EventStreamConfig, GeneratorConfig,
+    };
+    pub use mochy_hypergraph::{
+        DynamicHypergraph, EmpiricalDistribution, Hypergraph, HypergraphBuilder, NodeId,
+    };
     pub use mochy_motif::{
         GeneralizedCatalog, HMotif, MotifCatalog, MotifClass, RegionCardinalities,
     };
     pub use mochy_nullmodel::{chung_lu_randomize, swap_randomize, PreservationReport};
-    pub use mochy_projection::{project, project_parallel, NeighborhoodScratch, ProjectedGraph};
+    pub use mochy_projection::{
+        project, project_parallel, NeighborhoodScratch, ProjectedGraph, ProjectionOverlay,
+    };
 }
