@@ -70,6 +70,33 @@ run_stage clippy cargo clippy --locked --workspace --all-targets -- -D warnings
 run_stage build cargo build "${CARGO_FLAGS[@]}"
 run_stage test cargo test "${CARGO_FLAGS[@]}" -q
 
+# Serve smoke (both lanes): boot mochy-serve on an ephemeral port, drive
+# /healthz + /datasets + /count through the example client, request a clean
+# shutdown, and assert the process exits 0. Binaries are built above; the
+# example client is built here explicitly (plain `cargo build` skips
+# examples).
+serve_smoke() {
+  local target_dir="target/${PROFILE}"
+  cargo build "${CARGO_FLAGS[@]}" -p mochy_serve -p mochy --bins --examples
+  local log addr pid
+  log=$(mktemp)
+  "${target_dir}/mochy-serve" --port 0 --workers 2 --queue 8 >"$log" 2>&1 &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "mochy-serve exited early:"; cat "$log"; return 1; }
+    sleep 0.1
+  done
+  [[ -n "$addr" ]] || { echo "mochy-serve never reported an address:"; cat "$log"; return 1; }
+  "${target_dir}/examples/serve_client" "$addr" --shutdown
+  wait "$pid" || { echo "mochy-serve exited non-zero:"; cat "$log"; return 1; }
+  grep -q "clean shutdown" "$log" || { echo "no clean-shutdown marker:"; cat "$log"; return 1; }
+  rm -f "$log"
+}
+run_stage serve-smoke serve_smoke
+
 # Thread-count invariance. Every suite run counts at threads=1 AND at
 # threads=$MOCHY_POOL_THREADS and asserts bit-equality, so these two
 # stages explicitly pin threads=1 against both a minimal pool (2, the

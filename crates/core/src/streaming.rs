@@ -147,8 +147,21 @@ impl StreamingEngine {
     }
 
     /// Removes hyperedge `e`, updating the counts by its (negated) delta.
-    /// Returns `false` (and changes nothing) when `e` is dead or unknown.
+    ///
+    /// Removing a tombstoned or never-issued identifier is a **strict
+    /// no-op**: it returns `false` and leaves the counts, the projection,
+    /// the hypergraph, and the stream statistics bit-identical — the serve
+    /// layer forwards client-supplied ids here, so this contract must hold
+    /// for arbitrary input.
     pub fn remove(&mut self, e: EdgeId) -> bool {
+        // The hypergraph and the projection overlay tombstone in lockstep;
+        // a divergence would mean a delta was applied against one view but
+        // not the other.
+        debug_assert_eq!(
+            self.hypergraph.is_live(e),
+            self.projection.is_live(e),
+            "hypergraph/overlay liveness diverged for edge {e}"
+        );
         if !self.hypergraph.is_live(e) {
             return false;
         }
@@ -460,5 +473,72 @@ mod tests {
         assert!(stream.remove(e));
         assert!(!stream.remove(e));
         assert_eq!(stream.stats().removals, 1);
+    }
+
+    /// Interleaves double-removes, removals of never-issued ids, and
+    /// re-insertions of previously removed member sets, asserting (a) every
+    /// failed removal is a *strict* no-op — counts, hyperwedges, and stats
+    /// bit-identical afterwards — and (b) the stream stays bit-identical to
+    /// from-scratch MoCHy-E throughout.
+    #[test]
+    fn double_remove_and_reinsert_churn_matches_from_scratch_mochy_e() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut stream = StreamingEngine::new(StreamConfig::default());
+        let mut live: Vec<(EdgeId, Vec<NodeId>)> = Vec::new();
+        let mut graveyard: Vec<(EdgeId, Vec<NodeId>)> = Vec::new();
+
+        // Asserts that removing `e` changes nothing at all, bit for bit.
+        fn assert_strict_noop(stream: &mut StreamingEngine, e: EdgeId, what: &str) {
+            let counts = stream.counts().clone();
+            let hyperwedges = stream.num_hyperwedges();
+            let edges = stream.num_live_edges();
+            let stats = stream.stats();
+            assert!(!stream.remove(e), "{what}: removal of {e} must fail");
+            assert_eq!(stream.counts(), &counts, "{what}: counts changed");
+            assert_eq!(stream.num_hyperwedges(), hyperwedges, "{what}: wedges");
+            assert_eq!(stream.num_live_edges(), edges, "{what}: live edges");
+            assert_eq!(stream.stats(), stats, "{what}: stats changed");
+        }
+
+        for step in 0..240u32 {
+            let roll = rng.gen_range(0..100);
+            if roll < 25 && !live.is_empty() {
+                // Remove, then immediately double-remove the tombstone.
+                let (victim, members) = live.swap_remove(rng.gen_range(0..live.len()));
+                assert!(stream.remove(victim), "step {step}: first removal");
+                assert_strict_noop(&mut stream, victim, "double remove");
+                graveyard.push((victim, members));
+            } else if roll < 35 {
+                // Never-issued identifiers, small and huge.
+                let bogus =
+                    stream.num_live_edges() as EdgeId + graveyard.len() as EdgeId + 100 + step;
+                assert_strict_noop(&mut stream, bogus, "never-issued id");
+                assert_strict_noop(&mut stream, EdgeId::MAX - step, "huge id");
+            } else if roll < 50 && !graveyard.is_empty() {
+                // Re-insert a previously removed member set: it must get a
+                // fresh id (never reused), and the tombstone stays dead.
+                let (old_id, members) = graveyard[rng.gen_range(0..graveyard.len())].clone();
+                let new_id = stream.insert(members.iter().copied());
+                assert!(new_id > old_id, "step {step}: id {new_id} reused {old_id}");
+                assert!(!stream.is_live(old_id), "step {step}: tombstone revived");
+                assert!(stream.is_live(new_id));
+                live.push((new_id, members));
+                // The old tombstone is still a strict no-op to remove.
+                assert_strict_noop(&mut stream, old_id, "tombstone after re-insert");
+            } else {
+                let size = rng.gen_range(1..=4);
+                let members: Vec<NodeId> = (0..size).map(|_| rng.gen_range(0..14)).collect();
+                let e = stream.insert(members.iter().copied());
+                live.push((e, members));
+            }
+            if step % 20 == 0 {
+                assert_matches_from_scratch(&stream, &format!("step {step}"));
+            }
+        }
+        assert!(
+            stream.stats().removals >= 10,
+            "churn script never exercised removal"
+        );
+        assert_matches_from_scratch(&stream, "final");
     }
 }

@@ -224,6 +224,67 @@ fn generalized_counts_ride_along() {
 }
 
 #[test]
+fn generalized_k4_catalog_has_1853_motifs_through_the_engine() {
+    // Section 2.2: 26 motifs over k = 3 hyperedges, 1 853 over k = 4. Pin
+    // both through the engine's ride-along path, so the catalog the service
+    // layer reports stays anchored to the paper's numbers.
+    let h = figure2();
+    let quads = CountConfig::exact()
+        .generalized(4)
+        .build()
+        .count(&h)
+        .generalized
+        .expect("generalized(4) was configured");
+    assert_eq!(quads.as_slice().len(), 1853);
+    let triples = CountConfig::exact()
+        .generalized(3)
+        .build()
+        .count(&h)
+        .generalized
+        .expect("generalized(3) was configured");
+    assert_eq!(triples.as_slice().len(), 26);
+}
+
+#[test]
+fn generalized_k3_counts_match_mochy_e_through_the_engine() {
+    // On Figure 2 and on a generated dataset, the generalized k = 3 counts
+    // must agree with the classic 26-motif MoCHy-E counts: same total, and
+    // the same multiset of per-motif counts (the two catalogs label the 26
+    // equivalence classes differently).
+    let generated = mochy_datagen::generate(&mochy_datagen::GeneratorConfig::new(
+        mochy_datagen::DomainKind::Email,
+        80,
+        120,
+        21,
+    ));
+    for (name, h) in [("figure2", figure2()), ("email", generated)] {
+        let report = CountConfig::exact().generalized(3).build().count(&h);
+        let triples = report.generalized.as_ref().expect("generalized(3)");
+        assert_eq!(
+            triples.total() as f64,
+            report.counts.total(),
+            "{name}: totals must agree"
+        );
+        let mut general: Vec<u64> = triples
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
+        let mut classic: Vec<u64> = report
+            .counts
+            .as_slice()
+            .iter()
+            .map(|&c| c as u64)
+            .filter(|&c| c > 0)
+            .collect();
+        general.sort_unstable();
+        classic.sort_unstable();
+        assert_eq!(general, classic, "{name}: per-motif multisets must agree");
+    }
+}
+
+#[test]
 fn on_the_fly_reports_cache_behaviour() {
     let h = denser();
     let report = CountConfig::on_the_fly(2_000, 64, MemoPolicy::Lru)

@@ -42,7 +42,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod json;
 pub mod nullmodels;
 pub mod pairwise;
 pub mod perf;
@@ -53,6 +52,10 @@ pub mod table4;
 pub mod tool;
 
 pub use common::ExperimentScale;
+/// The JSON machinery behind `BENCH*.json`, re-exported from its shared home
+/// ([`mochy_json`]) so existing `mochy_experiments::json` callers keep
+/// working; `mochy-serve` uses the same parser/writer for its API bodies.
+pub use mochy_json as json;
 
 /// Runs the experiment with the given name, returning its textual report.
 ///

@@ -399,6 +399,18 @@ pub fn check(baseline: &str, current: &str, options: &CheckOptions) -> Result<St
         }
     }
 
+    // A gate that compared nothing must not report success: a baseline whose
+    // `datasets` array is missing, empty, or holds no method rows would
+    // otherwise pass vacuously (e.g. after a bad baseline refresh), silently
+    // disabling every deterministic check above.
+    if compared_rows == 0 {
+        violations.push(
+            "baseline contains no method rows to compare; the gate would pass vacuously \
+             (is the baseline file truncated or its `datasets` array empty?)"
+                .to_string(),
+        );
+    }
+
     if violations.is_empty() {
         Ok(format!(
             "perf gate passed: {} dataset(s), {} method row(s) compared; counts identical; \
@@ -424,21 +436,10 @@ fn json_number(value: f64) -> String {
     }
 }
 
-/// Escapes a string for embedding in a JSON document.
+/// Escapes a string for embedding in a JSON document (shared with the serve
+/// layer through [`mochy_json`]).
 fn escape_json(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    json::escape(text)
 }
 
 #[cfg(test)]
@@ -581,6 +582,82 @@ mod tests {
             min_ms: 500.0,
         };
         assert!(check(baseline, &very_slow, &floored).is_ok());
+    }
+
+    /// A hand-written one-row matrix whose timing sits far below the default
+    /// 20 ms floor, so its timing comparison is always skipped.
+    fn sub_floor_baseline() -> &'static str {
+        r#"{
+            "schema": "mochy-perf/1", "threads": 2, "samples": 200, "seed": 0,
+            "datasets": [{
+                "name": "d", "num_nodes": 4, "num_edges": 3, "num_hyperwedges": 9,
+                "methods": [{
+                    "method": "mochy-e", "projection_ms": 0.2, "counting_ms": 0.8,
+                    "total_ms": 1.0, "samples_drawn": null, "total_count": 5
+                }]
+            }]
+        }"#
+    }
+
+    #[test]
+    fn deterministic_drift_is_fatal_even_on_timing_skipped_rows() {
+        let baseline = sub_floor_baseline();
+        let options = CheckOptions::default();
+        // Sanity: the row really is under the floor (summary reports the skip)
+        // and an identical run passes.
+        let summary = check(baseline, baseline, &options).unwrap();
+        assert!(summary.contains("1 row(s) under"), "{summary}");
+
+        // Count drift on the skipped-timing row is still fatal…
+        let drifted = baseline.replace("\"total_count\": 5", "\"total_count\": 6");
+        let error = check(baseline, &drifted, &options).unwrap_err();
+        assert!(error.contains("total_count changed"), "{error}");
+        // …as is samples_drawn drift…
+        let drifted = baseline.replace("\"samples_drawn\": null", "\"samples_drawn\": 100");
+        let error = check(baseline, &drifted, &options).unwrap_err();
+        assert!(error.contains("samples_drawn changed"), "{error}");
+        // …and hyperwedge drift at the dataset level.
+        let drifted = baseline.replace("\"num_hyperwedges\": 9", "\"num_hyperwedges\": 8");
+        let error = check(baseline, &drifted, &options).unwrap_err();
+        assert!(error.contains("`num_hyperwedges` changed"), "{error}");
+    }
+
+    #[test]
+    fn missing_baseline_rows_fail_instead_of_vanishing() {
+        let baseline = sub_floor_baseline();
+        let options = CheckOptions::default();
+        // A current run whose only dataset lost its method rows: the
+        // baseline row must be reported missing, not silently skipped.
+        let no_rows = baseline.replace("\"methods\": [{", "\"methods\": [], \"ignored\": [{");
+        let error = check(baseline, &no_rows, &options).unwrap_err();
+        assert!(
+            error.contains("method `mochy-e`: missing from current run"),
+            "{error}"
+        );
+        // A current run missing the whole dataset fails likewise.
+        let renamed = baseline.replace("\"name\": \"d\"", "\"name\": \"other\"");
+        let error = check(baseline, &renamed, &options).unwrap_err();
+        assert!(error.contains("dataset `d` missing"), "{error}");
+    }
+
+    #[test]
+    fn vacuous_baselines_fail_the_gate() {
+        let options = CheckOptions::default();
+        // Empty `datasets` array on both sides: nothing compares, which must
+        // be a failure, not a pass.
+        let empty = r#"{"schema": "mochy-perf/1", "threads": 2, "samples": 200,
+                        "seed": 0, "datasets": []}"#;
+        let error = check(empty, empty, &options).unwrap_err();
+        assert!(error.contains("vacuously"), "{error}");
+        // Same for a baseline with no `datasets` key at all.
+        let keyless = r#"{"schema": "mochy-perf/1", "threads": 2, "samples": 200, "seed": 0}"#;
+        let error = check(keyless, keyless, &options).unwrap_err();
+        assert!(error.contains("vacuously"), "{error}");
+        // And for a baseline whose datasets hold empty method lists.
+        let no_rows =
+            sub_floor_baseline().replace("\"methods\": [{", "\"methods\": [], \"ignored\": [{");
+        let error = check(&no_rows, &no_rows, &options).unwrap_err();
+        assert!(error.contains("vacuously"), "{error}");
     }
 
     #[test]

@@ -255,6 +255,42 @@ mod tests {
     }
 
     #[test]
+    fn removing_unknown_or_dead_ids_is_a_strict_noop() {
+        // Never-issued ids on an empty hypergraph.
+        let mut h = DynamicHypergraph::new();
+        assert!(!h.remove_edge(0));
+        assert!(!h.remove_edge(EdgeId::MAX));
+        assert_eq!(h.num_live_edges(), 0);
+        assert_eq!(h.num_edge_slots(), 0);
+
+        // Ids beyond the allocated slots, and tombstoned ids, on a populated
+        // one: nothing observable may change.
+        let a = h.insert_edge([0u32, 1, 2]);
+        let b = h.insert_edge([1u32, 3]);
+        h.remove_edge(a);
+        let snapshot_edges: Vec<Option<Vec<NodeId>>> = (0..h.num_edge_slots() as EdgeId)
+            .map(|e| h.edge(e).map(<[NodeId]>::to_vec))
+            .collect();
+        let snapshot_incidence: Vec<Vec<EdgeId>> = (0..h.num_nodes() as NodeId)
+            .map(|v| h.edges_of_node(v).to_vec())
+            .collect();
+        for bogus in [a, 2, 3, 100, EdgeId::MAX] {
+            assert!(!h.remove_edge(bogus), "id {bogus} must be a no-op");
+        }
+        assert_eq!(h.num_live_edges(), 1);
+        assert!(h.is_live(b));
+        for e in 0..h.num_edge_slots() as EdgeId {
+            assert_eq!(
+                h.edge(e).map(<[NodeId]>::to_vec),
+                snapshot_edges[e as usize]
+            );
+        }
+        for v in 0..h.num_nodes() as NodeId {
+            assert_eq!(h.edges_of_node(v), snapshot_incidence[v as usize]);
+        }
+    }
+
+    #[test]
     fn round_trips_through_immutable_hypergraph() {
         let original = HypergraphBuilder::new()
             .with_edge([0u32, 1, 2])

@@ -44,6 +44,6 @@ pub use distributions::EmpiricalDistribution;
 pub use dynamic::DynamicHypergraph;
 pub use error::HypergraphError;
 pub use graph::{EdgeId, Hypergraph, NodeId};
-pub use parallel::{default_chunk_size, map_reduce_chunks, ChunkQueue};
+pub use parallel::{default_chunk_size, map_reduce_chunks, ChunkQueue, PoolSaturated, WorkerPool};
 pub use stats::HypergraphStats;
 pub use transform::{clique_expansion, dual, WeightedGraph};

@@ -13,9 +13,17 @@
 //! or order-independent merges such as integer-valued `f64` additions). All
 //! users in this workspace satisfy that, which is what makes counting results
 //! identical for every thread count.
+//!
+//! For long-lived services the module also provides [`WorkerPool`] — a
+//! persistent pool with a bounded submission queue whose
+//! [`WorkerPool::try_execute`] fails fast ([`PoolSaturated`]) instead of
+//! blocking, the backpressure primitive behind `mochy-serve`'s 503 handling.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// An atomic work queue over `0..num_items`, handing out blocks of at most
 /// `chunk_size` indices.
@@ -103,6 +111,108 @@ where
     })
 }
 
+/// A job submitted to a [`WorkerPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::try_execute`] when every worker is busy
+/// and the submission queue is full. Carries the rejected job back to the
+/// caller so it can be retried or answered with an overload response.
+pub struct PoolSaturated(pub Box<dyn FnOnce() + Send + 'static>);
+
+impl std::fmt::Debug for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolSaturated(..)")
+    }
+}
+
+/// A persistent worker pool with a **bounded** submission queue.
+///
+/// [`map_reduce_chunks`] covers the fork-join data-parallel needs of the
+/// counting kernels; long-lived services (the `mochy-serve` HTTP front end)
+/// instead need a fixed set of resident workers plus *explicit backpressure*:
+/// when every worker is busy and the queue is full, submission fails
+/// immediately with [`PoolSaturated`] rather than blocking the caller — which
+/// is what lets an accept loop shed load (HTTP 503) without ever wedging.
+///
+/// Workers drain jobs from a shared bounded channel; dropping the pool closes
+/// the channel, lets the workers finish the jobs already queued, and joins
+/// them.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` resident threads (min 1) whose submission queue
+    /// buffers at most `queue_depth` pending jobs beyond the ones being
+    /// executed. `queue_depth = 0` is a rendezvous queue: submission only
+    /// succeeds while some worker is actually waiting for work.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = sync_channel::<Job>(queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(&receiver))
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers: handles,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits `job` without blocking. Fails with [`PoolSaturated`] (handing
+    /// the job back) when the queue is full.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolSaturated> {
+        let sender = self.sender.as_ref().expect("pool not shut down");
+        match sender.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                Err(PoolSaturated(job))
+            }
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while running the job.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // dequeue lock poisoned (cannot happen: no job runs under it)
+        };
+        match job {
+            // A panicking job must not kill the worker: the pool never
+            // respawns threads, so without isolation one bad request would
+            // permanently shrink a long-lived service's capacity.
+            Ok(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => return, // channel closed: pool is shutting down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the channel; workers drain and exit
+        for handle in self.workers.drain(..) {
+            // Panicking jobs are isolated in worker_loop, so join failures
+            // should not occur; swallow them anyway rather than double-
+            // panicking an unwinding drop.
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +263,97 @@ mod tests {
             );
             assert_eq!(partials.iter().sum::<u64>(), expected, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_reports_saturation() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::mpsc::channel;
+
+        let pool = WorkerPool::new(2, 4);
+        assert_eq!(pool.num_workers(), 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let (done, finished) = channel();
+        for i in 0..10u64 {
+            let counter = Arc::clone(&counter);
+            let done = done.clone();
+            // 2 workers + 4 queue slots: submit at most 6 at once, waiting
+            // for completions in between.
+            while pool
+                .try_execute({
+                    let counter = Arc::clone(&counter);
+                    let done = done.clone();
+                    move || {
+                        counter.fetch_add(i + 1, Ordering::Relaxed);
+                        done.send(()).unwrap();
+                    }
+                })
+                .is_err()
+            {
+                finished.recv().unwrap();
+            }
+        }
+        drop(pool); // joins workers, so every job has run
+        assert_eq!(counter.load(Ordering::Relaxed), (1..=10).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        use std::sync::mpsc::channel;
+
+        let pool = WorkerPool::new(1, 4);
+        let (done, finished) = channel();
+        for _ in 0..3 {
+            while pool.try_execute(|| panic!("job blew up")).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        // The single worker absorbed three panics and still runs jobs.
+        let mut submitted = false;
+        for _ in 0..10_000 {
+            let done = done.clone();
+            if pool.try_execute(move || done.send(()).unwrap()).is_ok() {
+                submitted = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(submitted, "worker never became available again");
+        finished
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("job after panics must still run");
+    }
+
+    #[test]
+    fn worker_pool_saturation_returns_the_job() {
+        use std::sync::mpsc::channel;
+
+        // One worker, zero queue slots (rendezvous): occupy the worker, then
+        // every further submission must be rejected immediately.
+        let pool = WorkerPool::new(1, 0);
+        let (release, gate) = channel::<()>();
+        let (started, running) = channel::<()>();
+        let mut job: Job = Box::new(move || {
+            started.send(()).unwrap();
+            gate.recv().unwrap(); // parks the worker until the test releases it
+        });
+        // With a rendezvous queue, submission only succeeds once the worker
+        // is parked in recv; a rejected job is handed back for retry.
+        loop {
+            match pool.try_execute(job) {
+                Ok(()) => break,
+                Err(PoolSaturated(rejected)) => {
+                    job = rejected;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        running.recv().unwrap(); // the worker is now busy
+        let rejected = pool
+            .try_execute(|| unreachable!("saturated pool must not run the job"))
+            .expect_err("pool must be saturated");
+        drop(rejected); // the job is handed back and never runs
+        release.send(()).unwrap(); // unpark the worker so Drop can join it
     }
 
     #[test]

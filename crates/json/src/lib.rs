@@ -1,0 +1,611 @@
+//! A minimal, dependency-free JSON parser and writer.
+//!
+//! The workspace is offline-vendored and carries no `serde_json`, yet two
+//! subsystems speak JSON: the perf-gate tooling (`mochy-exp perf` reads back
+//! its own `BENCH*.json` matrices) and the `mochy-serve` query service
+//! (which accepts client-supplied request bodies, so the parser must handle
+//! the *full* RFC 8259 grammar — including `\uXXXX` surrogate pairs — and
+//! fail cleanly, never panic, on malformed input). This crate is that shared
+//! implementation:
+//!
+//! - [`parse`] / [`validate`] — a recursive-descent parser over the complete
+//!   JSON grammar. Paired UTF-16 surrogate escapes decode to the supplementary
+//!   character they encode; lone (unpaired) surrogates are rejected with a
+//!   descriptive error, never silently mangled.
+//! - [`JsonValue::render`] — the matching writer, producing a compact
+//!   document that round-trips through [`parse`]. Object members keep their
+//!   insertion order, so rendering is deterministic — a property the serve
+//!   layer's byte-identical response cache relies on.
+//! - [`escape`] — string-literal escaping for callers that assemble JSON
+//!   textually (the perf matrix writer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always held as `f64`; every document this workspace
+    /// exchanges stays well inside exact range).
+    Number(f64),
+    /// A string literal, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order (duplicate keys keep the last value on
+    /// lookup, like most parsers).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (`None` for other variants or missing keys;
+    /// with duplicate keys, the last occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number with an exact
+    /// `u64` representation (the shape every id/count field of the serve API
+    /// uses). Rejects negatives, fractions, and magnitudes beyond 2^53.
+    pub fn as_u64(&self) -> Option<u64> {
+        let value = self.as_f64()?;
+        if value >= 0.0 && value <= 2f64.powi(53) && value.fract() == 0.0 {
+            Some(value as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn string(text: impl Into<String>) -> JsonValue {
+        JsonValue::String(text.into())
+    }
+
+    /// Renders the value as a compact JSON document. Object members are
+    /// emitted in insertion order and numbers use Rust's shortest-round-trip
+    /// `f64` formatting, so rendering the same tree always yields the same
+    /// bytes. Non-finite numbers (which JSON cannot represent) render as
+    /// `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(value) => {
+                if value.is_finite() {
+                    out.push_str(&format!("{value}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(text) => {
+                out.push('"');
+                out.push_str(&escape(text));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\":");
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Maximum container nesting the parser accepts. The parser is recursive,
+/// so unbounded nesting would let a small hostile document (`[[[[…`) blow
+/// the thread's stack — an abort, not a catchable error. 128 levels is far
+/// beyond anything the workspace exchanges.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
+/// Parses a complete JSON document (rejecting trailing content).
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+/// Validates that `text` is a complete JSON document.
+pub fn validate(text: &str) -> Result<(), String> {
+    parse(text).map(|_| ())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth >= MAX_NESTING_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_NESTING_DEPTH} levels at byte {pos}"
+        ));
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b't') => parse_literal(bytes, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null").map(|()| JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        other => Err(format!("unexpected {other:?} at byte {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(expected) {
+        *pos += expected.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(bytes, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("unparseable number at byte {start}"))
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape whose `\u` prefix starts at
+/// `pos`, returning the code unit and advancing `pos` past the escape.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(*pos + 2..*pos + 6)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    // Exactly four hex digits — `from_str_radix` alone would also accept a
+    // leading `+`, which RFC 8259 does not.
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!(
+            "bad \\u escape `\\u{}`",
+            String::from_utf8_lossy(hex)
+        ));
+    }
+    let hex = std::str::from_utf8(hex).expect("hex digits are ascii");
+    let code = u32::from_str_radix(hex, 16).expect("validated hex digits");
+    *pos += 6;
+    Ok(code)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid utf-8 in string".to_string());
+            }
+            b'\\' => {
+                let escape = bytes
+                    .get(*pos + 1)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                match escape {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        // JSON escapes name UTF-16 code units: a character
+                        // outside the Basic Multilingual Plane is written as
+                        // a high surrogate (D800–DBFF) immediately followed
+                        // by a low surrogate (DC00–DFFF). Decode pairs;
+                        // reject lone or misordered surrogates outright —
+                        // they name no scalar value.
+                        let first = parse_hex4(bytes, pos)?;
+                        let code = match first {
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos) != Some(&b'\\')
+                                    || bytes.get(*pos + 1) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{first:04x} (expected a \
+                                         \\uDC00-\\uDFFF low surrogate to follow)"
+                                    ));
+                                }
+                                let second = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&second) {
+                                    return Err(format!(
+                                        "high surrogate \\u{first:04x} followed by \
+                                         \\u{second:04x}, which is not a low surrogate"
+                                    ));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{first:04x} (low surrogates are \
+                                     only valid after a high surrogate)"
+                                ));
+                            }
+                            scalar => scalar,
+                        };
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("\\u escape u+{code:x} is not a scalar"))?;
+                        let mut buffer = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buffer).as_bytes());
+                        continue; // `parse_hex4` already advanced past the escape(s)
+                    }
+                    other => return Err(format!("unknown escape \\{}", *other as char)),
+                }
+                *pos += 2;
+            }
+            // RFC 8259 §7: control characters must be escaped inside string
+            // literals.
+            0x00..=0x1F => {
+                return Err(format!(
+                    "unescaped control character 0x{c:02x} in string at byte {pos}"
+                ))
+            }
+            _ => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    *pos += 1;
+    skip_ws(bytes, pos);
+    let mut members = Vec::new();
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos, depth + 1)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    *pos += 1;
+    skip_ws(bytes, pos);
+    let mut items = Vec::new();
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included). Non-ASCII characters pass through unescaped — JSON documents
+/// are UTF-8.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let doc = parse(r#"{"a": [1, -2.5, 1e3, null, true, false, "x\n\"y\""]}"#).unwrap();
+        let items = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[1].as_f64(), Some(-2.5));
+        assert_eq!(items[2].as_f64(), Some(1000.0));
+        assert!(items[3].is_null());
+        assert_eq!(items[4], JsonValue::Bool(true));
+        assert_eq!(items[5].as_bool(), Some(false));
+        assert_eq!(items[6].as_str(), Some("x\n\"y\""));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let doc = parse(r#""café é ☃""#).unwrap();
+        assert_eq!(doc.as_str(), Some("café é ☃"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_characters() {
+        // U+1D11E MUSICAL SYMBOL G CLEF = 𝄞.
+        let doc = parse(r#""clef: 𝄞""#).unwrap();
+        assert_eq!(doc.as_str(), Some("clef: \u{1D11E}"));
+        // U+10348 GOTHIC LETTER HWAIR = 𐍈 (boundary high surrogate).
+        let doc = parse(r#""𐍈""#).unwrap();
+        assert_eq!(doc.as_str(), Some("\u{10348}"));
+        // Pairs compose with other escapes and raw text around them.
+        let doc = parse(r#""a😀b\nc""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\u{1F600}b\nc"));
+        // Two consecutive pairs.
+        let doc = parse(r#""😀😁""#).unwrap();
+        assert_eq!(doc.as_str(), Some("\u{1F600}\u{1F601}"));
+    }
+
+    #[test]
+    fn lone_surrogates_error_instead_of_mangling() {
+        for (bad, needle) in [
+            (r#""\uD834""#, "lone high surrogate"),
+            (r#""\uD834x""#, "lone high surrogate"),
+            (r#""\uD834\n""#, "lone high surrogate"),
+            (r#""\uD834A""#, "lone high surrogate"),
+            (r#""\uD834\uD834""#, "not a low surrogate"),
+            (r#""\uDD1E""#, "lone low surrogate"),
+            (r#""x\uDC00y""#, "lone low surrogate"),
+            (r#""\uD834\u""#, "truncated"),
+        ] {
+            let error = parse(bad).expect_err(bad);
+            assert!(error.contains(needle), "`{bad}` gave `{error}`");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip_through_the_writer() {
+        let doc = parse(r#""𝄞 and é""#).unwrap();
+        let rendered = doc.render();
+        // The writer emits raw UTF-8, which the parser accepts unescaped.
+        assert_eq!(parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{\"a\": }",
+            "[1, 2",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "[1,]",
+            "{} trailing",
+            "nul",
+            "1.e3",
+            "\"raw\nnewline\"", // unescaped control character
+            "\"nul\u{0}byte\"", // ditto
+            r#""\u+041""#,      // '+' is not a hex digit
+            r#""\u 041""#,      // neither is a space
+            r#"{"a": "\uD83""#, // truncated \u escape
+        ] {
+            assert!(parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded_not_a_stack_overflow() {
+        // One level under the cap parses…
+        let deep_ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_NESTING_DEPTH - 1),
+            "]".repeat(MAX_NESTING_DEPTH - 1)
+        );
+        assert!(parse(&deep_ok).is_ok());
+        // …the cap itself errors cleanly…
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_NESTING_DEPTH + 1),
+            "]".repeat(MAX_NESTING_DEPTH + 1)
+        );
+        let error = parse(&too_deep).unwrap_err();
+        assert!(error.contains("nesting deeper"), "{error}");
+        // …and a pathological 50k-deep document (which would overflow the
+        // stack without the cap) is rejected without crashing, for arrays,
+        // objects, and mixtures.
+        assert!(parse(&"[".repeat(50_000)).is_err());
+        assert!(parse(&"{\"k\":[".repeat(20_000)).is_err());
+    }
+
+    #[test]
+    fn nested_lookup() {
+        let doc = parse(r#"{"outer": {"inner": 7}, "outer2": 1}"#).unwrap();
+        assert_eq!(
+            doc.get("outer")
+                .and_then(|o| o.get("inner"))
+                .and_then(JsonValue::as_f64),
+            Some(7.0)
+        );
+        assert!(doc.get("missing").is_none());
+        assert!(doc.get("outer").unwrap().get("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let doc = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(doc.get("k").and_then(JsonValue::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn as_u64_accepts_exact_integers_only() {
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(0.0).as_u64(), Some(0));
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(1e60).as_u64(), None);
+        assert_eq!(JsonValue::string("7").as_u64(), None);
+    }
+
+    #[test]
+    fn render_round_trips_and_is_deterministic() {
+        let doc = JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::string("a\"b\\c\nd")),
+            ("n".to_string(), JsonValue::Number(2.5)),
+            ("int".to_string(), JsonValue::Number(1e13)),
+            ("flag".to_string(), JsonValue::Bool(true)),
+            ("nothing".to_string(), JsonValue::Null),
+            (
+                "items".to_string(),
+                JsonValue::Array(vec![JsonValue::Number(1.0), JsonValue::string("x")]),
+            ),
+            ("empty".to_string(), JsonValue::Array(Vec::new())),
+            ("emptyo".to_string(), JsonValue::Object(Vec::new())),
+        ]);
+        let rendered = doc.render();
+        assert_eq!(parse(&rendered).unwrap(), doc);
+        assert_eq!(doc.render(), rendered, "rendering must be deterministic");
+        // Integer-valued f64s render without a fractional part.
+        assert!(rendered.contains("\"int\":10000000000000"));
+        assert!(rendered.contains("\"n\":2.5"));
+    }
+
+    #[test]
+    fn render_clamps_non_finite_numbers_to_null() {
+        assert_eq!(JsonValue::Number(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escape_covers_quotes_controls_and_backslashes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("café"), "café");
+    }
+}

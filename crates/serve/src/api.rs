@@ -1,0 +1,1009 @@
+//! The JSON API of `mochy-serve`: request parsing, query execution, response
+//! rendering, and the byte-identical LRU result cache.
+//!
+//! | Route | Body | Answer |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness, dataset/cache/pool stats |
+//! | `GET /datasets` | — | registered datasets with generation + sizes |
+//! | `POST /count` | `{"dataset", "method", …}` | 26 h-motif counts via the [`MotifEngine`] |
+//! | `POST /profile` | `{"dataset", "randomizations", …}` | characteristic profile (Eqs. 1–2) |
+//! | `POST /mutate` | `{"dataset", "insert", "remove"}` | applies churn, publishes a new snapshot |
+//! | `POST /shutdown` | — | acknowledges, then stops the accept loop |
+//!
+//! **Determinism and caching.** Every `/count` and `/profile` body is a pure
+//! function of `(dataset snapshot, normalized query)`: the engine is
+//! seed-deterministic and timings are deliberately excluded from response
+//! bodies. Responses are memoized in a [`QueryCache`] keyed by
+//! `(dataset, generation, normalized query)`; a hit therefore returns the
+//! *exact bytes* the uncached computation produced (the `x-mochy-cache:
+//! hit|miss` response header is the only difference). Mutations bump the
+//! dataset generation, so stale entries are never served — they simply age
+//! out of the LRU.
+//!
+//! [`MotifEngine`]: mochy_core::engine::MotifEngine
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mochy_analysis::profile::{CountingMethod, ProfileEstimator};
+use mochy_core::engine::{CountConfig, CountReport, Method};
+use mochy_core::AdaptiveConfig;
+use mochy_hypergraph::{EdgeId, NodeId};
+use mochy_json::{self as json, JsonValue};
+use mochy_motif::NUM_MOTIFS;
+use mochy_projection::MemoPolicy;
+
+use crate::http::Request;
+use crate::registry::{Registry, Snapshot};
+
+/// Hard ceiling on per-request sample counts (keeps a single query bounded).
+const MAX_SAMPLES: usize = 1_000_000;
+/// Hard ceiling on per-request null-model randomizations.
+const MAX_RANDOMIZATIONS: usize = 16;
+
+/// An LRU cache of rendered response bodies.
+///
+/// Values are `Arc<str>` so a hit hands back the identical allocation; the
+/// eviction order is least-recently-*used* (a hit refreshes the entry).
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    /// Back of the vector = most recently used.
+    entries: Mutex<Vec<(String, Arc<str>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` rendered bodies (0 disables
+    /// caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency. Counts a hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        if let Some(position) = entries.iter().position(|(k, _)| k == key) {
+            let entry = entries.remove(position);
+            let value = Arc::clone(&entry.1);
+            entries.push(entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(value)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Stores `body` under `key`, evicting the least recently used entry
+    /// when full. Re-inserting an existing key refreshes it.
+    pub fn put(&self, key: String, body: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        if let Some(position) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(position);
+        } else if entries.len() >= self.capacity {
+            entries.remove(0);
+        }
+        entries.push((key, body));
+    }
+
+    /// `(hits, misses, current entry count)`.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.entries.lock().expect("cache lock poisoned").len(),
+        )
+    }
+}
+
+/// Whether a response was served from the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// Body returned straight from the cache.
+    Hit,
+    /// Body computed by this request (and now cached).
+    Miss,
+}
+
+impl CacheState {
+    /// Header value for `x-mochy-cache`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheState::Hit => "hit",
+            CacheState::Miss => "miss",
+        }
+    }
+}
+
+/// A routed API response.
+#[derive(Debug)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Rendered JSON body.
+    pub body: Arc<str>,
+    /// Cache disposition of cacheable routes.
+    pub cache_state: Option<CacheState>,
+    /// Whether the server should stop accepting after this response.
+    pub shutdown: bool,
+}
+
+impl ApiResponse {
+    fn ok(body: impl Into<Arc<str>>) -> Self {
+        Self {
+            status: 200,
+            body: body.into(),
+            cache_state: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// A request rejected before execution: status plus a JSON error body.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    fn bad(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+}
+
+/// Renders an error body (also used by the transport layer for parse and
+/// overload errors, so every response on the wire is JSON).
+pub fn error_body(message: &str) -> String {
+    JsonValue::Object(vec![("error".to_string(), JsonValue::string(message))]).render()
+}
+
+/// Everything the request handlers need, shared across worker threads.
+#[derive(Debug)]
+pub struct ApiContext {
+    /// The datasets this server exposes.
+    pub registry: Registry,
+    /// The rendered-body result cache.
+    pub cache: QueryCache,
+    /// Ceiling on the per-query `threads` parameter.
+    pub max_threads: usize,
+    /// Resident worker count (reported by `/healthz`).
+    pub num_workers: usize,
+    /// Bounded accept-queue depth (reported by `/healthz`).
+    pub queue_depth: usize,
+    /// Server start time (reported by `/healthz`).
+    pub started: Instant,
+}
+
+/// Routes a parsed request to its handler.
+pub fn handle(ctx: &ApiContext, request: &Request) -> ApiResponse {
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok(healthz(ctx)),
+        ("GET", "/datasets") => Ok(datasets(ctx)),
+        ("POST", "/count") => count(ctx, &request.body),
+        ("POST", "/profile") => profile(ctx, &request.body),
+        ("POST", "/mutate") => mutate(ctx, &request.body),
+        ("POST", "/shutdown") => Ok(ApiResponse {
+            shutdown: true,
+            ..ApiResponse::ok(
+                JsonValue::Object(vec![(
+                    "status".to_string(),
+                    JsonValue::string("shutting-down"),
+                )])
+                .render(),
+            )
+        }),
+        (_, "/healthz" | "/datasets" | "/count" | "/profile" | "/mutate" | "/shutdown") => Err(
+            ApiError::new(405, format!("method {} not allowed here", request.method)),
+        ),
+        (_, path) => Err(ApiError::new(404, format!("no route for `{path}`"))),
+    };
+    result.unwrap_or_else(|error| ApiResponse {
+        status: error.status,
+        body: error_body(&error.message).into(),
+        cache_state: None,
+        shutdown: false,
+    })
+}
+
+fn healthz(ctx: &ApiContext) -> ApiResponse {
+    let (hits, misses, entries) = ctx.cache.stats();
+    let body = JsonValue::Object(vec![
+        ("status".to_string(), JsonValue::string("ok")),
+        (
+            "datasets".to_string(),
+            JsonValue::Number(ctx.registry.len() as f64),
+        ),
+        (
+            "workers".to_string(),
+            JsonValue::Number(ctx.num_workers as f64),
+        ),
+        (
+            "queue_depth".to_string(),
+            JsonValue::Number(ctx.queue_depth as f64),
+        ),
+        (
+            "uptime_ms".to_string(),
+            JsonValue::Number(ctx.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "cache".to_string(),
+            JsonValue::Object(vec![
+                ("entries".to_string(), JsonValue::Number(entries as f64)),
+                ("hits".to_string(), JsonValue::Number(hits as f64)),
+                ("misses".to_string(), JsonValue::Number(misses as f64)),
+            ]),
+        ),
+    ]);
+    ApiResponse::ok(body.render())
+}
+
+fn datasets(ctx: &ApiContext) -> ApiResponse {
+    let listing: Vec<JsonValue> = ctx
+        .registry
+        .iter()
+        .map(|(name, dataset)| {
+            let snapshot = dataset.snapshot();
+            JsonValue::Object(vec![
+                ("name".to_string(), JsonValue::string(name)),
+                (
+                    "generation".to_string(),
+                    JsonValue::Number(snapshot.generation as f64),
+                ),
+                (
+                    "num_nodes".to_string(),
+                    JsonValue::Number(snapshot.num_nodes() as f64),
+                ),
+                (
+                    "num_edges".to_string(),
+                    JsonValue::Number(snapshot.num_edges() as f64),
+                ),
+            ])
+        })
+        .collect();
+    ApiResponse::ok(
+        JsonValue::Object(vec![("datasets".to_string(), JsonValue::Array(listing))]).render(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Request-body field helpers (client-supplied JSON must never panic).
+
+fn parse_body(body: &str) -> Result<JsonValue, ApiError> {
+    if body.trim().is_empty() {
+        return Err(ApiError::bad("request body must be a JSON object"));
+    }
+    let value = json::parse(body).map_err(|e| ApiError::bad(format!("invalid JSON: {e}")))?;
+    if matches!(value, JsonValue::Object(_)) {
+        Ok(value)
+    } else {
+        Err(ApiError::bad("request body must be a JSON object"))
+    }
+}
+
+fn required_str<'a>(body: &'a JsonValue, key: &str) -> Result<&'a str, ApiError> {
+    body.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ApiError::bad(format!("missing or non-string `{key}`")))
+}
+
+fn optional_usize(
+    body: &JsonValue,
+    key: &str,
+    default: usize,
+    max: usize,
+) -> Result<usize, ApiError> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(value) => {
+            let n = value
+                .as_u64()
+                .ok_or_else(|| ApiError::bad(format!("`{key}` must be a non-negative integer")))?;
+            if n as usize > max {
+                return Err(ApiError::bad(format!("`{key}` must be at most {max}")));
+            }
+            Ok(n as usize)
+        }
+    }
+}
+
+/// The `ratio` field of the wedge-ratio methods: defaults to 0.1, must be a
+/// finite number in (0, 100] when present (a wrong *type* is an error, not a
+/// silent fallback to the default).
+fn optional_ratio(body: &JsonValue) -> Result<f64, ApiError> {
+    let ratio = match body.get("ratio") {
+        None => 0.1,
+        Some(value) => value
+            .as_f64()
+            .ok_or_else(|| ApiError::bad("`ratio` must be a number in (0, 100]"))?,
+    };
+    if ratio.is_finite() && 0.0 < ratio && ratio <= 100.0 {
+        Ok(ratio)
+    } else {
+        Err(ApiError::bad("`ratio` must be a number in (0, 100]"))
+    }
+}
+
+fn optional_u64(body: &JsonValue, key: &str, default: u64) -> Result<u64, ApiError> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| ApiError::bad(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn f64_array(values: &[f64]) -> JsonValue {
+    JsonValue::Array(values.iter().map(|&v| JsonValue::Number(v)).collect())
+}
+
+// ---------------------------------------------------------------------------
+// POST /count
+
+/// A normalized `/count` query: parsing fills every default, so rendering
+/// [`CountQuery::canonical`] yields the same key for every spelling of the
+/// same query.
+struct CountQuery {
+    dataset: String,
+    method: Method,
+    threads: usize,
+    seed: u64,
+    generalized: Option<u32>,
+}
+
+impl CountQuery {
+    /// The canonical cache-key fragment (generation is appended by the
+    /// caller).
+    fn canonical(&self) -> String {
+        let mut members = vec![("method".to_string(), JsonValue::string(self.method.name()))];
+        match self.method {
+            Method::Exact | Method::Incremental => {}
+            Method::EdgeSample { samples } | Method::WedgeSample { samples } => {
+                members.push(("samples".to_string(), JsonValue::Number(samples as f64)));
+            }
+            Method::WedgeSampleRatio { ratio } => {
+                members.push(("ratio".to_string(), JsonValue::Number(ratio)));
+            }
+            Method::Adaptive(config) => {
+                members.push((
+                    "batch_size".to_string(),
+                    JsonValue::Number(config.batch_size as f64),
+                ));
+            }
+            Method::OnTheFly {
+                samples,
+                budget_entries,
+                ..
+            } => {
+                members.push(("samples".to_string(), JsonValue::Number(samples as f64)));
+                members.push((
+                    "budget".to_string(),
+                    JsonValue::Number(budget_entries as f64),
+                ));
+            }
+        }
+        members.push((
+            "threads".to_string(),
+            JsonValue::Number(self.threads as f64),
+        ));
+        members.push(("seed".to_string(), JsonValue::Number(self.seed as f64)));
+        members.push((
+            "generalized".to_string(),
+            self.generalized
+                .map_or(JsonValue::Null, |k| JsonValue::Number(k as f64)),
+        ));
+        JsonValue::Object(members).render()
+    }
+}
+
+fn parse_count_query(ctx: &ApiContext, body: &str) -> Result<CountQuery, ApiError> {
+    let body = parse_body(body)?;
+    let dataset = required_str(&body, "dataset")?.to_string();
+    let samples = optional_usize(&body, "samples", 2_000, MAX_SAMPLES)?.max(1);
+    let method_name = body
+        .get("method")
+        .map(|value| {
+            value
+                .as_str()
+                .ok_or_else(|| ApiError::bad("`method` must be a string"))
+        })
+        .transpose()?
+        .unwrap_or("mochy-e");
+    let method = match method_name {
+        "mochy-e" | "exact" => Method::Exact,
+        "incremental" => Method::Incremental,
+        "mochy-a" | "edge-sample" => Method::EdgeSample { samples },
+        "mochy-a+" | "wedge-sample" => Method::WedgeSample { samples },
+        "mochy-a+-ratio" | "wedge-ratio" => Method::WedgeSampleRatio {
+            ratio: optional_ratio(&body)?,
+        },
+        "mochy-a+-adaptive" | "adaptive" => Method::Adaptive(AdaptiveConfig {
+            batch_size: (samples / 8).max(1),
+            min_batches: 2,
+            max_batches: 8,
+            target_relative_error: 0.05,
+        }),
+        "mochy-a+-otf" | "otf" => Method::OnTheFly {
+            samples,
+            budget_entries: optional_usize(&body, "budget", 4_096, 1 << 24)?.max(1),
+            policy: MemoPolicy::Lru,
+        },
+        other => {
+            return Err(ApiError::bad(format!(
+                "unknown method `{other}` (expected mochy-e, incremental, mochy-a, mochy-a+, \
+                 mochy-a+-ratio, mochy-a+-adaptive, or mochy-a+-otf)"
+            )))
+        }
+    };
+    let generalized = match body.get("generalized") {
+        None | Some(JsonValue::Null) => None,
+        Some(value) => match value.as_u64() {
+            Some(k @ 3..=4) => Some(k as u32),
+            _ => return Err(ApiError::bad("`generalized` must be 3 or 4")),
+        },
+    };
+    Ok(CountQuery {
+        dataset,
+        method,
+        threads: optional_usize(&body, "threads", 1, ctx.max_threads)?.max(1),
+        seed: optional_u64(&body, "seed", 0)?,
+        generalized,
+    })
+}
+
+fn count(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
+    let query = parse_count_query(ctx, body)?;
+    let dataset = ctx
+        .registry
+        .get(&query.dataset)
+        .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{}`", query.dataset)))?;
+    let snapshot = dataset.snapshot();
+    let key = format!(
+        "count:{}@{}:{}",
+        query.dataset,
+        snapshot.generation,
+        query.canonical()
+    );
+    if let Some(body) = ctx.cache.get(&key) {
+        return Ok(ApiResponse {
+            status: 200,
+            body,
+            cache_state: Some(CacheState::Hit),
+            shutdown: false,
+        });
+    }
+    let body: Arc<str> = render_count(&query, &snapshot).into();
+    ctx.cache.put(key, Arc::clone(&body));
+    Ok(ApiResponse {
+        status: 200,
+        body,
+        cache_state: Some(CacheState::Miss),
+        shutdown: false,
+    })
+}
+
+/// Runs the engine against the snapshot and renders the deterministic body.
+fn render_count(query: &CountQuery, snapshot: &Snapshot) -> String {
+    let report: Option<CountReport> = snapshot.hypergraph.as_deref().map(|hypergraph| {
+        let mut config = CountConfig::new(query.method)
+            .threads(query.threads)
+            .seed(query.seed);
+        if let Some(k) = query.generalized {
+            config = config.generalized(k);
+        }
+        config.build().count(hypergraph)
+    });
+
+    let counts: Vec<f64> = report
+        .as_ref()
+        .map(|r| r.counts.as_slice().to_vec())
+        .unwrap_or_else(|| vec![0.0; NUM_MOTIFS]);
+    let mut members = vec![
+        (
+            "generation".to_string(),
+            JsonValue::Number(snapshot.generation as f64),
+        ),
+        ("method".to_string(), JsonValue::string(query.method.name())),
+        ("seed".to_string(), JsonValue::Number(query.seed as f64)),
+        (
+            "num_nodes".to_string(),
+            JsonValue::Number(snapshot.num_nodes() as f64),
+        ),
+        (
+            "num_edges".to_string(),
+            JsonValue::Number(snapshot.num_edges() as f64),
+        ),
+        (
+            "num_hyperwedges".to_string(),
+            report
+                .as_ref()
+                .and_then(|r| r.num_hyperwedges)
+                .map_or(JsonValue::Null, |w| JsonValue::Number(w as f64)),
+        ),
+        (
+            "samples_drawn".to_string(),
+            report
+                .as_ref()
+                .and_then(|r| r.samples_drawn)
+                .map_or(JsonValue::Null, |s| JsonValue::Number(s as f64)),
+        ),
+        (
+            "total".to_string(),
+            JsonValue::Number(counts.iter().sum::<f64>()),
+        ),
+        ("counts".to_string(), f64_array(&counts)),
+    ];
+    let generalized = report.as_ref().and_then(|r| r.generalized.as_ref());
+    members.push((
+        "generalized".to_string(),
+        match generalized {
+            None => JsonValue::Null,
+            Some(general) => JsonValue::Object(vec![
+                ("k".to_string(), JsonValue::Number(general.k() as f64)),
+                (
+                    "num_motifs".to_string(),
+                    JsonValue::Number(general.as_slice().len() as f64),
+                ),
+                (
+                    "total".to_string(),
+                    JsonValue::Number(general.total() as f64),
+                ),
+                (
+                    "support".to_string(),
+                    JsonValue::Number(general.support() as f64),
+                ),
+                (
+                    "top".to_string(),
+                    JsonValue::Array(
+                        general
+                            .top(10)
+                            .into_iter()
+                            .map(|(id, count)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Number(id as f64),
+                                    JsonValue::Number(count as f64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        },
+    ));
+    JsonValue::Object(members).render()
+}
+
+// ---------------------------------------------------------------------------
+// POST /profile
+
+fn profile(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
+    let parsed = parse_body(body)?;
+    let name = required_str(&parsed, "dataset")?.to_string();
+    let samples = optional_usize(&parsed, "samples", 2_000, MAX_SAMPLES)?.max(1);
+    let method_name = match parsed.get("method") {
+        None => "mochy-e",
+        Some(value) => value
+            .as_str()
+            .ok_or_else(|| ApiError::bad("`method` must be a string"))?,
+    };
+    // `canonical_name` collapses every spelling of the same method, so the
+    // cache key below is normalized exactly like /count's.
+    let (canonical_name, method) = match method_name {
+        "mochy-e" | "exact" => ("mochy-e", CountingMethod::Exact),
+        "mochy-a" | "edge-sample" => ("mochy-a", CountingMethod::SampleEdges(samples)),
+        "mochy-a+" | "wedge-sample" => ("mochy-a+", CountingMethod::SampleWedges(samples)),
+        "mochy-a+-ratio" | "wedge-ratio" => (
+            "mochy-a+-ratio",
+            CountingMethod::SampleWedgeRatio(optional_ratio(&parsed)?),
+        ),
+        other => {
+            return Err(ApiError::bad(format!(
+                "unknown profile method `{other}` (expected mochy-e, mochy-a, mochy-a+, or \
+                 mochy-a+-ratio)"
+            )))
+        }
+    };
+    let randomizations = optional_usize(&parsed, "randomizations", 3, MAX_RANDOMIZATIONS)?.max(1);
+    let threads = optional_usize(&parsed, "threads", 1, ctx.max_threads)?.max(1);
+    let seed = optional_u64(&parsed, "seed", 0)?;
+
+    let dataset = ctx
+        .registry
+        .get(&name)
+        .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{name}`")))?;
+    let snapshot = dataset.snapshot();
+    let Some(hypergraph) = snapshot.hypergraph.clone() else {
+        return Err(ApiError::new(
+            409,
+            format!("dataset `{name}` is empty; profiles need at least one hyperedge"),
+        ));
+    };
+
+    let mut canonical_members = vec![("method".to_string(), JsonValue::string(canonical_name))];
+    match method {
+        CountingMethod::Exact => {}
+        CountingMethod::SampleEdges(samples) | CountingMethod::SampleWedges(samples) => {
+            canonical_members.push(("samples".to_string(), JsonValue::Number(samples as f64)));
+        }
+        CountingMethod::SampleWedgeRatio(ratio) => {
+            canonical_members.push(("ratio".to_string(), JsonValue::Number(ratio)));
+        }
+    }
+    canonical_members.push((
+        "randomizations".to_string(),
+        JsonValue::Number(randomizations as f64),
+    ));
+    canonical_members.push(("threads".to_string(), JsonValue::Number(threads as f64)));
+    canonical_members.push(("seed".to_string(), JsonValue::Number(seed as f64)));
+    let canonical = JsonValue::Object(canonical_members).render();
+    let key = format!("profile:{name}@{}:{canonical}", snapshot.generation);
+    if let Some(body) = ctx.cache.get(&key) {
+        return Ok(ApiResponse {
+            status: 200,
+            body,
+            cache_state: Some(CacheState::Hit),
+            shutdown: false,
+        });
+    }
+
+    let estimator = ProfileEstimator {
+        method,
+        num_randomizations: randomizations,
+        threads,
+        seed,
+    };
+    let profile = estimator.estimate(&hypergraph);
+    let rendered: Arc<str> = JsonValue::Object(vec![
+        (
+            "generation".to_string(),
+            JsonValue::Number(snapshot.generation as f64),
+        ),
+        (
+            "randomizations".to_string(),
+            JsonValue::Number(randomizations as f64),
+        ),
+        ("seed".to_string(), JsonValue::Number(seed as f64)),
+        (
+            "real_total".to_string(),
+            JsonValue::Number(profile.real_counts.total()),
+        ),
+        (
+            "randomized_mean_total".to_string(),
+            JsonValue::Number(profile.randomized_mean.total()),
+        ),
+        (
+            "significances".to_string(),
+            f64_array(&profile.significances),
+        ),
+        ("cp".to_string(), f64_array(&profile.cp)),
+    ])
+    .render()
+    .into();
+    ctx.cache.put(key, Arc::clone(&rendered));
+    Ok(ApiResponse {
+        status: 200,
+        body: rendered,
+        cache_state: Some(CacheState::Miss),
+        shutdown: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// POST /mutate
+
+fn mutate(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
+    let parsed = parse_body(body)?;
+    let name = required_str(&parsed, "dataset")?.to_string();
+
+    let mut inserts: Vec<Vec<NodeId>> = Vec::new();
+    if let Some(raw) = parsed.get("insert") {
+        let raw = raw
+            .as_array()
+            .ok_or_else(|| ApiError::bad("`insert` must be an array of node arrays"))?;
+        for (i, edge) in raw.iter().enumerate() {
+            let members = edge
+                .as_array()
+                .ok_or_else(|| ApiError::bad(format!("insert[{i}] must be a node array")))?;
+            if members.is_empty() {
+                return Err(ApiError::bad(format!(
+                    "insert[{i}] is empty; hyperedges are non-empty node sets"
+                )));
+            }
+            let mut nodes = Vec::with_capacity(members.len());
+            for member in members {
+                let node = member
+                    .as_u64()
+                    .filter(|&v| v <= crate::registry::MAX_NODE_ID as u64)
+                    .ok_or_else(|| {
+                        ApiError::bad(format!(
+                            "insert[{i}] holds a non-node value (node ids are integers \
+                             0..={})",
+                            crate::registry::MAX_NODE_ID
+                        ))
+                    })?;
+                nodes.push(node as NodeId);
+            }
+            inserts.push(nodes);
+        }
+    }
+
+    // Removal ids must be integers; ids beyond the EdgeId range can never
+    // have been issued, so they report `false` (strict no-op) rather than
+    // erroring — mirroring the semantics for tombstoned ids.
+    let mut removes: Vec<EdgeId> = Vec::new();
+    if let Some(raw) = parsed.get("remove") {
+        let raw = raw
+            .as_array()
+            .ok_or_else(|| ApiError::bad("`remove` must be an array of edge ids"))?;
+        for (i, id) in raw.iter().enumerate() {
+            let id = id
+                .as_u64()
+                .ok_or_else(|| ApiError::bad(format!("remove[{i}] must be an integer id")))?;
+            removes.push(EdgeId::try_from(id).unwrap_or(EdgeId::MAX));
+        }
+    }
+
+    let dataset = ctx
+        .registry
+        .get(&name)
+        .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{name}`")))?;
+    let outcome = dataset.mutate(&inserts, &removes).map_err(ApiError::bad)?;
+
+    let body = JsonValue::Object(vec![
+        ("dataset".to_string(), JsonValue::string(name)),
+        (
+            "generation".to_string(),
+            JsonValue::Number(outcome.generation as f64),
+        ),
+        (
+            "inserted".to_string(),
+            JsonValue::Array(
+                outcome
+                    .inserted
+                    .iter()
+                    .map(|&e| JsonValue::Number(e as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "removed".to_string(),
+            JsonValue::Array(
+                outcome
+                    .removed
+                    .iter()
+                    .map(|&r| JsonValue::Bool(r))
+                    .collect(),
+            ),
+        ),
+        (
+            "num_edges".to_string(),
+            JsonValue::Number(outcome.num_edges as f64),
+        ),
+        (
+            "total".to_string(),
+            JsonValue::Number(outcome.total_instances),
+        ),
+    ]);
+    Ok(ApiResponse::ok(body.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::HypergraphBuilder;
+
+    fn context() -> ApiContext {
+        let mut registry = Registry::new();
+        registry.insert(
+            "fig2",
+            HypergraphBuilder::new()
+                .with_edge([0u32, 1, 2])
+                .with_edge([0, 3, 1])
+                .with_edge([4, 5, 0])
+                .with_edge([6, 7, 2])
+                .build()
+                .unwrap(),
+        );
+        ApiContext {
+            registry,
+            cache: QueryCache::new(8),
+            max_threads: 2,
+            num_workers: 1,
+            queue_depth: 4,
+            started: Instant::now(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn count_is_cached_byte_identically() {
+        let ctx = context();
+        let request = post("/count", r#"{"dataset": "fig2"}"#);
+        let first = handle(&ctx, &request);
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(first.cache_state, Some(CacheState::Miss));
+        let second = handle(&ctx, &request);
+        assert_eq!(second.cache_state, Some(CacheState::Hit));
+        assert_eq!(first.body, second.body);
+        // Equivalent spellings of the same query share the cache entry.
+        let spelled = post(
+            "/count",
+            r#"{"dataset": "fig2", "method": "exact", "seed": 0, "threads": 1}"#,
+        );
+        let third = handle(&ctx, &spelled);
+        assert_eq!(third.cache_state, Some(CacheState::Hit));
+        assert_eq!(first.body, third.body);
+        let doc = json::parse(&first.body).unwrap();
+        assert_eq!(doc.get("total").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(
+            doc.get("num_hyperwedges").and_then(JsonValue::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            doc.get("counts").unwrap().as_array().unwrap().len(),
+            NUM_MOTIFS
+        );
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_not_panicked() {
+        let ctx = context();
+        for (body, needle) in [
+            ("", "JSON object"),
+            ("[1,2]", "JSON object"),
+            ("{", "invalid JSON"),
+            (r#"{"dataset": 7}"#, "`dataset`"),
+            (r#"{"dataset": "nope"}"#, "unknown dataset"),
+            (
+                r#"{"dataset": "fig2", "method": "quantum"}"#,
+                "unknown method",
+            ),
+            (r#"{"dataset": "fig2", "samples": -3}"#, "`samples`"),
+            (r#"{"dataset": "fig2", "generalized": 5}"#, "3 or 4"),
+            (r#"{"dataset": "fig2", "threads": 99}"#, "`threads`"),
+            (
+                r#"{"dataset": "fig2", "method": "mochy-a+-ratio", "ratio": "5"}"#,
+                "`ratio`",
+            ),
+            (
+                r#"{"dataset": "fig2", "method": "mochy-a+-ratio", "ratio": 0}"#,
+                "`ratio`",
+            ),
+        ] {
+            let response = handle(&ctx, &post("/count", body));
+            assert_ne!(response.status, 200, "body `{body}` was accepted");
+            assert!(
+                response.body.contains(needle),
+                "`{body}` gave `{}`",
+                response.body
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_validates_and_reports_noop_removals() {
+        let ctx = context();
+        let response = handle(
+            &ctx,
+            &post(
+                "/mutate",
+                r#"{"dataset": "fig2", "insert": [[1, 6]], "remove": [3, 3, 5000000000]}"#,
+            ),
+        );
+        assert_eq!(response.status, 200, "{}", response.body);
+        let doc = json::parse(&response.body).unwrap();
+        let removed: Vec<bool> = doc
+            .get("removed")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_bool().unwrap())
+            .collect();
+        assert_eq!(removed, vec![true, false, false]);
+
+        let bad = handle(
+            &ctx,
+            &post("/mutate", r#"{"dataset": "fig2", "insert": [[]]}"#),
+        );
+        assert_eq!(bad.status, 400);
+        let bad = handle(
+            &ctx,
+            &post("/mutate", r#"{"dataset": "fig2", "remove": ["x"]}"#),
+        );
+        assert_eq!(bad.status, 400);
+        // Node ids above MAX_NODE_ID are rejected with a 400, not answered
+        // with an unbounded dense-index allocation.
+        let bad = handle(
+            &ctx,
+            &post(
+                "/mutate",
+                r#"{"dataset": "fig2", "insert": [[4294967295]]}"#,
+            ),
+        );
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert!(bad.body.contains("node ids"), "{}", bad.body);
+    }
+
+    #[test]
+    fn profile_cache_key_is_normalized_across_spellings() {
+        let ctx = context();
+        let first = handle(
+            &ctx,
+            &post("/profile", r#"{"dataset": "fig2", "randomizations": 2}"#),
+        );
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(first.cache_state, Some(CacheState::Miss));
+        // Different spelling, an explicit default, and an irrelevant
+        // `samples` value all hit the same entry.
+        let spelled = handle(
+            &ctx,
+            &post(
+                "/profile",
+                r#"{"dataset": "fig2", "method": "exact", "randomizations": 2, "samples": 77}"#,
+            ),
+        );
+        assert_eq!(spelled.cache_state, Some(CacheState::Hit));
+        assert_eq!(first.body, spelled.body);
+    }
+
+    #[test]
+    fn routes_and_methods_are_enforced() {
+        let ctx = context();
+        let get = |path: &str| Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: String::new(),
+        };
+        assert_eq!(handle(&ctx, &get("/healthz")).status, 200);
+        assert_eq!(handle(&ctx, &get("/datasets")).status, 200);
+        assert_eq!(handle(&ctx, &get("/count")).status, 405);
+        assert_eq!(handle(&ctx, &post("/healthz", "")).status, 405);
+        assert_eq!(handle(&ctx, &get("/nope")).status, 404);
+        let shutdown = handle(&ctx, &post("/shutdown", ""));
+        assert_eq!(shutdown.status, 200);
+        assert!(shutdown.shutdown);
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest_and_refreshes_on_hit() {
+        let cache = QueryCache::new(2);
+        cache.put("a".to_string(), "1".into());
+        cache.put("b".to_string(), "2".into());
+        assert!(cache.get("a").is_some()); // refreshes `a`
+        cache.put("c".to_string(), "3".into()); // evicts `b`
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        let (hits, misses, entries) = cache.stats();
+        assert_eq!((hits, misses, entries), (3, 1, 2));
+
+        let disabled = QueryCache::new(0);
+        disabled.put("a".to_string(), "1".into());
+        assert!(disabled.get("a").is_none());
+    }
+}

@@ -1,0 +1,312 @@
+//! A minimal HTTP/1.1 request reader and response writer.
+//!
+//! The sandbox is offline and the workspace vendors no HTTP stack, so the
+//! serve layer speaks the small, well-defined subset of HTTP/1.1 its JSON
+//! API needs: one request per connection (`Connection: close`), bodies
+//! delimited by `Content-Length`, no chunked transfer, no keep-alive. Every
+//! parse failure is an error value — client-supplied bytes must never panic
+//! the server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// The request path, query string stripped (the API uses none).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    BadRequest(String),
+    /// The declared `Content-Length` exceeds the configured limit.
+    PayloadTooLarge(usize),
+    /// The socket failed or timed out before a full request arrived.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::BadRequest(why) => write!(f, "bad request: {why}"),
+            RequestError::PayloadTooLarge(limit) => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            RequestError::Io(error) => write!(f, "i/o error: {error}"),
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`, bounded by `deadline` for the
+/// **whole** request — the socket's per-read timeout alone would reset on
+/// every byte, letting a slow-drip client hold a resident worker
+/// indefinitely. Bodies larger than `max_body_bytes` are rejected without
+/// being read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+    deadline: std::time::Duration,
+) -> Result<Request, RequestError> {
+    let started = std::time::Instant::now();
+    // One bounded read: caps each wait at the time left before the overall
+    // deadline, and maps deadline exhaustion to a timeout error.
+    let deadline_read =
+        |stream: &mut TcpStream, chunk: &mut [u8]| -> Result<usize, RequestError> {
+            let remaining = deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return Err(RequestError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request did not complete within the deadline",
+                )));
+            }
+            // set_read_timeout rejects a zero Duration; `remaining` is non-zero.
+            let _ = stream.set_read_timeout(Some(remaining));
+            stream.read(chunk).map_err(RequestError::Io)
+        };
+
+    // Read until the blank line terminating the head.
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(position) = find_head_end(&buffer) {
+            break position;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let read = deadline_read(stream, &mut chunk)?;
+        if read == 0 {
+            return Err(RequestError::BadRequest(
+                "connection closed mid-request".to_string(),
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..read]);
+    };
+
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| RequestError::BadRequest("request head is not utf-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::BadRequest("bad content-length".to_string()))?;
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(RequestError::PayloadTooLarge(max_body_bytes));
+    }
+
+    // The body: whatever followed the head in the buffer, plus the rest.
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let read = deadline_read(stream, &mut chunk)?;
+        if read == 0 {
+            return Err(RequestError::BadRequest(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..read]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::BadRequest("request body is not utf-8".to_string()))?;
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        body,
+    })
+}
+
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase of the status codes the API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete HTTP/1.1 response with a JSON body and closes the
+/// logical exchange (`Connection: close`). Write errors are returned for the
+/// caller to log-and-drop; a client that hung up mid-response is its own
+/// problem.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    use std::time::Duration;
+
+    /// Round-trips raw bytes through a loopback socket into `read_request`.
+    fn parse_raw(raw: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut stream, 4096, Duration::from_secs(10));
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn parses_get_and_post_requests() {
+        let request = parse_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(request.body, "");
+
+        let request =
+            parse_raw(b"POST /count?x=1 HTTP/1.1\r\nContent-Length: 7\r\nHost: x\r\n\r\n{\"a\":1}")
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/count");
+        assert_eq!(request.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        assert!(matches!(
+            parse_raw(b"NOT-HTTP\r\n\r\n"),
+            Err(RequestError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / SPDY/3\r\n\r\n"),
+            Err(RequestError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(RequestError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n"),
+            Err(RequestError::PayloadTooLarge(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nHo"),
+            Err(RequestError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn slow_drip_requests_hit_the_overall_deadline() {
+        // A client that keeps trickling bytes resets any per-read timeout,
+        // but must not outlive the per-request deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Drip a byte every 50 ms, far more often than any read times
+            // out, without ever finishing the head.
+            for _ in 0..40 {
+                if stream.write_all(b"G").is_err() {
+                    return; // server gave up — exactly what we assert below
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = std::time::Instant::now();
+        let result = read_request(&mut stream, 4096, Duration::from_millis(300));
+        assert!(
+            matches!(result, Err(RequestError::Io(_))),
+            "slow drip must time out, got {result:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "deadline did not bound the request"
+        );
+        drop(stream);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn response_writer_emits_parseable_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            write_response(&mut stream, 200, &[("x-test", "yes")], "{\"ok\":true}").unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        writer.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("x-test: yes\r\n"));
+        assert!(response.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

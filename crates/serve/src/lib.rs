@@ -1,0 +1,64 @@
+//! `mochy-serve` — a concurrent motif-query service over shared dataset
+//! snapshots.
+//!
+//! The counting engines of this workspace were, until now, only drivable as
+//! a CLI/bench harness: every question about a hypergraph paid a full
+//! process start and a full recount. The paper frames h-motif profiles as a
+//! *query* primitive — characteristic profiles are compared across datasets
+//! and re-requested by downstream analyses — which is exactly the access
+//! pattern a long-lived caching service should own. This crate is that
+//! service layer:
+//!
+//! - [`registry`] — named datasets as **immutable snapshots**
+//!   (`Arc<Hypergraph>`): readers grab the current snapshot with one brief
+//!   pointer clone and then compute entirely lock-free on it; a mutation
+//!   serializes through a per-dataset writer (a
+//!   [`StreamingEngine`](mochy_core::streaming::StreamingEngine), so counts
+//!   are maintained incrementally) and *publishes a fresh snapshot* by
+//!   swapping the shared pointer. Readers that started on the old snapshot
+//!   finish on the old snapshot — queries are always internally consistent.
+//! - [`api`] — the JSON API: `GET /healthz`, `GET /datasets`,
+//!   `POST /count`, `POST /profile`, `POST /mutate`, `POST /shutdown`.
+//!   Responses are rendered deterministically (no timestamps or timings in
+//!   cacheable bodies) and memoized in an LRU [`api::QueryCache`] keyed by
+//!   `(dataset, generation, normalized query)` — a cache hit returns the
+//!   exact bytes the uncached run produced.
+//! - [`http`] — a hand-rolled HTTP/1.1 front end over
+//!   `std::net::TcpListener` (the sandbox is offline and vendors no HTTP
+//!   stack; the subset implemented here — one request per connection,
+//!   `Content-Length` bodies — is all the API needs).
+//! - [`server`] — the accept loop, driven by the shared
+//!   [`mochy_hypergraph::parallel::WorkerPool`]: connections are handed to a
+//!   fixed set of resident workers through a **bounded** queue, and when the
+//!   queue is full the accept loop answers `503 Service Unavailable` inline
+//!   instead of blocking — explicit backpressure, so overload never wedges
+//!   accept.
+//!
+//! ```no_run
+//! use mochy_hypergraph::HypergraphBuilder;
+//! use mochy_serve::registry::Registry;
+//! use mochy_serve::server::{Server, ServerConfig};
+//!
+//! let mut registry = Registry::new();
+//! registry.insert(
+//!     "fig2",
+//!     HypergraphBuilder::new()
+//!         .with_edge([0u32, 1, 2])
+//!         .with_edge([0, 3, 1])
+//!         .with_edge([4, 5, 0])
+//!         .with_edge([6, 7, 2])
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let server = Server::start(ServerConfig::default(), registry).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.wait(); // until POST /shutdown
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod registry;
+pub mod server;

@@ -1,0 +1,161 @@
+//! `mochy-serve` — boot the motif-query service over a set of datasets.
+//!
+//! ```text
+//! mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]
+//!             [--cache N] [--threads N]
+//!             [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...
+//! ```
+//!
+//! With no dataset arguments the server exposes `fig2` (the paper's running
+//! example) and a small generated `email` dataset. Port 0 binds an ephemeral
+//! port; the chosen address is printed as `listening on HOST:PORT` so
+//! scripts (the CI smoke stage) can scrape it. The process exits 0 after a
+//! clean `POST /shutdown`.
+
+use std::io::Write;
+
+use mochy_datagen::{generate, DomainKind, GeneratorConfig};
+use mochy_hypergraph::{io as hio, HypergraphBuilder};
+use mochy_serve::registry::Registry;
+use mochy_serve::server::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7700".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut registry = Registry::new();
+    let mut have_datasets = false;
+
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--addr" => config.addr = take_value("--addr"),
+            "--port" => {
+                let port: u16 = take_value("--port").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid port");
+                    std::process::exit(2);
+                });
+                config.addr = format!("127.0.0.1:{port}");
+            }
+            "--workers" => config.workers = parse_count(&take_value("--workers"), "--workers"),
+            "--queue" => config.queue_depth = parse_count(&take_value("--queue"), "--queue"),
+            "--cache" => config.cache_capacity = parse_count(&take_value("--cache"), "--cache"),
+            "--threads" => config.max_threads = parse_count(&take_value("--threads"), "--threads"),
+            "--gen" => {
+                let spec = take_value("--gen");
+                let (name, hypergraph) = generate_spec(&spec).unwrap_or_else(|error| {
+                    eprintln!("bad --gen `{spec}`: {error}");
+                    std::process::exit(2);
+                });
+                registry.insert(name, hypergraph);
+                have_datasets = true;
+            }
+            "--load" => {
+                let spec = take_value("--load");
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("bad --load `{spec}` (expected NAME=PATH)");
+                    std::process::exit(2);
+                };
+                match hio::read_edge_list_file(path) {
+                    Ok(hypergraph) => registry.insert(name, hypergraph),
+                    Err(error) => {
+                        eprintln!("failed to load `{path}`: {error}");
+                        std::process::exit(1);
+                    }
+                }
+                have_datasets = true;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !have_datasets {
+        registry.insert(
+            "fig2",
+            HypergraphBuilder::new()
+                .with_edge([0u32, 1, 2])
+                .with_edge([0, 3, 1])
+                .with_edge([4, 5, 0])
+                .with_edge([6, 7, 2])
+                .build()
+                .expect("figure-2 hypergraph"),
+        );
+        registry.insert(
+            "email",
+            generate(&GeneratorConfig::new(DomainKind::Email, 300, 900, 13)),
+        );
+    }
+
+    for (name, dataset) in registry.iter() {
+        let snapshot = dataset.snapshot();
+        println!(
+            "dataset {name}: {} nodes, {} hyperedges",
+            snapshot.num_nodes(),
+            snapshot.num_edges()
+        );
+    }
+    let server = Server::start(config, registry).unwrap_or_else(|error| {
+        eprintln!("failed to bind: {error}");
+        std::process::exit(1);
+    });
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    server.wait();
+    println!("mochy-serve: clean shutdown");
+}
+
+fn parse_count(text: &str, what: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what} value `{text}`");
+        std::process::exit(2);
+    })
+}
+
+/// Parses `NAME=DOMAIN:NODES:EDGES:SEED` into a generated dataset.
+fn generate_spec(spec: &str) -> Result<(String, mochy_hypergraph::Hypergraph), String> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or("expected NAME=DOMAIN:NODES:EDGES:SEED")?;
+    let parts: Vec<&str> = rest.split(':').collect();
+    let [domain, nodes, edges, seed] = parts.as_slice() else {
+        return Err("expected DOMAIN:NODES:EDGES:SEED after `=`".to_string());
+    };
+    let domain = DomainKind::ALL
+        .into_iter()
+        .find(|kind| kind.short_name() == *domain)
+        .ok_or_else(|| format!("unknown domain `{domain}` (coauth|contact|email|tags|threads)"))?;
+    let nodes: usize = nodes.parse().map_err(|_| "bad node count".to_string())?;
+    let edges: usize = edges.parse().map_err(|_| "bad edge count".to_string())?;
+    let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
+    if nodes == 0 || edges == 0 {
+        return Err("node and edge counts must be positive".to_string());
+    }
+    Ok((
+        name.to_string(),
+        generate(&GeneratorConfig::new(domain, nodes, edges, seed)),
+    ))
+}
+
+fn print_usage() {
+    eprintln!("usage: mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]");
+    eprintln!("                   [--cache N] [--threads N]");
+    eprintln!("                   [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...");
+    eprintln!("routes: GET /healthz, GET /datasets, POST /count, POST /profile,");
+    eprintln!("        POST /mutate, POST /shutdown (see README for JSON shapes)");
+}

@@ -1,0 +1,320 @@
+//! Named datasets as shared, immutable snapshots with serialized mutation.
+//!
+//! Concurrency model (the heart of the serve layer):
+//!
+//! - Every dataset publishes its current state as an `Arc<Snapshot>`.
+//!   Readers call [`Dataset::snapshot`], which holds the publication lock
+//!   only long enough to clone the `Arc` — nanoseconds — and then run their
+//!   whole query (projection, counting, profile estimation) against that
+//!   immutable snapshot without any further synchronization. A query never
+//!   observes a half-applied mutation.
+//! - Mutations serialize through a per-dataset writer: a
+//!   [`StreamingEngine`] (bootstrapped lazily from the current snapshot on
+//!   the first mutation) applies the hyperedge insertions and removals
+//!   incrementally, then a **fresh** snapshot is materialized and published
+//!   by swapping the shared pointer. In-flight readers keep the snapshot
+//!   they started with; new readers see the new one.
+//! - Edge identifiers follow the [`DynamicHypergraph`] contract
+//!   (monotone, never reused): removing a tombstoned or never-issued id is a
+//!   strict no-op reported as `false`, never an error and never a panic —
+//!   the API surfaces client-supplied ids directly, so this must be
+//!   airtight.
+//!
+//! [`DynamicHypergraph`]: mochy_hypergraph::DynamicHypergraph
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mochy_core::streaming::{StreamConfig, StreamingEngine};
+use mochy_hypergraph::{EdgeId, Hypergraph, NodeId};
+
+/// Largest node identifier a mutation may introduce. The incidence index is
+/// dense in the node id (one slot per id up to the maximum ever seen), so an
+/// unbounded client-supplied id would translate into an unbounded
+/// allocation; 2^24 − 1 comfortably covers the paper's largest dataset
+/// (threads-stackoverflow, 2.6 M nodes) while capping the index at a few
+/// hundred megabytes even in the worst case.
+pub const MAX_NODE_ID: NodeId = (1 << 24) - 1;
+
+/// An immutable, shareable state of one dataset.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Publication number: 0 for the initial load, +1 per mutation batch.
+    pub generation: u64,
+    /// The hypergraph, or `None` when every hyperedge has been removed
+    /// (hyperedge sets are non-empty by construction, so the empty state
+    /// needs an explicit representation).
+    pub hypergraph: Option<Arc<Hypergraph>>,
+}
+
+impl Snapshot {
+    /// Number of nodes (0 for the empty snapshot).
+    pub fn num_nodes(&self) -> usize {
+        self.hypergraph.as_ref().map_or(0, |h| h.num_nodes())
+    }
+
+    /// Number of hyperedges (0 for the empty snapshot).
+    pub fn num_edges(&self) -> usize {
+        self.hypergraph.as_ref().map_or(0, |h| h.num_edges())
+    }
+}
+
+/// The outcome of one mutation batch, reported back to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationOutcome {
+    /// Generation of the snapshot the batch published.
+    pub generation: u64,
+    /// The fresh identifier of every inserted hyperedge, in request order.
+    pub inserted: Vec<EdgeId>,
+    /// Per requested removal: whether it removed a live hyperedge (`false`
+    /// for tombstoned or never-issued ids — a strict no-op).
+    pub removed: Vec<bool>,
+    /// Live hyperedges after the batch.
+    pub num_edges: usize,
+    /// Exact total h-motif instance count after the batch, maintained
+    /// incrementally by the streaming writer.
+    pub total_instances: f64,
+}
+
+/// One named dataset: a published snapshot plus a serialized writer.
+#[derive(Debug)]
+pub struct Dataset {
+    published: Mutex<Arc<Snapshot>>,
+    /// The streaming writer; `None` until the first mutation.
+    writer: Mutex<Option<StreamingEngine>>,
+}
+
+impl Dataset {
+    fn new(hypergraph: Hypergraph) -> Self {
+        Self {
+            published: Mutex::new(Arc::new(Snapshot {
+                generation: 0,
+                hypergraph: Some(Arc::new(hypergraph)),
+            })),
+            writer: Mutex::new(None),
+        }
+    }
+
+    /// The currently published snapshot. The internal lock is held only for
+    /// the pointer clone; the returned snapshot is immutable and can be read
+    /// for any length of time without blocking writers or other readers.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.published.lock().expect("publication lock poisoned"))
+    }
+
+    /// Applies a mutation batch — `inserts` then `removes` — and publishes a
+    /// fresh snapshot. Mutations serialize on the writer lock; concurrent
+    /// readers are never blocked and keep whichever snapshot they already
+    /// hold.
+    ///
+    /// # Errors
+    /// Rejects empty member lists and node ids above [`MAX_NODE_ID`]
+    /// *before* touching the writer, so a bad batch mutates nothing.
+    pub fn mutate(
+        &self,
+        inserts: &[Vec<NodeId>],
+        removes: &[EdgeId],
+    ) -> Result<MutationOutcome, String> {
+        for (position, members) in inserts.iter().enumerate() {
+            if members.is_empty() {
+                return Err(format!(
+                    "insert[{position}] is empty; hyperedges are non-empty node sets"
+                ));
+            }
+            if let Some(&node) = members.iter().find(|&&v| v > MAX_NODE_ID) {
+                return Err(format!(
+                    "insert[{position}] names node {node}, above the maximum node id \
+                     {MAX_NODE_ID}"
+                ));
+            }
+        }
+
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        // First mutation: bootstrap the streaming engine from the published
+        // snapshot (edge e keeps identifier e).
+        let stream = writer.get_or_insert_with(|| match self.snapshot().hypergraph.as_deref() {
+            Some(hypergraph) => {
+                StreamingEngine::from_hypergraph(hypergraph, StreamConfig::default())
+            }
+            None => StreamingEngine::new(StreamConfig::default()),
+        });
+
+        let inserted: Vec<EdgeId> = inserts
+            .iter()
+            .map(|members| stream.insert(members.iter().copied()))
+            .collect();
+        let removed: Vec<bool> = removes.iter().map(|&e| stream.remove(e)).collect();
+
+        // Publish: materialize the surviving hyperedges as an immutable
+        // snapshot and swap the shared pointer.
+        let hypergraph = stream.to_hypergraph().ok().map(Arc::new);
+        let num_edges = stream.num_live_edges();
+        let total_instances = stream.counts().total();
+        let mut published = self.published.lock().expect("publication lock poisoned");
+        let generation = published.generation + 1;
+        *published = Arc::new(Snapshot {
+            generation,
+            hypergraph,
+        });
+        Ok(MutationOutcome {
+            generation,
+            inserted,
+            removed,
+            num_edges,
+            total_instances,
+        })
+    }
+}
+
+/// The set of datasets a server instance exposes, fixed at startup.
+#[derive(Debug, Default)]
+pub struct Registry {
+    datasets: BTreeMap<String, Arc<Dataset>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `hypergraph` under `name` (replacing any previous dataset
+    /// of that name).
+    pub fn insert(&mut self, name: impl Into<String>, hypergraph: Hypergraph) {
+        self.datasets
+            .insert(name.into(), Arc::new(Dataset::new(hypergraph)));
+    }
+
+    /// The dataset registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Arc<Dataset>> {
+        self.datasets.get(name)
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Iterator over `(name, dataset)` pairs in name order (the order the
+    /// listing endpoint reports).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Dataset>)> {
+        self.datasets.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_core::engine::CountConfig;
+    use mochy_hypergraph::HypergraphBuilder;
+
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_mutations() {
+        let dataset = Dataset::new(figure2());
+        let before = dataset.snapshot();
+        assert_eq!(before.generation, 0);
+        assert_eq!(before.num_edges(), 4);
+
+        let outcome = dataset
+            .mutate(&[vec![1, 4, 6]], &[3])
+            .expect("valid mutation");
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(outcome.inserted, vec![4]);
+        assert_eq!(outcome.removed, vec![true]);
+        assert_eq!(outcome.num_edges, 4);
+
+        // The old snapshot still sees the pre-mutation hypergraph.
+        assert_eq!(before.num_edges(), 4);
+        let old_counts = CountConfig::exact()
+            .build()
+            .count(before.hypergraph.as_deref().unwrap());
+        assert_eq!(old_counts.counts.total(), 3.0);
+
+        let after = dataset.snapshot();
+        assert_eq!(after.generation, 1);
+        assert_eq!(after.num_edges(), 4);
+        // The published snapshot's exact counts match the incremental total.
+        let new_counts = CountConfig::exact()
+            .build()
+            .count(after.hypergraph.as_deref().unwrap());
+        assert_eq!(new_counts.counts.total(), outcome.total_instances);
+    }
+
+    #[test]
+    fn double_and_unknown_removes_are_reported_false() {
+        let dataset = Dataset::new(figure2());
+        let outcome = dataset.mutate(&[], &[3, 3, 99]).unwrap();
+        assert_eq!(outcome.removed, vec![true, false, false]);
+        assert_eq!(outcome.num_edges, 3);
+        // A second batch re-removing the same id is still a no-op and does
+        // not disturb the counts.
+        let again = dataset.mutate(&[], &[3]).unwrap();
+        assert_eq!(again.removed, vec![false]);
+        assert_eq!(again.total_instances, outcome.total_instances);
+        assert_eq!(again.generation, 2);
+    }
+
+    #[test]
+    fn bad_batches_mutate_nothing() {
+        let dataset = Dataset::new(figure2());
+        let error = dataset.mutate(&[vec![0, 1], vec![]], &[0]).unwrap_err();
+        assert!(error.contains("insert[1]"), "{error}");
+        // Node ids above the cap are rejected up front — the incidence index
+        // is dense in the node id, so admitting them would be an unbounded
+        // allocation.
+        let error = dataset
+            .mutate(&[vec![0, 1], vec![2, MAX_NODE_ID + 1]], &[0])
+            .unwrap_err();
+        assert!(error.contains("maximum node id"), "{error}");
+        let snapshot = dataset.snapshot();
+        assert_eq!(snapshot.generation, 0);
+        assert_eq!(snapshot.num_edges(), 4);
+    }
+
+    #[test]
+    fn emptied_datasets_publish_an_empty_snapshot_and_recover() {
+        let dataset = Dataset::new(
+            HypergraphBuilder::new()
+                .with_edge([0u32, 1])
+                .build()
+                .unwrap(),
+        );
+        let outcome = dataset.mutate(&[], &[0]).unwrap();
+        assert_eq!(outcome.num_edges, 0);
+        assert_eq!(outcome.total_instances, 0.0);
+        let empty = dataset.snapshot();
+        assert!(empty.hypergraph.is_none());
+        assert_eq!(empty.num_nodes(), 0);
+        // Inserting again revives the dataset.
+        let outcome = dataset.mutate(&[vec![2, 3]], &[]).unwrap();
+        assert_eq!(outcome.num_edges, 1);
+        assert_eq!(dataset.snapshot().num_edges(), 1);
+    }
+
+    #[test]
+    fn registry_lists_in_name_order() {
+        let mut registry = Registry::new();
+        registry.insert("zeta", figure2());
+        registry.insert("alpha", figure2());
+        let names: Vec<&str> = registry.iter().map(|(name, _)| name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(registry.len(), 2);
+        assert!(registry.get("alpha").is_some());
+        assert!(registry.get("missing").is_none());
+    }
+}

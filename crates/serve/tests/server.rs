@@ -1,0 +1,348 @@
+//! End-to-end tests: boot the server on an ephemeral port and exercise every
+//! route over real TCP, including concurrent readers during a mutation and
+//! deterministic overload (503) behaviour.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mochy_hypergraph::{Hypergraph, HypergraphBuilder};
+use mochy_json::{self as json, JsonValue};
+use mochy_serve::registry::Registry;
+use mochy_serve::server::{Server, ServerConfig};
+
+fn figure2() -> Hypergraph {
+    HypergraphBuilder::new()
+        .with_edge([0u32, 1, 2])
+        .with_edge([0, 3, 1])
+        .with_edge([4, 5, 0])
+        .with_edge([6, 7, 2])
+        .build()
+        .unwrap()
+}
+
+fn boot(config: ServerConfig) -> Server {
+    let mut registry = Registry::new();
+    registry.insert("fig2", figure2());
+    Server::start(config, registry).expect("bind ephemeral port")
+}
+
+/// A parsed HTTP response: status, `x-mochy-cache` header (if any), body.
+struct Response {
+    status: u16,
+    cache: Option<String>,
+    body: String,
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in `{head}`"));
+    let cache = head.lines().find_map(|line| {
+        line.strip_prefix("x-mochy-cache: ")
+            .map(|value| value.to_string())
+    });
+    Response {
+        status,
+        cache,
+        body: body.to_string(),
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    read_response(&mut stream)
+}
+
+#[test]
+fn all_routes_answer_over_tcp() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200, "{}", health.body);
+    let doc = json::parse(&health.body).unwrap();
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(doc.get("datasets").and_then(JsonValue::as_f64), Some(1.0));
+
+    let listing = request(addr, "GET", "/datasets", "");
+    let doc = json::parse(&listing.body).unwrap();
+    let datasets = doc.get("datasets").unwrap().as_array().unwrap();
+    assert_eq!(datasets.len(), 1);
+    assert_eq!(
+        datasets[0].get("name").and_then(JsonValue::as_str),
+        Some("fig2")
+    );
+    assert_eq!(
+        datasets[0].get("num_edges").and_then(JsonValue::as_f64),
+        Some(4.0)
+    );
+
+    let count = request(addr, "POST", "/count", r#"{"dataset": "fig2"}"#);
+    assert_eq!(count.status, 200, "{}", count.body);
+    let doc = json::parse(&count.body).unwrap();
+    assert_eq!(doc.get("total").and_then(JsonValue::as_f64), Some(3.0));
+    assert_eq!(
+        doc.get("counts").unwrap().as_array().unwrap().len(),
+        26,
+        "26 h-motif slots"
+    );
+
+    // A sampling method with an explicit seed is deterministic end to end.
+    let sampled = r#"{"dataset": "fig2", "method": "mochy-a+", "samples": 50, "seed": 7}"#;
+    let first = request(addr, "POST", "/count", sampled);
+    assert_eq!(first.status, 200, "{}", first.body);
+    let doc = json::parse(&first.body).unwrap();
+    assert_eq!(
+        doc.get("samples_drawn").and_then(JsonValue::as_f64),
+        Some(50.0)
+    );
+
+    // Generalized ride-along: k = 4 reports the 1 853-motif catalog.
+    let general = request(
+        addr,
+        "POST",
+        "/count",
+        r#"{"dataset": "fig2", "generalized": 4}"#,
+    );
+    let doc = json::parse(&general.body).unwrap();
+    let general = doc.get("generalized").unwrap();
+    assert_eq!(general.get("k").and_then(JsonValue::as_f64), Some(4.0));
+    assert_eq!(
+        general.get("num_motifs").and_then(JsonValue::as_f64),
+        Some(1853.0)
+    );
+
+    let profile = request(
+        addr,
+        "POST",
+        "/profile",
+        r#"{"dataset": "fig2", "randomizations": 2}"#,
+    );
+    assert_eq!(profile.status, 200, "{}", profile.body);
+    let doc = json::parse(&profile.body).unwrap();
+    assert_eq!(doc.get("cp").unwrap().as_array().unwrap().len(), 26);
+
+    // Errors surface as JSON, not dropped connections.
+    let missing = request(addr, "POST", "/count", r#"{"dataset": "nope"}"#);
+    assert_eq!(missing.status, 404);
+    assert!(missing.body.contains("unknown dataset"));
+    let bad = request(addr, "POST", "/count", "{not json");
+    assert_eq!(bad.status, 400);
+    let lost = request(addr, "GET", "/lost", "");
+    assert_eq!(lost.status, 404);
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn cached_and_uncached_responses_are_byte_identical() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    let body = r#"{"dataset": "fig2", "method": "mochy-a+", "samples": 40, "seed": 3}"#;
+
+    let uncached = request(addr, "POST", "/count", body);
+    assert_eq!(uncached.cache.as_deref(), Some("miss"));
+    let cached = request(addr, "POST", "/count", body);
+    assert_eq!(cached.cache.as_deref(), Some("hit"));
+    assert_eq!(
+        uncached.body, cached.body,
+        "cache must return identical bytes"
+    );
+
+    // Profiles are cached the same way.
+    let body = r#"{"dataset": "fig2", "randomizations": 2, "seed": 5}"#;
+    let uncached = request(addr, "POST", "/profile", body);
+    assert_eq!(uncached.cache.as_deref(), Some("miss"));
+    let cached = request(addr, "POST", "/profile", body);
+    assert_eq!(cached.cache.as_deref(), Some("hit"));
+    assert_eq!(uncached.body, cached.body);
+}
+
+#[test]
+fn concurrent_readers_observe_consistent_snapshots_during_mutation() {
+    let server = boot(ServerConfig {
+        workers: 6,
+        queue_depth: 64,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let count_body = r#"{"dataset": "fig2"}"#;
+
+    // Pin the two legal response bodies: generation 0 before the mutation…
+    let before = request(addr, "POST", "/count", count_body).body;
+    let doc = json::parse(&before).unwrap();
+    assert_eq!(doc.get("generation").and_then(JsonValue::as_f64), Some(0.0));
+
+    // …start N concurrent readers hammering /count…
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut bodies = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let response = request(addr, "POST", "/count", r#"{"dataset": "fig2"}"#);
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    bodies.push(response.body);
+                }
+                bodies
+            })
+        })
+        .collect();
+
+    // …publish a new snapshot while they run…
+    std::thread::sleep(Duration::from_millis(50));
+    let mutation = request(
+        addr,
+        "POST",
+        "/mutate",
+        r#"{"dataset": "fig2", "insert": [[1, 4, 6], [2, 5]], "remove": [0]}"#,
+    );
+    assert_eq!(mutation.status, 200, "{}", mutation.body);
+    let doc = json::parse(&mutation.body).unwrap();
+    assert_eq!(doc.get("generation").and_then(JsonValue::as_f64), Some(1.0));
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let collected: Vec<Vec<String>> = readers
+        .into_iter()
+        .map(|handle| handle.join().expect("reader thread"))
+        .collect();
+
+    // …and pin the post-mutation body (still generation 1: the readers are
+    // done and nothing has mutated since).
+    let after = request(addr, "POST", "/count", count_body).body;
+    let doc = json::parse(&after).unwrap();
+    assert_eq!(doc.get("generation").and_then(JsonValue::as_f64), Some(1.0));
+    assert_ne!(before, after);
+
+    // Every concurrent response is byte-identical to exactly one published
+    // snapshot's response — never a torn mix of generations.
+    let mut saw_before = false;
+    let mut saw_after = false;
+    for body in collected.into_iter().flatten() {
+        if body == before {
+            saw_before = true;
+        } else if body == after {
+            saw_after = true;
+        } else {
+            panic!("response matches no published snapshot: {body}");
+        }
+    }
+    assert!(saw_before, "no reader observed the pre-mutation snapshot");
+    assert!(saw_after, "no reader observed the post-mutation snapshot");
+
+    // The streaming writer's incremental total must equal the from-scratch
+    // count of the published snapshot (an empty batch republishes).
+    let mutated_total =
+        json::parse(&request(addr, "POST", "/mutate", r#"{"dataset": "fig2"}"#).body)
+            .unwrap()
+            .get("total")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+    let counted_total = json::parse(&request(addr, "POST", "/count", count_body).body)
+        .unwrap()
+        .get("total")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert_eq!(mutated_total, counted_total);
+}
+
+#[test]
+fn overload_returns_503_without_wedging_the_accept_loop() {
+    // One worker, one queue slot: a stalled request plus a queued request
+    // saturate the pool deterministically.
+    let server = boot(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let body = r#"{"dataset": "fig2"}"#;
+
+    // Connection A: headers plus half the body, then stall — the single
+    // worker blocks reading the rest.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stalled
+        .write_all(
+            format!(
+                "POST /count HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stalled.write_all(&body.as_bytes()[..5]).unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Connection B: a complete request that parks in the queue slot.
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    queued
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: mochy\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Connection C: pool saturated — the accept loop answers 503 inline.
+    let overloaded = request(addr, "GET", "/healthz", "");
+    assert_eq!(overloaded.status, 503, "{}", overloaded.body);
+    assert!(
+        overloaded.body.contains("overloaded"),
+        "{}",
+        overloaded.body
+    );
+
+    // Unstall A: its request completes normally…
+    stalled.write_all(&body.as_bytes()[5..]).unwrap();
+    let response = read_response(&mut stalled);
+    assert_eq!(response.status, 200, "{}", response.body);
+    // …then the queued B is served…
+    let response = read_response(&mut queued);
+    assert_eq!(response.status, 200, "{}", response.body);
+    // …and the accept loop takes fresh requests as if nothing happened.
+    let fresh = request(addr, "POST", "/count", body);
+    assert_eq!(fresh.status, 200, "{}", fresh.body);
+}
+
+#[test]
+fn shutdown_route_stops_the_accept_loop_cleanly() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    assert_eq!(request(addr, "GET", "/healthz", "").status, 200);
+    let response = request(addr, "POST", "/shutdown", "");
+    assert_eq!(response.status, 200);
+    assert!(response.body.contains("shutting-down"));
+    server.wait(); // must return: the accept loop observed the flag
+
+    // The listener is gone; connections are refused (allow a few retries
+    // for the close to land).
+    for attempt in 0..20 {
+        match TcpStream::connect(addr) {
+            Err(_) => return,
+            Ok(_) if attempt == 19 => panic!("listener still accepting after shutdown"),
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}

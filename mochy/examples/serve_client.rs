@@ -1,0 +1,163 @@
+//! A minimal `mochy-serve` client over plain `std::net::TcpStream`.
+//!
+//! ```text
+//! cargo run --example serve_client -- 127.0.0.1:7700 [--shutdown]
+//! ```
+//!
+//! Queries a running server — `GET /healthz`, `GET /datasets`, one
+//! `POST /count` against the first listed dataset (twice, to show the
+//! cache) — and prints what it finds. With `--shutdown` it additionally
+//! sends `POST /shutdown`, asking the server to exit cleanly. Exits
+//! non-zero on any failure, which is what lets the CI smoke stage use it
+//! as its assertion harness.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mochy_json::{self as json, JsonValue};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    let health = request(&addr, "GET", "/healthz", "");
+    expect_status(&health, 200, "/healthz");
+    let doc = parse(&health.body, "/healthz");
+    println!(
+        "healthz: status={} datasets={} uptime={}ms (cache: {})",
+        doc.get("status").and_then(JsonValue::as_str).unwrap_or("?"),
+        field(&doc, "datasets"),
+        field(&doc, "uptime_ms"),
+        health.cache.as_deref().unwrap_or("n/a"),
+    );
+
+    let listing = request(&addr, "GET", "/datasets", "");
+    expect_status(&listing, 200, "/datasets");
+    let doc = parse(&listing.body, "/datasets");
+    let datasets = doc
+        .get("datasets")
+        .and_then(JsonValue::as_array)
+        .unwrap_or_default();
+    let Some(first) = datasets
+        .first()
+        .and_then(|d| d.get("name"))
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+    else {
+        eprintln!("server lists no datasets");
+        std::process::exit(1);
+    };
+    for dataset in datasets {
+        println!(
+            "dataset {}: generation={} nodes={} hyperedges={}",
+            dataset
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            field(dataset, "generation"),
+            field(dataset, "num_nodes"),
+            field(dataset, "num_edges"),
+        );
+    }
+
+    // Render through mochy_json rather than format!: dataset names are
+    // server-operator-controlled and may need escaping.
+    let body = JsonValue::Object(vec![
+        ("dataset".to_string(), JsonValue::string(first.clone())),
+        ("method".to_string(), JsonValue::string("mochy-e")),
+    ])
+    .render();
+    let uncached = request(&addr, "POST", "/count", &body);
+    expect_status(&uncached, 200, "/count");
+    let again = request(&addr, "POST", "/count", &body);
+    expect_status(&again, 200, "/count (cached)");
+    if uncached.body != again.body {
+        eprintln!("cached /count response differs from the uncached one");
+        std::process::exit(1);
+    }
+    let doc = parse(&uncached.body, "/count");
+    println!(
+        "count[{first}]: total={} hyperwedges={} ({} then {})",
+        field(&doc, "total"),
+        field(&doc, "num_hyperwedges"),
+        uncached.cache.as_deref().unwrap_or("?"),
+        again.cache.as_deref().unwrap_or("?"),
+    );
+
+    if shutdown {
+        let response = request(&addr, "POST", "/shutdown", "");
+        expect_status(&response, 200, "/shutdown");
+        println!("shutdown requested: {}", response.body);
+    }
+}
+
+struct Response {
+    status: u16,
+    cache: Option<String>,
+    body: String,
+}
+
+/// One HTTP/1.1 exchange (the server closes the connection per request).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> Response {
+    let attempt = || -> std::io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw)?;
+        let (head, payload) = raw
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| std::io::Error::other("truncated response"))?;
+        let status = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other("bad status line"))?;
+        let cache = head
+            .lines()
+            .find_map(|line| line.strip_prefix("x-mochy-cache: ").map(str::to_string));
+        Ok(Response {
+            status,
+            cache,
+            body: payload.to_string(),
+        })
+    };
+    attempt().unwrap_or_else(|error| {
+        eprintln!("{method} {path} against {addr} failed: {error}");
+        std::process::exit(1);
+    })
+}
+
+fn expect_status(response: &Response, expected: u16, what: &str) {
+    if response.status != expected {
+        eprintln!(
+            "{what}: expected {expected}, got {}: {}",
+            response.status, response.body
+        );
+        std::process::exit(1);
+    }
+}
+
+fn parse(body: &str, what: &str) -> JsonValue {
+    json::parse(body).unwrap_or_else(|error| {
+        eprintln!("{what}: response is not valid JSON ({error}): {body}");
+        std::process::exit(1);
+    })
+}
+
+fn field(doc: &JsonValue, key: &str) -> String {
+    doc.get(key)
+        .map_or_else(|| "?".to_string(), JsonValue::render)
+}
