@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: formatting, lints, build, tests, explicit thread-invariance
-# runs, a compile check of the Criterion bench targets, the deterministic
-# perf smoke behind BENCH.json, the perf-regression gate against the
-# committed BENCH_BASELINE.json, and the streaming-vs-batch equivalence
-# check of `mochy-exp evolve`.
+# CI entry point: formatting, lints, build, tests, the .mochy snapshot
+# round-trip gate, the serve smoke (booted from a binary snapshot, with a
+# runtime snapshot upload), explicit thread-invariance runs, a compile check
+# of the Criterion bench targets, the deterministic perf smoke behind
+# BENCH.json, the perf-regression gate against the committed
+# BENCH_BASELINE.json, the streaming-vs-batch equivalence check of
+# `mochy-exp evolve`, and finally the per-stage wall-clock budget gate
+# against the committed CI_BUDGET.json.
 #
 # Everything runs offline against the vendored dependency stubs; every
 # dependency-resolving cargo invocation (fmt does not resolve) passes
@@ -12,10 +15,14 @@
 # PROFILE=debug|release (default release) selects the build/test profile —
 # the GitHub workflow runs both as a matrix. The bench compile check, perf
 # smoke, perf gate, and evolve check only run in the release lane: debug
-# timings would be meaningless against a release baseline.
+# timings would be meaningless against a release baseline. The snapshot
+# round-trip gate and the snapshot-booted serve smoke run in BOTH lanes;
+# the debug lane additionally boots the server from a *text* dataset once,
+# so the legacy load path stays covered.
 #
 # Every stage is timed; a summary (and the failing stage, if any) is printed
-# on exit, so CI logs show exactly where the time goes.
+# on exit, and the collected timings are checked against CI_BUDGET.json so
+# pipeline-time regressions fail the build like perf regressions do.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -29,6 +36,7 @@ case "$PROFILE" in
     exit 2
     ;;
 esac
+TARGET_DIR="target/${PROFILE}"
 
 STAGE_NAMES=()
 STAGE_MS=()
@@ -70,17 +78,26 @@ run_stage clippy cargo clippy --locked --workspace --all-targets -- -D warnings
 run_stage build cargo build "${CARGO_FLAGS[@]}"
 run_stage test cargo test "${CARGO_FLAGS[@]}" -q
 
-# Serve smoke (both lanes): boot mochy-serve on an ephemeral port, drive
-# /healthz + /datasets + /count through the example client, request a clean
-# shutdown, and assert the process exits 0. Binaries are built above; the
-# example client is built here explicitly (plain `cargo build` skips
-# examples).
+# Snapshot round-trip gate (both lanes): convert every bench dataset to
+# .mochy, reload through both the text and the snapshot path, and require
+# bit-identical MotifEngine reports (Exact and Incremental) plus measured
+# load timings. The .mochy files land in snapshots/ and are uploaded as a
+# CI artifact next to BENCH.json; the serve smoke below boots from them, so
+# what CI serves is literally the artifact this gate verified.
+run_stage snapshot-roundtrip "${TARGET_DIR}/mochy-exp" snapshot-check --dir snapshots --threads 2
+
+# Serve smoke (both lanes): boot mochy-serve FROM A .mochy SNAPSHOT on an
+# ephemeral port, drive /healthz + /datasets + /count through the example
+# client — which also uploads a second snapshot through POST /datasets and
+# counts on it — request a clean shutdown, and assert the process exits 0.
+# Binaries are built above; the example client is built here explicitly
+# (plain `cargo build` skips examples).
 serve_smoke() {
-  local target_dir="target/${PROFILE}"
+  local boot_spec="$1" upload_args=("${@:2}")
   cargo build "${CARGO_FLAGS[@]}" -p mochy_serve -p mochy --bins --examples
   local log addr pid
   log=$(mktemp)
-  "${target_dir}/mochy-serve" --port 0 --workers 2 --queue 8 >"$log" 2>&1 &
+  "${TARGET_DIR}/mochy-serve" --port 0 --workers 2 --queue 8 --load "$boot_spec" >"$log" 2>&1 &
   pid=$!
   addr=""
   for _ in $(seq 1 100); do
@@ -90,12 +107,30 @@ serve_smoke() {
     sleep 0.1
   done
   [[ -n "$addr" ]] || { echo "mochy-serve never reported an address:"; cat "$log"; return 1; }
-  "${target_dir}/examples/serve_client" "$addr" --shutdown
+  "${TARGET_DIR}/examples/serve_client" "$addr" "${upload_args[@]}" --shutdown
   wait "$pid" || { echo "mochy-serve exited non-zero:"; cat "$log"; return 1; }
   grep -q "clean shutdown" "$log" || { echo "no clean-shutdown marker:"; cat "$log"; return 1; }
   rm -f "$log"
 }
-run_stage serve-smoke serve_smoke
+serve_smoke_snapshot() {
+  [[ -f snapshots/email.mochy && -f snapshots/tags.mochy ]] \
+    || { echo "snapshot-roundtrip did not leave snapshots/{email,tags}.mochy behind"; return 1; }
+  serve_smoke ci-email=snapshots/email.mochy --upload uploaded-tags=snapshots/tags.mochy
+}
+run_stage serve-smoke serve_smoke_snapshot
+
+# Text-boot coverage (debug lane only): one run that loads the dataset from
+# a text edge-list instead of a snapshot, so the legacy path keeps working.
+serve_smoke_text() {
+  local text
+  text=$(mktemp)
+  "${TARGET_DIR}/mochy-exp" gen email 300 900 13 "$text"
+  serve_smoke "ci-text=$text"
+  rm -f "$text"
+}
+if [[ "$PROFILE" == "debug" ]]; then
+  run_stage serve-smoke-text serve_smoke_text
+fi
 
 # Thread-count invariance. Every suite run counts at threads=1 AND at
 # threads=$MOCHY_POOL_THREADS and asserts bit-equality, so these two
@@ -111,9 +146,11 @@ if [[ "$PROFILE" == "release" ]]; then
   run_stage bench-compile cargo bench --locked --no-run
 
   # Perf smoke + regression gate: writes BENCH.json (uploaded as a CI
-  # artifact) and compares it against the committed baseline. Counts must
-  # match exactly; timings may drift up to the tolerance (see README for
-  # how to refresh BENCH_BASELINE.json after a legitimate perf change).
+  # artifact) and compares it against the committed baseline. Counts (and
+  # the snapshot-load node/edge read-backs) must match exactly; timings —
+  # including the text-vs-snapshot load_ms rows — may drift up to the
+  # tolerance (see README for how to refresh BENCH_BASELINE.json after a
+  # legitimate perf change).
   run_stage perf-gate cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
     perf --json BENCH.json --threads 4 \
     --check BENCH_BASELINE.json --tolerance 500 --min-ms 20
@@ -124,3 +161,15 @@ if [[ "$PROFILE" == "release" ]]; then
   run_stage evolve-verify cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
     evolve --years 8 --window 3
 fi
+
+# Wall-clock budget gate: every stage above must have stayed under its
+# committed budget (CI_BUDGET.json), and every budgeted stage must have run.
+# Not itself a timed stage — it gates the timings it would be part of.
+CURRENT_STAGE="ci-budget"
+BUDGET_ARGS=()
+for i in "${!STAGE_NAMES[@]}"; do
+  BUDGET_ARGS+=("${STAGE_NAMES[$i]}=${STAGE_MS[$i]}")
+done
+echo "==> ci-budget: ${TARGET_DIR}/mochy-exp ci-budget CI_BUDGET.json ${PROFILE} ${BUDGET_ARGS[*]}"
+"${TARGET_DIR}/mochy-exp" ci-budget CI_BUDGET.json "$PROFILE" "${BUDGET_ARGS[@]}"
+CURRENT_STAGE=""

@@ -1,0 +1,194 @@
+//! `mochy-exp ci-budget` — the per-stage wall-clock gate of `ci.sh`.
+//!
+//! Pipeline time regresses the same way perf does: one stage quietly grows
+//! until CI takes twice as long, and nobody can point at the commit that
+//! did it. This gate treats stage wall-clock like the perf gate treats
+//! timings: `ci.sh` reports every stage's duration, and each must stay
+//! under the budget committed in `CI_BUDGET.json`.
+//!
+//! The check is strict in **both** directions: a stage that ran without a
+//! budget entry fails (new stages must be budgeted deliberately), and a
+//! budgeted stage that did not run fails (a stage silently vanishing from
+//! the pipeline is a coverage regression, not a speedup). Budgets are
+//! per-profile, because debug and release lanes run different stage sets at
+//! very different speeds, and they are deliberately generous — the gate
+//! exists to catch step-changes, not scheduler jitter.
+
+use crate::json::{self, JsonValue};
+
+/// The schema tag `CI_BUDGET.json` must carry.
+pub const BUDGET_SCHEMA: &str = "mochy-ci-budget/1";
+
+/// Checks observed `(stage, elapsed_ms)` pairs against the committed budget
+/// document for `profile`. Returns a summary on success, one line per
+/// violation on failure.
+pub fn check(
+    budget_text: &str,
+    profile: &str,
+    observed: &[(String, f64)],
+) -> Result<String, String> {
+    let budget =
+        json::parse(budget_text).map_err(|error| format!("budget is not valid JSON: {error}"))?;
+    if budget.get("schema").and_then(JsonValue::as_str) != Some(BUDGET_SCHEMA) {
+        return Err(format!(
+            "budget schema must be \"{BUDGET_SCHEMA}\", got {:?}",
+            budget.get("schema")
+        ));
+    }
+    let Some(JsonValue::Object(stages)) = budget
+        .get("profiles")
+        .and_then(|profiles| profiles.get(profile))
+    else {
+        return Err(format!(
+            "budget has no stage map for profile `{profile}` under `profiles`"
+        ));
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut worst_headroom: Option<(f64, &str)> = None;
+    for (stage, elapsed_ms) in observed {
+        let Some(budget_ms) = stages
+            .iter()
+            .find(|(name, _)| name == stage)
+            .and_then(|(_, value)| value.as_f64())
+        else {
+            violations.push(format!(
+                "stage `{stage}` ran ({elapsed_ms:.0} ms) but has no budget for profile \
+                 `{profile}` — add it to CI_BUDGET.json deliberately"
+            ));
+            continue;
+        };
+        if *elapsed_ms > budget_ms {
+            violations.push(format!(
+                "stage `{stage}` exceeded its budget: {elapsed_ms:.0} ms > {budget_ms:.0} ms \
+                 (profile `{profile}`)"
+            ));
+        } else {
+            let headroom = (budget_ms - elapsed_ms) / budget_ms;
+            if worst_headroom.is_none_or(|(h, _)| headroom < h) {
+                worst_headroom = Some((headroom, stage));
+            }
+        }
+    }
+    for (stage, _) in stages {
+        if !observed.iter().any(|(name, _)| name == stage) {
+            violations.push(format!(
+                "budgeted stage `{stage}` did not run in profile `{profile}` — a vanished \
+                 stage is a coverage regression (remove its budget if intentional)"
+            ));
+        }
+    }
+
+    if violations.is_empty() {
+        let tightest = worst_headroom
+            .map(|(headroom, stage)| {
+                format!(
+                    " tightest stage `{stage}` at {:.0}% headroom;",
+                    headroom * 100.0
+                )
+            })
+            .unwrap_or_default();
+        Ok(format!(
+            "ci-budget gate passed: {} stage(s) within budget for profile `{profile}`;{tightest} \
+             budgets in CI_BUDGET.json",
+            observed.len()
+        ))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+/// Parses the CLI's `name=ms` stage arguments.
+pub fn parse_stage_args(args: &[String]) -> Result<Vec<(String, f64)>, String> {
+    let mut observed = Vec::with_capacity(args.len());
+    for argument in args {
+        let Some((name, ms)) = argument.split_once('=') else {
+            return Err(format!(
+                "bad stage argument `{argument}` (expected NAME=MS)"
+            ));
+        };
+        let ms: f64 = ms
+            .parse()
+            .map_err(|_| format!("bad stage duration in `{argument}`"))?;
+        if name.is_empty() || !ms.is_finite() || ms < 0.0 {
+            return Err(format!("bad stage argument `{argument}`"));
+        }
+        observed.push((name.to_string(), ms));
+    }
+    if observed.is_empty() {
+        return Err("no stage timings supplied".to_string());
+    }
+    Ok(observed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> &'static str {
+        r#"{
+            "schema": "mochy-ci-budget/1",
+            "profiles": {
+                "debug": {"fmt": 60000, "build": 900000},
+                "release": {"fmt": 60000, "build": 1200000, "perf-gate": 600000}
+            }
+        }"#
+    }
+
+    fn stages(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(n, m)| (n.to_string(), *m)).collect()
+    }
+
+    #[test]
+    fn within_budget_passes_and_reports_headroom() {
+        let observed = stages(&[("fmt", 1000.0), ("build", 800000.0)]);
+        let summary = check(budget(), "debug", &observed).unwrap();
+        assert!(summary.contains("2 stage(s)"), "{summary}");
+        assert!(summary.contains("tightest stage `build`"), "{summary}");
+    }
+
+    #[test]
+    fn exceeding_a_budget_fails_with_the_stage_named() {
+        let observed = stages(&[("fmt", 90000.0), ("build", 1.0)]);
+        let error = check(budget(), "debug", &observed).unwrap_err();
+        assert!(error.contains("`fmt` exceeded"), "{error}");
+        assert!(error.contains("90000 ms > 60000 ms"), "{error}");
+    }
+
+    #[test]
+    fn unbudgeted_and_vanished_stages_both_fail() {
+        let observed = stages(&[("fmt", 1.0), ("build", 1.0), ("mystery", 1.0)]);
+        let error = check(budget(), "debug", &observed).unwrap_err();
+        assert!(error.contains("`mystery` ran"), "{error}");
+
+        let observed = stages(&[("fmt", 1.0)]);
+        let error = check(budget(), "debug", &observed).unwrap_err();
+        assert!(error.contains("`build` did not run"), "{error}");
+    }
+
+    #[test]
+    fn profiles_are_independent() {
+        let observed = stages(&[("fmt", 1.0), ("build", 1.0), ("perf-gate", 1.0)]);
+        assert!(check(budget(), "release", &observed).is_ok());
+        let error = check(budget(), "debug", &observed).unwrap_err();
+        assert!(error.contains("`perf-gate` ran"), "{error}");
+        let error = check(budget(), "bench", &observed).unwrap_err();
+        assert!(error.contains("no stage map"), "{error}");
+    }
+
+    #[test]
+    fn malformed_budgets_and_args_are_loud() {
+        assert!(check("{", "debug", &stages(&[("fmt", 1.0)])).is_err());
+        let wrong_schema = budget().replace("mochy-ci-budget/1", "other/9");
+        assert!(check(&wrong_schema, "debug", &stages(&[("fmt", 1.0)]))
+            .unwrap_err()
+            .contains("schema"));
+
+        assert!(parse_stage_args(&["fmt".to_string()]).is_err());
+        assert!(parse_stage_args(&["fmt=abc".to_string()]).is_err());
+        assert!(parse_stage_args(&["=5".to_string()]).is_err());
+        assert!(parse_stage_args(&[]).is_err());
+        let parsed = parse_stage_args(&["fmt=12.5".to_string()]).unwrap();
+        assert_eq!(parsed, vec![("fmt".to_string(), 12.5)]);
+    }
+}

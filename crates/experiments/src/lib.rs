@@ -28,11 +28,15 @@
 //! `--check`) gates against a committed baseline — and [`evolve`] implements
 //! `mochy-exp evolve`, which drives the streaming engine over a temporal
 //! hyperedge event stream with per-checkpoint verification (both run by
-//! `ci.sh`).
+//! `ci.sh`). The `.mochy` binary-snapshot tooling lives in [`snapshot`]
+//! (`mochy-exp convert` and the `snapshot-check` round-trip gate), and
+//! [`cibudget`] implements `mochy-exp ci-budget`, the per-stage wall-clock
+//! gate of the CI pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cibudget;
 pub mod common;
 pub mod evolve;
 pub mod fig10;
@@ -46,6 +50,7 @@ pub mod nullmodels;
 pub mod pairwise;
 pub mod perf;
 pub mod q3domain;
+pub mod snapshot;
 pub mod table2;
 pub mod table3;
 pub mod table4;

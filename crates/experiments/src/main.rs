@@ -7,6 +7,9 @@
 //! mochy-exp list
 //! mochy-exp gen <domain> <nodes> <edges> <seed> <path>
 //! mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]
+//! mochy-exp convert <input> [<simplices>] <out.mochy>
+//! mochy-exp snapshot-check [--dir <path>] [--threads <n>] [--reps <n>]
+//! mochy-exp ci-budget <budget.json> <profile> <stage>=<ms>...
 //! mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]
 //!           [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]
 //! mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>]
@@ -14,7 +17,9 @@
 //! ```
 
 use mochy_experiments::tool::{self, CountAlgorithm};
-use mochy_experiments::{evolve, perf, run_experiment, ExperimentScale, ALL_EXPERIMENTS};
+use mochy_experiments::{
+    cibudget, evolve, perf, run_experiment, snapshot, ExperimentScale, ALL_EXPERIMENTS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +34,18 @@ fn main() {
     }
     if command == "count" {
         run_count(&args[1..]);
+        return;
+    }
+    if command == "convert" {
+        run_convert(&args[1..]);
+        return;
+    }
+    if command == "snapshot-check" {
+        run_snapshot_check(&args[1..]);
+        return;
+    }
+    if command == "ci-budget" {
+        run_ci_budget(&args[1..]);
         return;
     }
     if command == "perf" {
@@ -129,6 +146,86 @@ fn run_count(args: &[String]) {
         Ok(report) => println!("{report}"),
         Err(error) => {
             eprintln!("failed to count `{}`: {error}", args[0]);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_convert(args: &[String]) {
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: mochy-exp convert <input> [<simplices>] <out.mochy>");
+        eprintln!("       (one input: edge-list text; two: Benson nverts + simplices)");
+        std::process::exit(2);
+    }
+    let (inputs, output) = args.split_at(args.len() - 1);
+    match snapshot::convert(inputs, &output[0]) {
+        Ok(summary) => println!("{summary}"),
+        Err(error) => {
+            eprintln!("convert failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_snapshot_check(args: &[String]) {
+    let mut options = snapshot::SnapshotCheckOptions::default();
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |text: String, what: &str| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--dir" => options.dir = take_value("--dir"),
+            "--threads" => options.threads = parse_count(take_value("--threads"), "thread count"),
+            "--reps" => options.reps = parse_count(take_value("--reps"), "rep count"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: mochy-exp snapshot-check [--dir <path>] [--threads <n>] [--reps <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    match snapshot::snapshot_check(&options) {
+        Ok(table) => print!("{table}"),
+        Err(violations) => {
+            eprintln!("snapshot round-trip gate FAILED:\n{violations}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_ci_budget(args: &[String]) {
+    if args.len() < 3 {
+        eprintln!("usage: mochy-exp ci-budget <budget.json> <profile> <stage>=<ms>...");
+        std::process::exit(2);
+    }
+    let budget = std::fs::read_to_string(&args[0]).unwrap_or_else(|error| {
+        eprintln!("failed to read budget {}: {error}", args[0]);
+        std::process::exit(1);
+    });
+    let observed = cibudget::parse_stage_args(&args[2..]).unwrap_or_else(|error| {
+        eprintln!("{error}");
+        std::process::exit(2);
+    });
+    match cibudget::check(&budget, &args[1], &observed) {
+        Ok(summary) => println!("{summary}"),
+        Err(violations) => {
+            eprintln!("ci-budget gate FAILED against {}:\n{violations}", args[0]);
+            eprintln!(
+                "(if a stage legitimately grew or was added/removed, update CI_BUDGET.json \
+                 in the same commit)"
+            );
             std::process::exit(1);
         }
     }
@@ -292,6 +389,9 @@ fn print_usage() {
     eprintln!("usage: mochy-exp <experiment|all|list> [--scale tiny|small|medium]");
     eprintln!("       mochy-exp gen <domain> <nodes> <edges> <seed> <path>");
     eprintln!("       mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]");
+    eprintln!("       mochy-exp convert <input> [<simplices>] <out.mochy>");
+    eprintln!("       mochy-exp snapshot-check [--dir <path>] [--threads <n>] [--reps <n>]");
+    eprintln!("       mochy-exp ci-budget <budget.json> <profile> <stage>=<ms>...");
     eprintln!("       mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]");
     eprintln!(
         "                      [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]"

@@ -8,7 +8,10 @@
 //! [`mochy_bench::bench_datasets`] workload, and renders the result as
 //! machine-readable JSON. Seeds are fixed, so the *counts* in the output are
 //! bit-reproducible; the timings are what CI tracks over time as the
-//! `BENCH_*.json` trajectory.
+//! `BENCH_*.json` trajectory. Each dataset block also carries a `load`
+//! section timing the cold-start path — parsing the text edge-list vs
+//! decoding the `.mochy` binary snapshot — so the snapshot speedup is
+//! measured on every run, not asserted once.
 //!
 //! [`check`] turns the matrix into a regression gate: the current run is
 //! compared against a committed baseline (`BENCH_BASELINE.json`), failing on
@@ -23,6 +26,7 @@ use mochy_hypergraph::Hypergraph;
 use mochy_projection::MemoPolicy;
 
 use crate::json::{self, JsonValue};
+use crate::snapshot::{measure_load, LoadTiming};
 
 /// Configuration of a perf run. Everything is fixed/deterministic except
 /// wall-clock timings.
@@ -87,15 +91,40 @@ struct DatasetBlock {
     num_nodes: usize,
     num_edges: usize,
     num_hyperwedges: Option<usize>,
+    /// Cold-load timings, text vs `.mochy` snapshot (see
+    /// [`crate::snapshot::measure_load`]). `None` only if the scratch
+    /// directory could not be used.
+    load: Option<LoadTiming>,
     rows: Vec<MethodRow>,
 }
 
+/// Best-of-N repetitions for the load-timing rows (loads are fast, so the
+/// minimum over a few runs is the stable location estimate).
+const LOAD_REPS: usize = 3;
+
 fn run_dataset(name: &str, hypergraph: &Hypergraph, options: &PerfOptions) -> DatasetBlock {
+    // Load timings go through real files in a scratch directory (cleaned
+    // afterwards): the point is to time the actual cold-start path the
+    // serve layer takes, I/O included. The directory is unique per call —
+    // process id alone would let concurrently running tests in one process
+    // race each other's cleanup.
+    static SCRATCH_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let scratch = std::env::temp_dir().join(format!(
+        "mochy-perf-load-{}-{}",
+        std::process::id(),
+        SCRATCH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let load = std::fs::create_dir_all(&scratch)
+        .ok()
+        .and_then(|()| measure_load(hypergraph, &scratch, name, LOAD_REPS).ok())
+        .map(|measured| measured.timing);
+    std::fs::remove_dir_all(&scratch).ok();
     let mut block = DatasetBlock {
         name: name.to_string(),
         num_nodes: hypergraph.num_nodes(),
         num_edges: hypergraph.num_edges(),
         num_hyperwedges: None,
+        load,
         rows: Vec::new(),
     };
     for method in perf_methods(options) {
@@ -139,7 +168,7 @@ pub fn run(options: &PerfOptions) -> String {
 fn render_json(blocks: &[DatasetBlock], options: &PerfOptions) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mochy-perf/1\",\n");
+    out.push_str("  \"schema\": \"mochy-perf/2\",\n");
     out.push_str(&format!("  \"threads\": {},\n", options.threads.max(1)));
     out.push_str(&format!("  \"samples\": {},\n", options.samples));
     out.push_str(&format!("  \"seed\": {},\n", options.seed));
@@ -158,6 +187,29 @@ fn render_json(blocks: &[DatasetBlock], options: &PerfOptions) -> String {
                 .num_hyperwedges
                 .map_or_else(|| "null".to_string(), |w| w.to_string())
         ));
+        match &block.load {
+            Some(load) => {
+                out.push_str("      \"load\": {\n");
+                out.push_str(&format!(
+                    "        \"text_ms\": {},\n",
+                    json_number(load.text_ms)
+                ));
+                out.push_str(&format!(
+                    "        \"snapshot_ms\": {},\n",
+                    json_number(load.snapshot_ms)
+                ));
+                out.push_str(&format!(
+                    "        \"loaded_nodes\": {},\n",
+                    load.loaded_nodes
+                ));
+                out.push_str(&format!(
+                    "        \"loaded_edges\": {}\n",
+                    load.loaded_edges
+                ));
+                out.push_str("      },\n");
+            }
+            None => out.push_str("      \"load\": null,\n"),
+        }
         out.push_str("      \"methods\": [\n");
         for (m, row) in block.rows.iter().enumerate() {
             out.push_str("        {\n");
@@ -318,6 +370,48 @@ pub fn check(baseline: &str, current: &str, options: &CheckOptions) -> Result<St
                     current_dataset.get(key)
                 ));
             }
+        }
+
+        // Load rows: the node/edge counts read back are deterministic
+        // (drift means the loader, not the machine, changed — fatal), while
+        // the text/snapshot load timings are tolerance-gated like every
+        // other timing, with the same noise floor.
+        match (base_dataset.get("load"), current_dataset.get("load")) {
+            (None | Some(JsonValue::Null), _) => {}
+            (Some(base_load), Some(current_load)) if !current_load.is_null() => {
+                let load_context = format!("dataset `{name}`, load");
+                for key in ["loaded_nodes", "loaded_edges"] {
+                    if base_load.get(key) != current_load.get(key) {
+                        violations.push(format!(
+                            "{load_context}: `{key}` changed: baseline {:?} vs current {:?}",
+                            base_load.get(key),
+                            current_load.get(key)
+                        ));
+                    }
+                }
+                for key in ["text_ms", "snapshot_ms"] {
+                    match (
+                        number_field(base_load, key, &load_context),
+                        number_field(current_load, key, &load_context),
+                    ) {
+                        (Ok(b), Ok(c)) => {
+                            if b < options.min_ms {
+                                skipped_fast_rows += 1;
+                            } else if c > b * (1.0 + options.tolerance_pct / 100.0) {
+                                violations.push(format!(
+                                    "{load_context}: `{key}` regression: baseline {b:.3} ms vs \
+                                     current {c:.3} ms (tolerance {:.0}%)",
+                                    options.tolerance_pct
+                                ));
+                            }
+                        }
+                        (Err(error), _) | (_, Err(error)) => violations.push(error),
+                    }
+                }
+            }
+            (Some(_), _) => violations.push(format!(
+                "dataset `{name}`: load rows missing from current run"
+            )),
         }
 
         let base_methods = base_dataset
@@ -485,8 +579,41 @@ mod tests {
             "\"num_hyperwedges\"",
             "\"samples_drawn\"",
             "\"total_count\"",
+            "\"load\"",
+            "\"text_ms\"",
+            "\"snapshot_ms\"",
+            "\"loaded_nodes\"",
+            "\"loaded_edges\"",
         ] {
             assert!(json.contains(key), "missing key {key}");
+        }
+    }
+
+    #[test]
+    fn load_rows_read_back_the_generated_counts() {
+        let datasets = vec![tiny_dataset()];
+        let expected_nodes = datasets[0].1.num_nodes() as f64;
+        let expected_edges = datasets[0].1.num_edges() as f64;
+        let report = json::parse(&run_on(&datasets, &tiny_options())).unwrap();
+        let dataset = &report.get("datasets").unwrap().as_array().unwrap()[0];
+        let load = dataset.get("load").expect("load block");
+        assert_eq!(
+            load.get("loaded_nodes").and_then(JsonValue::as_f64),
+            Some(expected_nodes)
+        );
+        // The canonical text path dedups repeated hyperedges, so the edge
+        // count read back is at most the generated one (and deterministic).
+        let loaded_edges = load
+            .get("loaded_edges")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(
+            loaded_edges > 0.0 && loaded_edges <= expected_edges,
+            "loaded_edges = {loaded_edges}, generated = {expected_edges}"
+        );
+        for key in ["text_ms", "snapshot_ms"] {
+            let value = load.get(key).and_then(JsonValue::as_f64).unwrap();
+            assert!(value >= 0.0, "{key} = {value}");
         }
     }
 
@@ -620,6 +747,63 @@ mod tests {
         let drifted = baseline.replace("\"num_hyperwedges\": 9", "\"num_hyperwedges\": 8");
         let error = check(baseline, &drifted, &options).unwrap_err();
         assert!(error.contains("`num_hyperwedges` changed"), "{error}");
+    }
+
+    /// A one-row matrix with an explicit load block whose timings sit above
+    /// the default 20 ms floor, so the load-timing comparison actually runs.
+    fn load_row_baseline() -> &'static str {
+        r#"{
+            "schema": "mochy-perf/2", "threads": 2, "samples": 200, "seed": 0,
+            "datasets": [{
+                "name": "d", "num_nodes": 4, "num_edges": 3, "num_hyperwedges": 9,
+                "load": {
+                    "text_ms": 80.0, "snapshot_ms": 40.0,
+                    "loaded_nodes": 4, "loaded_edges": 3
+                },
+                "methods": [{
+                    "method": "mochy-e", "projection_ms": 0.2, "counting_ms": 0.8,
+                    "total_ms": 1.0, "samples_drawn": null, "total_count": 5
+                }]
+            }]
+        }"#
+    }
+
+    #[test]
+    fn load_rows_gate_deterministic_fields_and_timings() {
+        let baseline = load_row_baseline();
+        let options = CheckOptions {
+            tolerance_pct: 200.0,
+            min_ms: 20.0,
+        };
+        assert!(check(baseline, baseline, &options).is_ok());
+
+        // Read-back count drift is fatal regardless of timings.
+        let drifted = baseline.replace("\"loaded_edges\": 3", "\"loaded_edges\": 2");
+        let error = check(baseline, &drifted, &options).unwrap_err();
+        assert!(error.contains("`loaded_edges` changed"), "{error}");
+
+        // Load-timing regressions obey the same tolerance as method rows.
+        let slower = baseline.replace("\"snapshot_ms\": 40.0", "\"snapshot_ms\": 100.0");
+        assert!(check(baseline, &slower, &options).is_ok(), "within 3x");
+        let way_slower = baseline.replace("\"snapshot_ms\": 40.0", "\"snapshot_ms\": 400.0");
+        let error = check(baseline, &way_slower, &options).unwrap_err();
+        assert!(error.contains("`snapshot_ms` regression"), "{error}");
+
+        // …and the same noise floor.
+        let floored = CheckOptions {
+            tolerance_pct: 200.0,
+            min_ms: 500.0,
+        };
+        assert!(check(baseline, &way_slower, &floored).is_ok());
+
+        // A current run that lost its load block entirely fails.
+        let missing = baseline.replace(
+            "\"load\": {\n                    \"text_ms\": 80.0, \"snapshot_ms\": 40.0,\n                    \"loaded_nodes\": 4, \"loaded_edges\": 3\n                },",
+            "\"load\": null,",
+        );
+        assert_ne!(missing, baseline, "replacement must have matched");
+        let error = check(baseline, &missing, &options).unwrap_err();
+        assert!(error.contains("load rows missing"), "{error}");
     }
 
     #[test]

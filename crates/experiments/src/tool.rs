@@ -60,15 +60,16 @@ pub fn parse_domain(text: &str) -> Option<DomainKind> {
         .find(|d| d.short_name().eq_ignore_ascii_case(text))
 }
 
-/// Counts the h-motif instances of a dataset file and renders a report:
-/// one line per motif (id, open/closed, count) plus a total.
+/// Counts the h-motif instances of a dataset file — text edge-list or
+/// `.mochy` snapshot, auto-detected — and renders a report: one line per
+/// motif (id, open/closed, count) plus a total.
 pub fn count_file(
     path: &Path,
     algorithm: CountAlgorithm,
     threads: usize,
     seed: u64,
 ) -> Result<String, HypergraphError> {
-    let hypergraph = io::read_edge_list_file(path)?;
+    let hypergraph = io::read_file_auto(path)?;
     Ok(count_report(&hypergraph, algorithm, threads, seed))
 }
 

@@ -26,6 +26,8 @@ pub enum HypergraphError {
     },
     /// An underlying IO failure.
     Io(std::io::Error),
+    /// A binary `.mochy` snapshot could not be decoded.
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for HypergraphError {
@@ -42,6 +44,7 @@ impl fmt::Display for HypergraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             HypergraphError::Io(err) => write!(f, "io error: {err}"),
+            HypergraphError::Snapshot(err) => write!(f, "{err}"),
         }
     }
 }
@@ -50,6 +53,7 @@ impl std::error::Error for HypergraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HypergraphError::Io(err) => Some(err),
+            HypergraphError::Snapshot(err) => Some(err),
             _ => None,
         }
     }

@@ -80,6 +80,29 @@ impl Hypergraph {
         })
     }
 
+    /// Assembles a hypergraph from CSR parts the caller has already fully
+    /// validated (the snapshot reader: offsets monotone and terminated,
+    /// rows non-empty and strictly sorted, ids in range, incidence the
+    /// exact transpose of the edge list).
+    pub(crate) fn from_validated_csr(
+        num_nodes: usize,
+        edges: Csr<NodeId>,
+        incidence: Csr<EdgeId>,
+    ) -> Self {
+        debug_assert_eq!(incidence.num_rows(), num_nodes);
+        debug_assert_eq!(edges.num_entries(), incidence.num_entries());
+        Self {
+            num_nodes,
+            edges,
+            incidence,
+        }
+    }
+
+    /// The raw CSR parts `(edges, incidence)`, for serialization.
+    pub(crate) fn csr_parts(&self) -> (&Csr<NodeId>, &Csr<EdgeId>) {
+        (&self.edges, &self.incidence)
+    }
+
     /// Number of nodes `|V|`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

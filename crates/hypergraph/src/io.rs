@@ -16,13 +16,19 @@
 //! 2. **Benson format**: a pair of files, `*-nverts.txt` (one hyperedge size
 //!    per line) and `*-simplices.txt` (the concatenated member lists, one
 //!    node id per line), as distributed with the datasets used by the paper.
+//!
+//! In addition, [`read_file_auto`] detects binary `.mochy` snapshots (see
+//! [`crate::snapshot`]) by their magic bytes and dispatches accordingly, so
+//! every file-loading entry point in the workspace accepts either a text
+//! dataset or a snapshot transparently.
 
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::builder::HypergraphBuilder;
 use crate::error::HypergraphError;
 use crate::graph::{Hypergraph, NodeId};
+use crate::snapshot;
 
 /// Reads a hypergraph in edge-list format from a reader.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Hypergraph, HypergraphError> {
@@ -90,6 +96,34 @@ pub fn read_edge_list_with<R: BufRead>(
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Hypergraph, HypergraphError> {
     let file = std::fs::File::open(path)?;
     read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Reads a hypergraph from `path`, auto-detecting the format: files that
+/// start with the `.mochy` magic bytes are decoded as binary snapshots
+/// (bounds-checked `Vec` fill, no per-element parsing); everything else is
+/// parsed as text edge-list.
+///
+/// Detection is by content, not extension, so a renamed snapshot still
+/// loads and a text file named `foo.mochy` is still parsed as text.
+pub fn read_file_auto<P: AsRef<Path>>(path: P) -> Result<Hypergraph, HypergraphError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut prefix = [0u8; snapshot::MAGIC.len()];
+    let mut read = 0usize;
+    while read < prefix.len() {
+        let n = file.read(&mut prefix[read..])?;
+        if n == 0 {
+            break; // shorter than the magic: cannot be a snapshot
+        }
+        read += n;
+    }
+    if read == prefix.len() && prefix == snapshot::MAGIC {
+        let mut bytes = prefix.to_vec();
+        file.read_to_end(&mut bytes)?;
+        return Ok(snapshot::read_snapshot_bytes(&bytes)?);
+    }
+    // Text: chain the already-consumed prefix back in front of the rest.
+    let reader = std::io::BufReader::new((&prefix[..read]).chain(file));
+    read_edge_list(reader)
 }
 
 /// Writes a hypergraph in edge-list format (one line per hyperedge, members
@@ -254,6 +288,44 @@ mod tests {
         let restored = read_edge_list_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(h, restored);
+    }
+
+    #[test]
+    fn auto_detection_loads_text_and_snapshot_identically() {
+        let h = HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([2u32, 3])
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir();
+        let text_path = dir.join("mochy_io_auto_text_test.txt");
+        let snap_path = dir.join("mochy_io_auto_snap_test.mochy");
+        write_edge_list_file(&h, &text_path).unwrap();
+        crate::snapshot::write_snapshot_file(&h, &snap_path).unwrap();
+        let from_text = read_file_auto(&text_path).unwrap();
+        let from_snapshot = read_file_auto(&snap_path).unwrap();
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&snap_path).ok();
+        assert_eq!(from_text, h);
+        assert_eq!(from_snapshot, h);
+    }
+
+    #[test]
+    fn auto_detection_surfaces_snapshot_errors_and_short_text() {
+        let dir = std::env::temp_dir();
+        // A file that starts with the magic but is otherwise garbage must be
+        // reported as a snapshot error, not fed to the text parser.
+        let path = dir.join("mochy_io_auto_truncated_test.mochy");
+        std::fs::write(&path, b"MOCHYSNP").unwrap();
+        let err = read_file_auto(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, HypergraphError::Snapshot(_)), "{err:?}");
+        // Files shorter than the magic still parse as text.
+        let path = dir.join("mochy_io_auto_short_test.txt");
+        std::fs::write(&path, b"0 1\n").unwrap();
+        let h = read_file_auto(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(h.num_edges(), 1);
     }
 
     #[test]

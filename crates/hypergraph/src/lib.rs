@@ -9,7 +9,10 @@
 //! - [`HypergraphBuilder`]: a mutable builder that validates, sorts, and
 //!   deduplicates hyperedges.
 //! - [`io`]: plain-text readers/writers compatible with the format used by the
-//!   reference MoCHy implementation (one hyperedge per line).
+//!   reference MoCHy implementation (one hyperedge per line), with
+//!   content-based format auto-detection ([`io::read_file_auto`]).
+//! - [`snapshot`]: the versioned, checksummed `.mochy` binary snapshot
+//!   format — cold-start loading proportional to I/O, not parsing.
 //! - [`stats`]: summary statistics used in Table 2 of the paper.
 //! - [`bipartite`]: the star expansion (bipartite incidence graph) `G'` used
 //!   by the null model and the network-motif baseline.
@@ -33,6 +36,7 @@ pub mod error;
 pub mod graph;
 pub mod io;
 pub mod parallel;
+pub mod snapshot;
 pub mod stats;
 pub mod transform;
 
@@ -45,5 +49,9 @@ pub use dynamic::DynamicHypergraph;
 pub use error::HypergraphError;
 pub use graph::{EdgeId, Hypergraph, NodeId};
 pub use parallel::{default_chunk_size, map_reduce_chunks, ChunkQueue, PoolSaturated, WorkerPool};
+pub use snapshot::{
+    read_snapshot, read_snapshot_bytes, read_snapshot_file, write_snapshot, write_snapshot_file,
+    SnapshotError,
+};
 pub use stats::HypergraphStats;
 pub use transform::{clique_expansion, dual, WeightedGraph};

@@ -1,0 +1,286 @@
+//! Malformed `.mochy` snapshots must produce typed errors, never panics.
+//!
+//! The table covers the attack/corruption surface of the format: truncation
+//! at every section boundary, bit-flips in the checksum, versions from the
+//! future, counts that overflow the file length or the address space,
+//! zero-edge/zero-node files, and internally inconsistent payloads (rows
+//! unsorted, ids out of range, incidence not the transpose of the edges).
+
+use mochy_hypergraph::snapshot::{
+    read_snapshot_bytes, write_snapshot, SnapshotError, FORMAT_VERSION, MAGIC,
+};
+use mochy_hypergraph::HypergraphBuilder;
+
+/// A pristine snapshot of the Figure-2 hypergraph: 8 nodes, 4 hyperedges,
+/// 12 incidences.
+fn pristine() -> Vec<u8> {
+    let hypergraph = HypergraphBuilder::new()
+        .with_edge([0u32, 1, 2])
+        .with_edge([0, 3, 1])
+        .with_edge([4, 5, 0])
+        .with_edge([6, 7, 2])
+        .build()
+        .unwrap();
+    let mut bytes = Vec::new();
+    write_snapshot(&hypergraph, &mut bytes).unwrap();
+    bytes
+}
+
+const HEADER_LEN: usize = 40;
+
+/// The byte offset where each section of the pristine fixture starts.
+/// (4 edges, 8 nodes, 12 incidences — see the layout doc in `snapshot.rs`.)
+fn section_boundaries(len: usize) -> Vec<(&'static str, usize)> {
+    let edge_offsets = HEADER_LEN;
+    let edge_values = edge_offsets + (4 + 1) * 8;
+    let incidence_offsets = edge_values + 12 * 4;
+    let incidence_values = incidence_offsets + (8 + 1) * 8;
+    let checksum = incidence_values + 12 * 4;
+    assert_eq!(checksum + 8, len, "fixture layout drifted");
+    vec![
+        ("mid-magic", 4),
+        ("after-magic", 8),
+        ("after-version", 12),
+        ("after-flags", 16),
+        ("mid-header-counts", 24),
+        ("after-header", edge_offsets),
+        ("after-edge-offsets", edge_values),
+        ("after-edge-values", incidence_offsets),
+        ("after-incidence-offsets", incidence_values),
+        ("after-incidence-values", checksum),
+        ("mid-checksum", checksum + 4),
+    ]
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_a_typed_error() {
+    let bytes = pristine();
+    for (name, boundary) in section_boundaries(bytes.len()) {
+        let truncated = &bytes[..boundary];
+        let error = read_snapshot_bytes(truncated)
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {name} ({boundary} bytes) decoded cleanly"));
+        assert!(
+            matches!(
+                error,
+                SnapshotError::Truncated { .. } | SnapshotError::LengthMismatch { .. }
+            ),
+            "truncation at {name}: unexpected error {error}"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_single_byte_never_panics() {
+    let bytes = pristine();
+    for length in 0..bytes.len() {
+        assert!(
+            read_snapshot_bytes(&bytes[..length]).is_err(),
+            "{length}-byte prefix of a {}-byte snapshot decoded cleanly",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn corrupted_checksum_is_reported_as_such() {
+    let mut bytes = pristine();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    assert!(matches!(
+        read_snapshot_bytes(&bytes),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+    // A payload flip is also caught by the checksum (reported as corruption
+    // of the file before any structural check runs).
+    let mut bytes = pristine();
+    bytes[HEADER_LEN + 3] ^= 0x10;
+    assert!(matches!(
+        read_snapshot_bytes(&bytes),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn version_from_the_future_is_rejected() {
+    let mut bytes = pristine();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match read_snapshot_bytes(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found }) => {
+            assert_eq!(found, FORMAT_VERSION + 1)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_before_anything_else() {
+    let mut bytes = pristine();
+    bytes[0] = b'X';
+    assert!(matches!(
+        read_snapshot_bytes(&bytes),
+        Err(SnapshotError::BadMagic)
+    ));
+    // Unrelated formats (e.g. a text dataset) are BadMagic too, as long as
+    // they are at least the minimum length.
+    let text = b"0 1 2\n0 1 3\n2,4,5\n# padding padding padding padding padding";
+    assert!(matches!(
+        read_snapshot_bytes(text),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+/// Re-seals a tampered payload with a fresh valid checksum, so the test
+/// reaches the structural validation beyond the integrity check.
+fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+    let payload_end = bytes.len() - 8;
+    let checksum = fnv1a64(&bytes[..payload_end]);
+    bytes[payload_end..].copy_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn counts_that_overflow_the_file_length_are_rejected() {
+    // Doubling the edge count claims more offset bytes than the file holds.
+    let mut bytes = pristine();
+    bytes[24..32].copy_from_slice(&8u64.to_le_bytes());
+    assert!(matches!(
+        read_snapshot_bytes(&reseal(bytes)),
+        Err(SnapshotError::LengthMismatch { .. })
+    ));
+    // Counts near u64::MAX must fail checked arithmetic, not wrap or OOM.
+    for offset in [16, 24, 32] {
+        let mut bytes = pristine();
+        bytes[offset..offset + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(
+            matches!(
+                read_snapshot_bytes(&reseal(bytes)),
+                Err(SnapshotError::CountOverflow | SnapshotError::LengthMismatch { .. })
+            ),
+            "huge count at byte {offset} slipped through"
+        );
+    }
+}
+
+#[test]
+fn zero_edge_and_zero_node_files_are_rejected() {
+    // Zero hyperedges: structurally representable, semantically invalid
+    // (hypergraphs are non-empty by construction everywhere else).
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // num_nodes
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // num_edges
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // num_incidences
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // edge_offsets = [0]
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // incidence_offsets = [0]
+    bytes.extend_from_slice(&[0u8; 8]); // checksum placeholder
+    let zero_everything = reseal(bytes);
+    match read_snapshot_bytes(&zero_everything) {
+        Err(SnapshotError::Corrupt { section, message }) => {
+            assert_eq!(section, "header");
+            assert!(message.contains("zero hyperedges"), "{message}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Zero nodes but one hyperedge: the edge's member cannot be in range.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // num_nodes
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // num_edges
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // num_incidences
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // edge_offsets[0]
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // edge_offsets[1]
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // edge_values = [0]
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // incidence_offsets = [1]?? (invalid start)
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // incidence_values = [0]
+    bytes.extend_from_slice(&[0u8; 8]);
+    assert!(matches!(
+        read_snapshot_bytes(&reseal(bytes)),
+        Err(SnapshotError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn nonzero_flags_are_rejected_in_version_1() {
+    let mut bytes = pristine();
+    bytes[12] = 0x01;
+    assert!(matches!(
+        read_snapshot_bytes(&reseal(bytes)),
+        Err(SnapshotError::Corrupt {
+            section: "header",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn structural_corruption_behind_a_valid_checksum_is_still_caught() {
+    let baseline = pristine();
+    let edge_values_at = HEADER_LEN + 5 * 8;
+
+    // Unsorted row: swap the first two members of hyperedge 0 ({0,1,2}).
+    let mut bytes = baseline.clone();
+    bytes[edge_values_at..edge_values_at + 4].copy_from_slice(&1u32.to_le_bytes());
+    bytes[edge_values_at + 4..edge_values_at + 8].copy_from_slice(&0u32.to_le_bytes());
+    match read_snapshot_bytes(&reseal(bytes)) {
+        Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "edge values"),
+        other => panic!("unsorted row: expected Corrupt, got {other:?}"),
+    }
+
+    // Node id out of range: hyperedge 0 becomes {0, 1, 200} with 8 nodes.
+    let mut bytes = baseline.clone();
+    bytes[edge_values_at + 8..edge_values_at + 12].copy_from_slice(&200u32.to_le_bytes());
+    match read_snapshot_bytes(&reseal(bytes)) {
+        Err(SnapshotError::Corrupt { section, message }) => {
+            assert_eq!(section, "edge values");
+            assert!(message.contains("node 200"), "{message}");
+        }
+        other => panic!("out-of-range node: expected Corrupt, got {other:?}"),
+    }
+
+    // Incidence not the transpose: hyperedge 0 becomes {1, 2, 3} while the
+    // incidence section still says node 0 belongs to it. Still sorted and
+    // in-range, so only the transpose check can catch it.
+    let mut bytes = baseline.clone();
+    bytes[edge_values_at..edge_values_at + 4].copy_from_slice(&1u32.to_le_bytes());
+    bytes[edge_values_at + 4..edge_values_at + 8].copy_from_slice(&2u32.to_le_bytes());
+    bytes[edge_values_at + 8..edge_values_at + 12].copy_from_slice(&3u32.to_le_bytes());
+    match read_snapshot_bytes(&reseal(bytes)) {
+        Err(SnapshotError::Corrupt { section, .. }) => {
+            assert_eq!(section, "incidence values")
+        }
+        other => panic!("broken transpose: expected Corrupt, got {other:?}"),
+    }
+
+    // Offsets not monotone: edge_offsets[1] jumps past edge_offsets[2].
+    let mut bytes = baseline;
+    let edge_offsets_at = HEADER_LEN;
+    bytes[edge_offsets_at + 8..edge_offsets_at + 16].copy_from_slice(&7u64.to_le_bytes());
+    match read_snapshot_bytes(&reseal(bytes)) {
+        Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "edge offsets"),
+        other => panic!("non-monotone offsets: expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_messages_are_human_readable() {
+    let mut bytes = pristine();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let error = read_snapshot_bytes(&bytes).unwrap_err();
+    assert!(error.to_string().contains("version 99"), "{error}");
+    let error = read_snapshot_bytes(&pristine()[..10]).unwrap_err();
+    assert!(error.to_string().contains("truncated"), "{error}");
+}

@@ -5,6 +5,7 @@
 //! |---|---|---|
 //! | `GET /healthz` | — | liveness, dataset/cache/pool stats |
 //! | `GET /datasets` | — | registered datasets with generation + sizes |
+//! | `POST /datasets` | `{"name", "snapshot"}` | ingests a base64 `.mochy` snapshot as a fresh dataset |
 //! | `POST /count` | `{"dataset", "method", …}` | 26 h-motif counts via the [`MotifEngine`] |
 //! | `POST /profile` | `{"dataset", "randomizations", …}` | characteristic profile (Eqs. 1–2) |
 //! | `POST /mutate` | `{"dataset", "insert", "remove"}` | applies churn, publishes a new snapshot |
@@ -34,13 +35,16 @@ use mochy_json::{self as json, JsonValue};
 use mochy_motif::NUM_MOTIFS;
 use mochy_projection::MemoPolicy;
 
+use crate::b64;
 use crate::http::Request;
-use crate::registry::{Registry, Snapshot};
+use crate::registry::{Registry, Snapshot, MAX_NODE_ID};
 
 /// Hard ceiling on per-request sample counts (keeps a single query bounded).
 const MAX_SAMPLES: usize = 1_000_000;
 /// Hard ceiling on per-request null-model randomizations.
 const MAX_RANDOMIZATIONS: usize = 16;
+/// Longest accepted dataset name on the ingestion route.
+const MAX_DATASET_NAME: usize = 100;
 
 /// An LRU cache of rendered response bodies.
 ///
@@ -197,6 +201,7 @@ pub fn handle(ctx: &ApiContext, request: &Request) -> ApiResponse {
     let result = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(ctx)),
         ("GET", "/datasets") => Ok(datasets(ctx)),
+        ("POST", "/datasets") => ingest(ctx, &request.body),
         ("POST", "/count") => count(ctx, &request.body),
         ("POST", "/profile") => profile(ctx, &request.body),
         ("POST", "/mutate") => mutate(ctx, &request.body),
@@ -258,7 +263,8 @@ fn healthz(ctx: &ApiContext) -> ApiResponse {
 fn datasets(ctx: &ApiContext) -> ApiResponse {
     let listing: Vec<JsonValue> = ctx
         .registry
-        .iter()
+        .entries()
+        .into_iter()
         .map(|(name, dataset)| {
             let snapshot = dataset.snapshot();
             JsonValue::Object(vec![
@@ -281,6 +287,73 @@ fn datasets(ctx: &ApiContext) -> ApiResponse {
     ApiResponse::ok(
         JsonValue::Object(vec![("datasets".to_string(), JsonValue::Array(listing))]).render(),
     )
+}
+
+// ---------------------------------------------------------------------------
+// POST /datasets — snapshot ingestion.
+
+/// Ingests a client-uploaded `.mochy` snapshot (base64 inside the JSON body,
+/// keeping the wire JSON-only) as a **fresh** registry entry.
+///
+/// The snapshot decoder fully validates the payload (magic, version,
+/// checksum, offsets, id ranges, incidence transpose) before a hypergraph
+/// exists at all, and the same dense-index bound that guards `/mutate`
+/// applies to the declared node count — an upload can never translate into
+/// an unbounded allocation. Name collisions are a 409: replacing a live
+/// dataset under concurrent readers is an operator action, not an upload
+/// side effect.
+fn ingest(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
+    let parsed = parse_body(body)?;
+    let name = required_str(&parsed, "name")?.to_string();
+    let valid_name = !name.is_empty()
+        && name.len() <= MAX_DATASET_NAME
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if !valid_name {
+        return Err(ApiError::bad(format!(
+            "`name` must be 1..={MAX_DATASET_NAME} characters of [A-Za-z0-9._-]"
+        )));
+    }
+    let encoded = required_str(&parsed, "snapshot")?;
+    let bytes = b64::decode(encoded)
+        .map_err(|error| ApiError::bad(format!("`snapshot` is not valid base64: {error}")))?;
+    let hypergraph = mochy_hypergraph::snapshot::read_snapshot_bytes(&bytes).map_err(|error| {
+        ApiError::bad(format!("`snapshot` is not a valid .mochy file: {error}"))
+    })?;
+    if hypergraph.num_nodes() > MAX_NODE_ID as usize + 1 {
+        return Err(ApiError::bad(format!(
+            "snapshot declares {} nodes, above the maximum {} (node ids are a dense index)",
+            hypergraph.num_nodes(),
+            MAX_NODE_ID as usize + 1
+        )));
+    }
+    let dataset = ctx
+        .registry
+        .insert_new(&name, hypergraph)
+        .map_err(|error| ApiError::new(409, error))?;
+    let snapshot = dataset.snapshot();
+    Ok(ApiResponse {
+        status: 201,
+        ..ApiResponse::ok(
+            JsonValue::Object(vec![
+                ("dataset".to_string(), JsonValue::string(name)),
+                (
+                    "generation".to_string(),
+                    JsonValue::Number(snapshot.generation as f64),
+                ),
+                (
+                    "num_nodes".to_string(),
+                    JsonValue::Number(snapshot.num_nodes() as f64),
+                ),
+                (
+                    "num_edges".to_string(),
+                    JsonValue::Number(snapshot.num_edges() as f64),
+                ),
+            ])
+            .render(),
+        )
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -810,7 +883,7 @@ mod tests {
     use mochy_hypergraph::HypergraphBuilder;
 
     fn context() -> ApiContext {
-        let mut registry = Registry::new();
+        let registry = Registry::new();
         registry.insert(
             "fig2",
             HypergraphBuilder::new()
@@ -969,6 +1042,105 @@ mod tests {
         );
         assert_eq!(spelled.cache_state, Some(CacheState::Hit));
         assert_eq!(first.body, spelled.body);
+    }
+
+    /// The Figure-2 hypergraph as base64 `.mochy` bytes, as a client upload
+    /// would carry it.
+    fn fig2_snapshot_base64() -> String {
+        let hypergraph = HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .unwrap();
+        let mut bytes = Vec::new();
+        mochy_hypergraph::snapshot::write_snapshot(&hypergraph, &mut bytes).unwrap();
+        b64::encode(&bytes)
+    }
+
+    #[test]
+    fn ingest_registers_a_fresh_dataset_and_serves_it() {
+        let ctx = context();
+        let body = JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::string("uploaded")),
+            (
+                "snapshot".to_string(),
+                JsonValue::string(fig2_snapshot_base64()),
+            ),
+        ])
+        .render();
+        let response = handle(&ctx, &post("/datasets", &body));
+        assert_eq!(response.status, 201, "{}", response.body);
+        let doc = json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("num_nodes").and_then(JsonValue::as_f64), Some(8.0));
+        assert_eq!(doc.get("num_edges").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(doc.get("generation").and_then(JsonValue::as_f64), Some(0.0));
+
+        // The fresh dataset is listed and countable immediately.
+        let listing = handle(
+            &ctx,
+            &Request {
+                method: "GET".to_string(),
+                path: "/datasets".to_string(),
+                body: String::new(),
+            },
+        );
+        assert!(listing.body.contains("uploaded"), "{}", listing.body);
+        let counted = handle(&ctx, &post("/count", r#"{"dataset": "uploaded"}"#));
+        assert_eq!(counted.status, 200, "{}", counted.body);
+        let doc = json::parse(&counted.body).unwrap();
+        assert_eq!(doc.get("total").and_then(JsonValue::as_f64), Some(3.0));
+
+        // Re-uploading the same name is a conflict, not a replace.
+        let again = handle(&ctx, &post("/datasets", &body));
+        assert_eq!(again.status, 409, "{}", again.body);
+    }
+
+    #[test]
+    fn ingest_rejects_bad_names_encodings_and_snapshots() {
+        let ctx = context();
+        let upload = |name: &str, snapshot: &str| {
+            let body = JsonValue::Object(vec![
+                ("name".to_string(), JsonValue::string(name)),
+                ("snapshot".to_string(), JsonValue::string(snapshot)),
+            ])
+            .render();
+            handle(&ctx, &post("/datasets", &body))
+        };
+        let good = fig2_snapshot_base64();
+        for (name, needle) in [
+            ("", "`name`"),
+            ("spaced name", "`name`"),
+            ("a/b", "`name`"),
+            (&"x".repeat(101), "`name`"),
+        ] {
+            let response = upload(name, &good);
+            assert_eq!(response.status, 400, "name `{name}`: {}", response.body);
+            assert!(response.body.contains(needle), "{}", response.body);
+        }
+
+        let response = upload("ok", "!!not-base64!!");
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("base64"), "{}", response.body);
+
+        // Valid base64, invalid snapshot: the typed decoder error surfaces.
+        let response = upload("ok", &b64::encode(b"MOCHYSNP but truncated"));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains(".mochy"), "{}", response.body);
+
+        // A corrupted-checksum upload is rejected with the checksum error.
+        let mut corrupted = b64::decode(&good).unwrap();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        let response = upload("ok", &b64::encode(&corrupted));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("checksum"), "{}", response.body);
+
+        // Missing fields are 400s, and nothing was registered along the way.
+        let response = handle(&ctx, &post("/datasets", r#"{"name": "ok"}"#));
+        assert_eq!(response.status, 400);
+        assert_eq!(ctx.registry.len(), 1, "only the seeded fig2 remains");
     }
 
     #[test]

@@ -60,19 +60,18 @@ pub fn read_request(
     let started = std::time::Instant::now();
     // One bounded read: caps each wait at the time left before the overall
     // deadline, and maps deadline exhaustion to a timeout error.
-    let deadline_read =
-        |stream: &mut TcpStream, chunk: &mut [u8]| -> Result<usize, RequestError> {
-            let remaining = deadline.saturating_sub(started.elapsed());
-            if remaining.is_zero() {
-                return Err(RequestError::Io(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "request did not complete within the deadline",
-                )));
-            }
-            // set_read_timeout rejects a zero Duration; `remaining` is non-zero.
-            let _ = stream.set_read_timeout(Some(remaining));
-            stream.read(chunk).map_err(RequestError::Io)
-        };
+    let deadline_read = |stream: &mut TcpStream, chunk: &mut [u8]| -> Result<usize, RequestError> {
+        let remaining = deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            return Err(RequestError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request did not complete within the deadline",
+            )));
+        }
+        // set_read_timeout rejects a zero Duration; `remaining` is non-zero.
+        let _ = stream.set_read_timeout(Some(remaining));
+        stream.read(chunk).map_err(RequestError::Io)
+    };
 
     // Read until the blank line terminating the head.
     let mut buffer: Vec<u8> = Vec::with_capacity(1024);
@@ -161,6 +160,7 @@ fn find_head_end(buffer: &[u8]) -> Option<usize> {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",

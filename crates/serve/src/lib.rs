@@ -18,7 +18,9 @@
 //!   swapping the shared pointer. Readers that started on the old snapshot
 //!   finish on the old snapshot — queries are always internally consistent.
 //! - [`api`] — the JSON API: `GET /healthz`, `GET /datasets`,
-//!   `POST /count`, `POST /profile`, `POST /mutate`, `POST /shutdown`.
+//!   `POST /datasets` (ingest an uploaded base64 `.mochy` snapshot as a
+//!   fresh dataset), `POST /count`, `POST /profile`, `POST /mutate`,
+//!   `POST /shutdown`.
 //!   Responses are rendered deterministically (no timestamps or timings in
 //!   cacheable bodies) and memoized in an LRU [`api::QueryCache`] keyed by
 //!   `(dataset, generation, normalized query)` — a cache hit returns the
@@ -39,7 +41,7 @@
 //! use mochy_serve::registry::Registry;
 //! use mochy_serve::server::{Server, ServerConfig};
 //!
-//! let mut registry = Registry::new();
+//! let registry = Registry::new();
 //! registry.insert(
 //!     "fig2",
 //!     HypergraphBuilder::new()
@@ -59,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod b64;
 pub mod http;
 pub mod registry;
 pub mod server;

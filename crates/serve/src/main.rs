@@ -19,13 +19,17 @@ use mochy_hypergraph::{io as hio, HypergraphBuilder};
 use mochy_serve::registry::Registry;
 use mochy_serve::server::{Server, ServerConfig};
 
+// `--load` accepts text edge-lists AND binary `.mochy` snapshots (format
+// auto-detected by content) — the snapshot path is what makes cold boots
+// I/O-bound instead of parse-bound.
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ServerConfig {
         addr: "127.0.0.1:7700".to_string(),
         ..ServerConfig::default()
     };
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     let mut have_datasets = false;
 
     let mut iter = args.iter();
@@ -64,7 +68,7 @@ fn main() {
                     eprintln!("bad --load `{spec}` (expected NAME=PATH)");
                     std::process::exit(2);
                 };
-                match hio::read_edge_list_file(path) {
+                match hio::read_file_auto(path) {
                     Ok(hypergraph) => registry.insert(name, hypergraph),
                     Err(error) => {
                         eprintln!("failed to load `{path}`: {error}");
@@ -102,7 +106,7 @@ fn main() {
         );
     }
 
-    for (name, dataset) in registry.iter() {
+    for (name, dataset) in registry.entries() {
         let snapshot = dataset.snapshot();
         println!(
             "dataset {name}: {} nodes, {} hyperedges",
@@ -156,6 +160,7 @@ fn print_usage() {
     eprintln!("usage: mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]");
     eprintln!("                   [--cache N] [--threads N]");
     eprintln!("                   [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...");
-    eprintln!("routes: GET /healthz, GET /datasets, POST /count, POST /profile,");
-    eprintln!("        POST /mutate, POST /shutdown (see README for JSON shapes)");
+    eprintln!("(--load auto-detects text edge-lists and binary .mochy snapshots)");
+    eprintln!("routes: GET /healthz, GET /datasets, POST /datasets, POST /count,");
+    eprintln!("        POST /profile, POST /mutate, POST /shutdown (see README)");
 }

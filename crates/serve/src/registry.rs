@@ -23,7 +23,7 @@
 //! [`DynamicHypergraph`]: mochy_hypergraph::DynamicHypergraph
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use mochy_core::streaming::{StreamConfig, StreamingEngine};
 use mochy_hypergraph::{EdgeId, Hypergraph, NodeId};
@@ -166,10 +166,17 @@ impl Dataset {
     }
 }
 
-/// The set of datasets a server instance exposes, fixed at startup.
+/// The set of datasets a server instance exposes.
+///
+/// Seeded at startup and extensible at runtime: `POST /datasets` ingests an
+/// uploaded snapshot into a fresh entry, so the map lives behind a
+/// [`RwLock`]. Readers (`/count`, `/profile`, the listing) take the read
+/// lock only long enough to clone one `Arc`; ingestion takes the write lock
+/// for a map insert. Per-dataset state never needs the registry lock —
+/// mutation and snapshot publication are handled inside [`Dataset`].
 #[derive(Debug, Default)]
 pub struct Registry {
-    datasets: BTreeMap<String, Arc<Dataset>>,
+    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
 }
 
 impl Registry {
@@ -179,31 +186,64 @@ impl Registry {
     }
 
     /// Registers `hypergraph` under `name` (replacing any previous dataset
-    /// of that name).
-    pub fn insert(&mut self, name: impl Into<String>, hypergraph: Hypergraph) {
+    /// of that name) — the boot-time seeding path.
+    pub fn insert(&self, name: impl Into<String>, hypergraph: Hypergraph) {
         self.datasets
+            .write()
+            .expect("registry lock poisoned")
             .insert(name.into(), Arc::new(Dataset::new(hypergraph)));
     }
 
+    /// Registers `hypergraph` under `name` as a **fresh** entry — the
+    /// runtime ingestion path. Fails (without touching the map) if the name
+    /// is taken: replacing a live dataset under concurrent readers is a
+    /// deliberate operator action, not something an upload does implicitly.
+    pub fn insert_new(
+        &self,
+        name: impl Into<String>,
+        hypergraph: Hypergraph,
+    ) -> Result<Arc<Dataset>, String> {
+        let name = name.into();
+        let mut datasets = self.datasets.write().expect("registry lock poisoned");
+        if datasets.contains_key(&name) {
+            return Err(format!("dataset `{name}` already exists"));
+        }
+        let dataset = Arc::new(Dataset::new(hypergraph));
+        datasets.insert(name, Arc::clone(&dataset));
+        Ok(dataset)
+    }
+
     /// The dataset registered under `name`.
-    pub fn get(&self, name: &str) -> Option<&Arc<Dataset>> {
-        self.datasets.get(name)
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.datasets.read().expect("registry lock poisoned").len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.datasets.is_empty()
+        self.datasets
+            .read()
+            .expect("registry lock poisoned")
+            .is_empty()
     }
 
-    /// Iterator over `(name, dataset)` pairs in name order (the order the
-    /// listing endpoint reports).
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Dataset>)> {
-        self.datasets.iter().map(|(k, v)| (k.as_str(), v))
+    /// A point-in-time snapshot of `(name, dataset)` pairs in name order
+    /// (the order the listing endpoint reports).
+    pub fn entries(&self) -> Vec<(String, Arc<Dataset>)> {
+        self.datasets
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, dataset)| (name.clone(), Arc::clone(dataset)))
+            .collect()
     }
 }
 
@@ -308,13 +348,41 @@ mod tests {
 
     #[test]
     fn registry_lists_in_name_order() {
-        let mut registry = Registry::new();
+        let registry = Registry::new();
         registry.insert("zeta", figure2());
         registry.insert("alpha", figure2());
-        let names: Vec<&str> = registry.iter().map(|(name, _)| name).collect();
+        let names: Vec<String> = registry
+            .entries()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
         assert_eq!(registry.len(), 2);
         assert!(registry.get("alpha").is_some());
         assert!(registry.get("missing").is_none());
+    }
+
+    #[test]
+    fn insert_new_rejects_existing_names_without_clobbering() {
+        let registry = Registry::new();
+        registry.insert("fig2", figure2());
+        let before = registry.get("fig2").unwrap().snapshot();
+        let error = registry.insert_new("fig2", figure2()).unwrap_err();
+        assert!(error.contains("already exists"), "{error}");
+        // The original dataset (and its published snapshot) is untouched.
+        assert!(Arc::ptr_eq(
+            &before.hypergraph.clone().unwrap(),
+            &registry
+                .get("fig2")
+                .unwrap()
+                .snapshot()
+                .hypergraph
+                .clone()
+                .unwrap()
+        ));
+        // A fresh name is accepted and immediately visible.
+        registry.insert_new("fig2-b", figure2()).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.get("fig2-b").unwrap().snapshot().generation, 0);
     }
 }

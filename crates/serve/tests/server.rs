@@ -23,7 +23,7 @@ fn figure2() -> Hypergraph {
 }
 
 fn boot(config: ServerConfig) -> Server {
-    let mut registry = Registry::new();
+    let registry = Registry::new();
     registry.insert("fig2", figure2());
     Server::start(config, registry).expect("bind ephemeral port")
 }
@@ -149,6 +149,58 @@ fn all_routes_answer_over_tcp() {
 
     server.shutdown();
     server.wait();
+}
+
+#[test]
+fn snapshot_upload_ingests_a_live_dataset_over_tcp() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Upload a second hypergraph as a base64 .mochy snapshot.
+    let mut snapshot_bytes = Vec::new();
+    mochy_hypergraph::snapshot::write_snapshot(&figure2(), &mut snapshot_bytes).unwrap();
+    let body = format!(
+        r#"{{"name": "uploaded.v1", "snapshot": "{}"}}"#,
+        mochy_serve::b64::encode(&snapshot_bytes)
+    );
+    let created = request(addr, "POST", "/datasets", &body);
+    assert_eq!(created.status, 201, "{}", created.body);
+    let doc = json::parse(&created.body).unwrap();
+    assert_eq!(doc.get("num_edges").and_then(JsonValue::as_f64), Some(4.0));
+
+    // It lists, counts, and mutates like any boot-time dataset.
+    let listing = request(addr, "GET", "/datasets", "");
+    assert!(listing.body.contains("uploaded.v1"), "{}", listing.body);
+    let counted = request(addr, "POST", "/count", r#"{"dataset": "uploaded.v1"}"#);
+    assert_eq!(counted.status, 200, "{}", counted.body);
+    let doc = json::parse(&counted.body).unwrap();
+    assert_eq!(doc.get("total").and_then(JsonValue::as_f64), Some(3.0));
+    let mutated = request(
+        addr,
+        "POST",
+        "/mutate",
+        r#"{"dataset": "uploaded.v1", "insert": [[1, 4, 6]], "remove": []}"#,
+    );
+    assert_eq!(mutated.status, 200, "{}", mutated.body);
+
+    // A duplicate upload conflicts; a corrupted payload is a 400 with the
+    // typed decoder error — and neither disturbed the live dataset.
+    let conflict = request(addr, "POST", "/datasets", &body);
+    assert_eq!(conflict.status, 409, "{}", conflict.body);
+    // Flip a payload byte past the 40-byte header so the checksum (not the
+    // header length check) is what rejects it.
+    let mut corrupted = snapshot_bytes.clone();
+    corrupted[48] ^= 0x40;
+    let bad_body = format!(
+        r#"{{"name": "corrupt", "snapshot": "{}"}}"#,
+        mochy_serve::b64::encode(&corrupted)
+    );
+    let rejected = request(addr, "POST", "/datasets", &bad_body);
+    assert_eq!(rejected.status, 400, "{}", rejected.body);
+    assert!(rejected.body.contains("checksum"), "{}", rejected.body);
+    let health = request(addr, "GET", "/healthz", "");
+    let doc = json::parse(&health.body).unwrap();
+    assert_eq!(doc.get("datasets").and_then(JsonValue::as_f64), Some(2.0));
 }
 
 #[test]

@@ -1,21 +1,24 @@
 //! A minimal `mochy-serve` client over plain `std::net::TcpStream`.
 //!
 //! ```text
-//! cargo run --example serve_client -- 127.0.0.1:7700 [--shutdown]
+//! cargo run --example serve_client -- 127.0.0.1:7700 [--upload NAME=PATH.mochy] [--shutdown]
 //! ```
 //!
 //! Queries a running server — `GET /healthz`, `GET /datasets`, one
 //! `POST /count` against the first listed dataset (twice, to show the
-//! cache) — and prints what it finds. With `--shutdown` it additionally
-//! sends `POST /shutdown`, asking the server to exit cleanly. Exits
-//! non-zero on any failure, which is what lets the CI smoke stage use it
-//! as its assertion harness.
+//! cache) — and prints what it finds. With `--upload NAME=PATH` it first
+//! ingests a `.mochy` snapshot through `POST /datasets` (base64 in the
+//! JSON body) and asserts the fresh dataset answers `/count`. With
+//! `--shutdown` it additionally sends `POST /shutdown`, asking the server
+//! to exit cleanly. Exits non-zero on any failure, which is what lets the
+//! CI smoke stage use it as its assertion harness.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use mochy_json::{self as json, JsonValue};
+use mochy_serve::b64;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +28,51 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7700".to_string());
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    let upload = args.iter().position(|a| a == "--upload").map(|position| {
+        let spec = args.get(position + 1).unwrap_or_else(|| {
+            eprintln!("--upload requires NAME=PATH");
+            std::process::exit(2);
+        });
+        spec.split_once('=')
+            .map(|(name, path)| (name.to_string(), path.to_string()))
+            .unwrap_or_else(|| {
+                eprintln!("bad --upload `{spec}` (expected NAME=PATH)");
+                std::process::exit(2);
+            })
+    });
+
+    if let Some((name, path)) = &upload {
+        let bytes = std::fs::read(path).unwrap_or_else(|error| {
+            eprintln!("failed to read snapshot `{path}`: {error}");
+            std::process::exit(1);
+        });
+        let body = JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::string(name.clone())),
+            (
+                "snapshot".to_string(),
+                JsonValue::string(b64::encode(&bytes)),
+            ),
+        ])
+        .render();
+        let response = request(&addr, "POST", "/datasets", &body);
+        expect_status(&response, 201, "/datasets (upload)");
+        let doc = parse(&response.body, "/datasets (upload)");
+        println!(
+            "uploaded {name}: {} nodes, {} hyperedges ({} snapshot bytes)",
+            field(&doc, "num_nodes"),
+            field(&doc, "num_edges"),
+            bytes.len(),
+        );
+        let count_body = JsonValue::Object(vec![
+            ("dataset".to_string(), JsonValue::string(name.clone())),
+            ("method".to_string(), JsonValue::string("mochy-e")),
+        ])
+        .render();
+        let counted = request(&addr, "POST", "/count", &count_body);
+        expect_status(&counted, 200, "/count (uploaded dataset)");
+        let doc = parse(&counted.body, "/count (uploaded dataset)");
+        println!("count[{name}]: total={}", field(&doc, "total"));
+    }
 
     let health = request(&addr, "GET", "/healthz", "");
     expect_status(&health, 200, "/healthz");

@@ -19,6 +19,11 @@
 //! - [`ml`] — small from-scratch classifiers and metrics (Table 4).
 //! - [`analysis`] — end-to-end pipelines: CPs, similarity, evolution,
 //!   hyperedge prediction.
+//! - [`serve`] — the `mochy-serve` HTTP service layer: dataset registry
+//!   with immutable snapshots, JSON API, result cache, backpressure. Boots
+//!   from text datasets or binary `.mochy` snapshots
+//!   ([`hypergraph::snapshot`]) and ingests uploaded snapshots at runtime
+//!   via `POST /datasets`.
 //!
 //! ## Quickstart
 //!
@@ -86,6 +91,7 @@ pub use mochy_motif as motif;
 pub use mochy_netmotif as netmotif;
 pub use mochy_nullmodel as nullmodel;
 pub use mochy_projection as projection;
+pub use mochy_serve as serve;
 
 /// Commonly used items, importable with `use mochy::prelude::*`.
 pub mod prelude {
@@ -116,7 +122,8 @@ pub mod prelude {
         temporal_event_stream, DomainKind, EdgeEvent, EventStreamConfig, GeneratorConfig,
     };
     pub use mochy_hypergraph::{
-        DynamicHypergraph, EmpiricalDistribution, Hypergraph, HypergraphBuilder, NodeId,
+        read_snapshot_file, write_snapshot_file, DynamicHypergraph, EmpiricalDistribution,
+        Hypergraph, HypergraphBuilder, NodeId, SnapshotError,
     };
     pub use mochy_motif::{
         GeneralizedCatalog, HMotif, MotifCatalog, MotifClass, RegionCardinalities,
