@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: formatting, lints, build, tests, the .mochy snapshot
+# CI entry point: formatting, lints (clippy plus the workspace's own
+# mochy-lint pass — determinism, panic-safety, and untrusted-input
+# invariants, writing LINT.json), build, tests, the .mochy snapshot
 # round-trip gate, the serve smoke (booted from a binary snapshot, with a
 # runtime snapshot upload), explicit thread-invariance runs, a compile check
 # of the Criterion bench targets, the deterministic perf smoke behind
@@ -74,8 +76,17 @@ run_stage() {
 }
 
 run_stage fmt cargo fmt --all --check
-run_stage clippy cargo clippy --locked --workspace --all-targets -- -D warnings
+run_stage clippy cargo clippy --locked --workspace --all-targets -- \
+  -D warnings -W clippy::dbg_macro -W clippy::todo
 run_stage build cargo build "${CARGO_FLAGS[@]}"
+
+# Workspace static analysis (both lanes): the mochy-lint pass enforces the
+# invariants rustc/clippy cannot see — panic-free serving, deterministic
+# RNG/iteration, checked arithmetic over untrusted bytes, forbid(unsafe_code)
+# on every crate root. Zero baseline exceptions; suppressions require an
+# in-source pragma with a reason. LINT.json is uploaded as a CI artifact.
+run_stage lint "${TARGET_DIR}/mochy-lint" --json LINT.json
+
 run_stage test cargo test "${CARGO_FLAGS[@]}" -q
 
 # Snapshot round-trip gate (both lanes): convert every bench dataset to

@@ -193,6 +193,7 @@ fn is_adjacent_to_subgraph(
 pub fn set_pattern(hypergraph: &Hypergraph, edges: &[EdgeId]) -> GeneralPattern {
     let k = edges.len() as u32;
     assert!((2..=5).contains(&k), "supported set sizes are 2..=5");
+    // mochy-lint: allow(no-hashmap-iter-order) reason="per-node bitmasks folded into an order-independent region histogram, never iterated into output"
     let mut masks: FxHashMap<NodeId, u32> = FxHashMap::default();
     for (index, &e) in edges.iter().enumerate() {
         for &v in hypergraph.edge(e) {

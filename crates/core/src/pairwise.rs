@@ -139,6 +139,7 @@ pub struct PairwiseCollapse {
 impl PairwiseCollapse {
     /// Computes the collapse map of the full catalog.
     pub fn new(catalog: &MotifCatalog) -> Self {
+        // mochy-lint: allow(no-hashmap-iter-order) reason="grouping scratch only; the collapse map below is rebuilt per sorted motif id, never iterated into output"
         let mut classes: FxHashMap<PairwisePattern, Vec<MotifId>> = FxHashMap::default();
         for motif in catalog.motifs() {
             classes
@@ -194,6 +195,7 @@ impl PairwiseCensus {
         let motif_to_pattern: Vec<PairwisePattern> = (1..=NUM_MOTIFS as MotifId)
             .map(|id| pairwise_pattern_of_motif(&catalog, id))
             .collect();
+        // mochy-lint: allow(no-hashmap-iter-order) reason="accumulator drained into a Vec that is sorted by pattern before it becomes the census"
         let mut counts: FxHashMap<PairwisePattern, u64> = FxHashMap::default();
         mochy_e_enumerate(hypergraph, projected, |_, _, _, motif| {
             *counts
@@ -209,6 +211,7 @@ impl PairwiseCensus {
     /// (exact or estimated).
     pub fn from_motif_counts(counts: &MotifCounts) -> Self {
         let catalog = MotifCatalog::new();
+        // mochy-lint: allow(no-hashmap-iter-order) reason="accumulator drained into a Vec that is sorted by pattern before it becomes the census"
         let mut collapsed: FxHashMap<PairwisePattern, f64> = FxHashMap::default();
         for (id, value) in counts.iter() {
             if value == 0.0 {

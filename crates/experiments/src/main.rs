@@ -16,6 +16,8 @@
 //!           [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use mochy_experiments::tool::{self, CountAlgorithm};
 use mochy_experiments::{
     cibudget, evolve, perf, run_experiment, snapshot, ExperimentScale, ALL_EXPERIMENTS,

@@ -71,6 +71,11 @@ const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
 /// Byte length of the trailing checksum.
 const CHECKSUM_LEN: usize = 8;
 
+/// The smallest byte length any snapshot can have: a full header plus the
+/// trailing checksum, with every payload section empty.
+// mochy-lint: allow(checked-untrusted-arith) reason="const arithmetic over two small literals is evaluated at compile time; overflow is a compile error, not a runtime wrap"
+const MIN_SNAPSHOT_LEN: usize = HEADER_LEN + CHECKSUM_LEN;
+
 /// Why a snapshot could not be decoded. Every variant is a loud, typed
 /// error; decoding never panics on malformed bytes.
 #[derive(Debug)]
@@ -343,7 +348,7 @@ fn expected_len(num_nodes: u64, num_edges: u64, num_incidences: u64) -> Option<u
         .checked_add(num_nodes.checked_add(1)?)?
         .checked_mul(8)?;
     let values = num_incidences.checked_mul(8)?; // two u32 arrays
-    (HEADER_LEN as u64 + CHECKSUM_LEN as u64)
+    (MIN_SNAPSHOT_LEN as u64)
         .checked_add(offsets)?
         .checked_add(values)
 }
@@ -384,9 +389,9 @@ fn decode_offsets(
 
 /// Decodes and fully validates a snapshot held in memory.
 pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
-    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+    if bytes.len() < MIN_SNAPSHOT_LEN {
         return Err(SnapshotError::Truncated {
-            needed: HEADER_LEN + CHECKSUM_LEN,
+            needed: MIN_SNAPSHOT_LEN,
             actual: bytes.len(),
         });
     }
@@ -423,11 +428,28 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
 
     // Checksum before structure: a flipped bit should be reported as
     // corruption of the file, not as whichever invariant it happens to break.
-    let payload_end = bytes.len() - CHECKSUM_LEN;
+    // Cannot underflow: the minimum-length check above already admitted only
+    // buffers of at least MIN_SNAPSHOT_LEN (> CHECKSUM_LEN) bytes.
+    let payload_end = bytes.len().saturating_sub(CHECKSUM_LEN);
     let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8 bytes"));
     let computed = fnv1a64(&bytes[..payload_end]);
     if stored != computed {
         return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+
+    // Node and edge ids are 32-bit both on the wire and in the CSR, so a
+    // snapshot declaring more than u32::MAX of either could never name its
+    // own elements — and the transpose check below compares `edge as EdgeId`,
+    // which must not truncate. Reject oversized counts as corruption before
+    // any id is materialised.
+    if num_nodes > u64::from(u32::MAX) || num_edges > u64::from(u32::MAX) {
+        return Err(SnapshotError::Corrupt {
+            section: "header",
+            message: format!(
+                "counts exceed the 32-bit id space (num_nodes = {num_nodes}, \
+                 num_edges = {num_edges})"
+            ),
+        });
     }
 
     let num_nodes = usize::try_from(num_nodes).map_err(|_| SnapshotError::CountOverflow)?;
@@ -441,21 +463,29 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
     }
 
     let edge_offsets = decode_offsets(
-        fields.take_u64s(edge_rows + 1)?,
+        fields.take_u64s(
+            edge_rows
+                .checked_add(1)
+                .ok_or(SnapshotError::CountOverflow)?,
+        )?,
         num_incidences,
         "edge offsets",
     )?;
     let edge_values: Vec<NodeId> = fields.take_u32s(entries)?;
     let incidence_offsets = decode_offsets(
-        fields.take_u64s(num_nodes + 1)?,
+        fields.take_u64s(
+            num_nodes
+                .checked_add(1)
+                .ok_or(SnapshotError::CountOverflow)?,
+        )?,
         num_incidences,
         "incidence offsets",
     )?;
     let incidence_values: Vec<EdgeId> = fields.take_u32s(entries)?;
 
     // Per-edge rows: non-empty, strictly sorted, in node range.
-    for edge in 0..edge_rows {
-        let row = &edge_values[edge_offsets[edge]..edge_offsets[edge + 1]];
+    for (edge, bounds) in edge_offsets.windows(2).enumerate() {
+        let row = &edge_values[bounds[0]..bounds[1]];
         if row.is_empty() {
             return Err(SnapshotError::Corrupt {
                 section: "edge values",
@@ -474,6 +504,7 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
             }
         }
         if let Some(&node) = row.last() {
+            // mochy-lint: allow(checked-untrusted-arith) reason="NodeId is u32 and usize is at least 32 bits on every supported platform, so the widening cast is lossless"
             if node as usize >= num_nodes {
                 return Err(SnapshotError::Corrupt {
                     section: "edge values",
@@ -489,11 +520,16 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
     // One cursor pass verifies it completely: walking the edges in ascending
     // id order must reproduce each node's incidence row left to right.
     let mut cursors: Vec<usize> = incidence_offsets[..num_nodes].to_vec();
-    for edge in 0..edge_rows {
-        for &node in &edge_values[edge_offsets[edge]..edge_offsets[edge + 1]] {
+    for (edge, bounds) in edge_offsets.windows(2).enumerate() {
+        for &node in &edge_values[bounds[0]..bounds[1]] {
+            // mochy-lint: allow(checked-untrusted-arith) reason="NodeId is u32 and usize is at least 32 bits on every supported platform, so the widening cast is lossless"
             let node = node as usize;
             let cursor = cursors[node];
-            if cursor >= incidence_offsets[node + 1] || incidence_values[cursor] != edge as EdgeId {
+            // `node + 1` indexes at most the terminal offset entry because the
+            // per-edge row check above proved node < num_nodes; saturating_add
+            // only spells out that it cannot wrap.
+            let row_end = incidence_offsets[node.saturating_add(1)];
+            if cursor >= row_end || incidence_values[cursor] != edge as EdgeId {
                 return Err(SnapshotError::Corrupt {
                     section: "incidence values",
                     message: format!(
@@ -502,16 +538,17 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
                     ),
                 });
             }
-            cursors[node] = cursor + 1;
+            // Bounded by `cursor < row_end` just above, so no wrap is possible.
+            cursors[node] = cursor.saturating_add(1);
         }
     }
-    for node in 0..num_nodes {
-        if cursors[node] != incidence_offsets[node + 1] {
+    for (node, bounds) in incidence_offsets.windows(2).enumerate() {
+        if cursors[node] != bounds[1] {
             return Err(SnapshotError::Corrupt {
                 section: "incidence values",
                 message: format!(
                     "node {node} has {} extra incidence entries not backed by any hyperedge",
-                    incidence_offsets[node + 1] - cursors[node]
+                    bounds[1].saturating_sub(cursors[node])
                 ),
             });
         }

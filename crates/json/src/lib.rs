@@ -187,7 +187,7 @@ pub fn validate(text: &str) -> Result<(), String> {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+    while bytes.get(*pos).is_some_and(u8::is_ascii_whitespace) {
         *pos += 1;
     }
 }
@@ -211,7 +211,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue,
 }
 
 fn parse_literal(bytes: &[u8], pos: &mut usize, expected: &[u8]) -> Result<(), String> {
-    if bytes[*pos..].starts_with(expected) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(expected))
+    {
         *pos += expected.len();
         Ok(())
     } else {
@@ -226,7 +229,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
     let digits = |bytes: &[u8], pos: &mut usize| {
         let from = *pos;
-        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
             *pos += 1;
         }
         *pos > from
@@ -249,10 +252,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
             return Err(format!("bad exponent at byte {start}"));
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
-    text.parse::<f64>()
+    bytes
+        .get(start..*pos)
+        .and_then(|span| std::str::from_utf8(span).ok())
+        .and_then(|text| text.parse::<f64>().ok())
         .map(JsonValue::Number)
-        .map_err(|_| format!("unparseable number at byte {start}"))
+        .ok_or_else(|| format!("unparseable number at byte {start}"))
 }
 
 /// Reads the four hex digits of a `\uXXXX` escape whose `\u` prefix starts at
@@ -261,16 +266,24 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
     let hex = bytes
         .get(*pos + 2..*pos + 6)
         .ok_or_else(|| "truncated \\u escape".to_string())?;
-    // Exactly four hex digits — `from_str_radix` alone would also accept a
-    // leading `+`, which RFC 8259 does not.
-    if !hex.iter().all(u8::is_ascii_hexdigit) {
-        return Err(format!(
-            "bad \\u escape `\\u{}`",
-            String::from_utf8_lossy(hex)
-        ));
+    // Decode nibble by nibble — unlike `from_str_radix` this rejects the
+    // leading `+` RFC 8259 does not allow, and it cannot fail after
+    // validation (so no panic path survives in the request worker).
+    let mut code = 0u32;
+    for &digit in hex {
+        let nibble = match digit {
+            b'0'..=b'9' => u32::from(digit - b'0'),
+            b'a'..=b'f' => u32::from(digit - b'a') + 10,
+            b'A'..=b'F' => u32::from(digit - b'A') + 10,
+            _ => {
+                return Err(format!(
+                    "bad \\u escape `\\u{}`",
+                    String::from_utf8_lossy(hex)
+                ))
+            }
+        };
+        code = code * 16 + nibble;
     }
-    let hex = std::str::from_utf8(hex).expect("hex digits are ascii");
-    let code = u32::from_str_radix(hex, 16).expect("validated hex digits");
     *pos += 6;
     Ok(code)
 }

@@ -1,0 +1,309 @@
+//! The rule engine: lex a file, run every rule, apply suppression pragmas,
+//! and report stale or malformed pragmas as diagnostics of their own.
+
+use crate::lexer::{lex, Lexed};
+use crate::pragma::parse_pragmas;
+use crate::regions::test_line_mask;
+use mochy_json::JsonValue;
+
+/// The pseudo-rule name diagnostics about pragmas themselves carry
+/// (malformed pragma, stale pragma, unknown rule). Not suppressible.
+pub const PRAGMA_RULE: &str = "lint-pragma";
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: String,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the conventional `file:line` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed source file plus the metadata rules consult.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes (`crates/serve/src/http.rs`).
+    pub rel_path: String,
+    /// The stripped token stream and comments.
+    pub lexed: Lexed,
+    /// 1-indexed line → line is test-only code.
+    test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `source` and computes its test-region mask. Files under a
+    /// `tests/` or `benches/` directory are test code in their entirety.
+    pub fn from_source(rel_path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let all_test = rel_path
+            .split('/')
+            .any(|part| part == "tests" || part == "benches");
+        let test_mask = test_line_mask(&lexed, all_test);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lexed,
+            test_mask,
+        }
+    }
+
+    /// Whether `line` lies in a test-only region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_mask.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Helper for rules: push a diagnostic against this file.
+    pub fn diag(&self, out: &mut Vec<Diagnostic>, rule: &str, line: u32, message: String) {
+        out.push(Diagnostic {
+            rule: rule.to_string(),
+            file: self.rel_path.clone(),
+            line,
+            message,
+        });
+    }
+}
+
+/// A lint rule: a named check over one file's token stream.
+pub trait Rule {
+    /// The rule's name, as used in `allow(…)` pragmas.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the JSON report.
+    fn description(&self) -> &'static str;
+    /// Appends diagnostics for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Lints one file: runs `rules`, suppresses diagnostics matched by pragmas,
+/// and reports malformed pragmas, stale pragmas, and pragmas naming unknown
+/// rules. Diagnostics come back sorted by line then rule, deduplicated.
+pub fn check_file(rel_path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+    let file = SourceFile::from_source(rel_path, source);
+    let mut found = Vec::new();
+    for rule in rules {
+        rule.check(&file, &mut found);
+    }
+    found.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    found.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+
+    let (pragmas, pragma_errors) = parse_pragmas(&file.lexed);
+    let mut used = vec![false; pragmas.len()];
+    found.retain(|d| {
+        let matched = pragmas
+            .iter()
+            .position(|p| p.rule == d.rule && p.target_line == d.line);
+        match matched {
+            Some(index) => {
+                used[index] = true;
+                false
+            }
+            None => true,
+        }
+    });
+    for (pragma, used) in pragmas.iter().zip(used) {
+        if !rules.iter().any(|r| r.name() == pragma.rule) {
+            file.diag(
+                &mut found,
+                PRAGMA_RULE,
+                pragma.comment_line,
+                format!("pragma names unknown rule `{}`", pragma.rule),
+            );
+        } else if !used {
+            file.diag(
+                &mut found,
+                PRAGMA_RULE,
+                pragma.comment_line,
+                format!(
+                    "stale pragma: allow({}) suppressed nothing on line {} — remove it",
+                    pragma.rule, pragma.target_line
+                ),
+            );
+        }
+    }
+    for error in pragma_errors {
+        file.diag(&mut found, PRAGMA_RULE, error.line, error.why);
+    }
+    found.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    found
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// `(name, description)` of every active rule.
+    pub rules: Vec<(&'static str, &'static str)>,
+    /// All diagnostics, sorted by file, line, rule.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether the tree is lint-clean.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable summary: one `file:line` diagnostic per line, then a
+    /// verdict line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for diagnostic in &self.diagnostics {
+            out.push_str(&diagnostic.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "mochy-lint: {} file(s), {} rule(s), {} violation(s)\n",
+            self.files_scanned,
+            self.rules.len(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// The machine-readable report (schema `mochy-lint/1`), rendered with
+    /// `mochy_json` so the byte output is deterministic.
+    pub fn to_json(&self) -> JsonValue {
+        let rules = self
+            .rules
+            .iter()
+            .map(|(name, description)| {
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::string(*name)),
+                    ("description".to_string(), JsonValue::string(*description)),
+                ])
+            })
+            .collect();
+        let diagnostics = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                JsonValue::Object(vec![
+                    ("rule".to_string(), JsonValue::string(d.rule.clone())),
+                    ("file".to_string(), JsonValue::string(d.file.clone())),
+                    ("line".to_string(), JsonValue::Number(f64::from(d.line))),
+                    ("message".to_string(), JsonValue::string(d.message.clone())),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("schema".to_string(), JsonValue::string("mochy-lint/1")),
+            (
+                "files_scanned".to_string(),
+                JsonValue::Number(self.files_scanned as f64),
+            ),
+            ("rules".to_string(), JsonValue::Array(rules)),
+            ("clean".to_string(), JsonValue::Bool(self.clean())),
+            ("diagnostics".to_string(), JsonValue::Array(diagnostics)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct BanFoo;
+    impl Rule for BanFoo {
+        fn name(&self) -> &'static str {
+            "ban-foo"
+        }
+        fn description(&self) -> &'static str {
+            "no calls to foo()"
+        }
+        fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+            for t in &file.lexed.tokens {
+                if t.text == "foo" && !file.is_test_line(t.line) {
+                    file.diag(out, self.name(), t.line, "foo() is banned".to_string());
+                }
+            }
+        }
+    }
+
+    fn rules() -> Vec<Box<dyn Rule>> {
+        vec![Box::new(BanFoo)]
+    }
+
+    #[test]
+    fn fires_suppresses_and_rejects_stale() {
+        let hit = check_file("x.rs", "foo();\n", &rules());
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "ban-foo");
+        assert_eq!(hit[0].line, 1);
+
+        let suppressed = check_file(
+            "x.rs",
+            "foo(); // mochy-lint: allow(ban-foo) reason=\"test double\"\n",
+            &rules(),
+        );
+        assert!(suppressed.is_empty(), "{suppressed:?}");
+
+        let stale = check_file(
+            "x.rs",
+            "bar(); // mochy-lint: allow(ban-foo) reason=\"nothing here\"\n",
+            &rules(),
+        );
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, PRAGMA_RULE);
+        assert!(stale[0].message.contains("stale"), "{}", stale[0].message);
+    }
+
+    #[test]
+    fn unknown_rule_pragmas_are_diagnostics() {
+        let found = check_file(
+            "x.rs",
+            "bar(); // mochy-lint: allow(no-such-rule) reason=\"whatever\"\n",
+            &rules(),
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn one_diagnostic_per_rule_and_line() {
+        let found = check_file("x.rs", "foo(); foo(); foo();\n", &rules());
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = Report {
+            files_scanned: 3,
+            rules: vec![("ban-foo", "no calls to foo()")],
+            diagnostics: check_file("x.rs", "foo();\n", &rules()),
+        };
+        let json = report.to_json();
+        let parsed = mochy_json::parse(&json.render()).expect("report must round-trip");
+        assert_eq!(
+            parsed.get("schema").and_then(JsonValue::as_str),
+            Some("mochy-lint/1")
+        );
+        assert_eq!(
+            parsed.get("clean").and_then(JsonValue::as_bool),
+            Some(false)
+        );
+        let diagnostics = parsed
+            .get("diagnostics")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(
+            diagnostics[0].get("rule").and_then(JsonValue::as_str),
+            Some("ban-foo")
+        );
+        assert_eq!(
+            diagnostics[0].get("line").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! A small Rust lexer sufficient for token-level lint rules.
+//!
+//! The lexer's one job is to hand the rule engine a token stream in which
+//! string literals, character literals, and comments can never masquerade as
+//! code: a `"unwrap"` inside a string, a `'['` character literal, or a
+//! commented-out `panic!()` must produce no tokens at all. Comments are kept
+//! on the side (with their line and trailing/standalone position) because the
+//! suppression-pragma parser reads them.
+//!
+//! It handles the parts of the Rust surface grammar where a naive scanner
+//! goes wrong: nested block comments, raw strings with arbitrary `#` fences,
+//! byte/raw-byte strings, lifetimes vs character literals, raw identifiers,
+//! numeric literals with type suffixes and signed exponents, and
+//! maximal-munch punctuation (`->` must not lex as a `-` the arithmetic rule
+//! would see). It does not build a syntax tree; rules work on adjacency.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`buffer`, `let`, `as`).
+    Ident,
+    /// A numeric literal (`42`, `0x3f`, `1_000u64`, `2.5e-3`).
+    Number,
+    /// Punctuation, maximal-munch (`->`, `+=`, `::`, `[`).
+    Punct,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A string, byte-string, or character literal (text not retained).
+    Literal,
+}
+
+/// One token of stripped source.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The token text (empty for [`TokKind::Literal`] — rules must never
+    /// match on literal contents).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, kept aside for the pragma parser.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text including its `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Whether code precedes the comment on its line (a trailing comment
+    /// annotates its own line; a standalone comment annotates the next).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The code tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// The comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Number of lines in the file.
+    pub line_count: u32,
+}
+
+/// Multi-character punctuation, longest first so maximal munch falls out of
+/// a linear scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Rust keywords the rules must distinguish from plain identifiers (a `[`
+/// after `let` opens a slice pattern, not an index expression).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while",
+];
+
+/// Whether `text` is a Rust keyword.
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// Lexes `source`, stripping comments and literal contents.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Lexer {
+        Lexer {
+            chars: source.chars().collect(),
+            i: 0,
+            line: 1,
+            line_has_code: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+        self.line_has_code = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+                self.line_has_code = false;
+                self.i += 1;
+            } else if c.is_whitespace() {
+                self.i += 1;
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.cooked_string();
+            } else if c == '\'' {
+                self.lifetime_or_char();
+            } else if c == 'r' && self.raw_string_fence(1).is_some() {
+                let fence = self.raw_string_fence(1).unwrap_or(0);
+                self.raw_string(1, fence);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.i += 1;
+                self.cooked_string();
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.i += 1;
+                self.char_literal();
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_fence(2).is_some() {
+                let fence = self.raw_string_fence(2).unwrap_or(0);
+                self.raw_string(2, fence);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                self.punct();
+            }
+        }
+        self.out.line_count = self.line;
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.chars[start..self.i].iter().collect(),
+            line: self.line,
+            trailing: self.line_has_code,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let trailing = self.line_has_code;
+        self.i += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (None, _) => break,
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.chars[start..self.i.min(self.chars.len())]
+                .iter()
+                .collect(),
+            line: start_line,
+            trailing,
+        });
+    }
+
+    /// Quoted string with escapes; contents discarded.
+    fn cooked_string(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                // An escape consumes two chars; `\` + newline is the string
+                // continuation, whose newline still counts toward lines.
+                '\\' => {
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                '"' => {
+                    self.i += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// If the characters at `offset` form the opening fence of a raw string
+    /// (`#`* then `"`), returns the number of `#`s. `r#ident` (a raw
+    /// identifier) has an ident char after its single `#`, so it returns
+    /// `None` here and lexes as an identifier.
+    fn raw_string_fence(&self, offset: usize) -> Option<usize> {
+        let mut j = offset;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        (self.peek(j) == Some('"')).then_some(j - offset)
+    }
+
+    fn raw_string(&mut self, prefix: usize, fence: usize) {
+        let line = self.line;
+        self.i += prefix + fence + 1; // prefix, #s, opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\n') => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                Some('"') => {
+                    let closed = (0..fence).all(|k| self.peek(1 + k) == Some('#'));
+                    self.i += 1;
+                    if closed {
+                        self.i += fence;
+                        break;
+                    }
+                }
+                Some(_) => self.i += 1,
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// A `'` opens either a lifetime (`'a`, `'static`) or a character
+    /// literal (`'x'`, `'\n'`). An ident char NOT followed by a closing
+    /// quote means lifetime.
+    fn lifetime_or_char(&mut self) {
+        let is_lifetime = self.peek(1).is_some_and(|c| c.is_alphabetic() || c == '_')
+            && self.peek(2) != Some('\'');
+        if !is_lifetime {
+            self.char_literal();
+            return;
+        }
+        let line = self.line;
+        let start = self.i;
+        self.i += 1;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Lifetime, text, line);
+    }
+
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        if self.peek(0) == Some('\\') {
+            self.i += 1;
+            if self.peek(0) == Some('u') {
+                // \u{...}
+                while self.peek(0).is_some_and(|c| c != '}' && c != '\'') {
+                    self.i += 1;
+                }
+                self.i += 1; // the '}'
+            } else {
+                self.i += 1; // the escaped char
+            }
+        } else {
+            self.i += 1; // the char itself
+        }
+        if self.peek(0) == Some('\'') {
+            self.i += 1;
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        // Raw identifier prefix.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.i += 2;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let consume_alnum = |lexer: &mut Lexer| {
+            while lexer
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                lexer.i += 1;
+            }
+        };
+        consume_alnum(self);
+        // Fractional part: a `.` followed by a digit (not `..` range syntax,
+        // not a method call like `1.max(2)`).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            consume_alnum(self);
+        }
+        // Signed exponent (`1e-3`): the alnum run above stops at the sign.
+        if self
+            .chars
+            .get(self.i.wrapping_sub(1))
+            .is_some_and(|&c| c == 'e' || c == 'E')
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.i += 1;
+            consume_alnum(self);
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Number, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        for p in PUNCTS {
+            if self
+                .chars
+                .get(self.i..self.i + p.chars().count())
+                .is_some_and(|w| w.iter().collect::<String>() == **p)
+            {
+                self.i += p.chars().count();
+                self.push(TokKind::Punct, (*p).to_string(), line);
+                return;
+            }
+        }
+        let c = self.chars.get(self.i).copied().unwrap_or(' ');
+        self.i += 1;
+        self.push(TokKind::Punct, c.to_string(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(source: &str) -> Vec<String> {
+        lex(source).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_chars_and_comments_produce_no_code_tokens() {
+        let lexed = lex("let x = \"unwrap() [0] panic!\"; // unwrap\n/* [1] */ let c = '[';");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "let", "c"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_identifiers() {
+        let toks =
+            texts("r#\"has \"quotes\" and [idx]\"# r##\"x\"## r#type b\"bytes\" br#\"raw\"#");
+        assert_eq!(toks.iter().filter(|t| !t.is_empty()).count(), 1);
+        assert!(toks.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let u = '\\u{1F600}'; }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn maximal_munch_punctuation() {
+        let toks = texts("a -> b += c ..= d << e .. f");
+        assert!(toks.contains(&"->".to_string()));
+        assert!(toks.contains(&"+=".to_string()));
+        assert!(toks.contains(&"..=".to_string()));
+        assert!(!toks.contains(&"-".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let lexed = lex("0x3f 1_000u64 2.5e-3 1..4 1.max(2)");
+        let numbers: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(numbers, ["0x3f", "1_000u64", "2.5e-3", "1", "4", "1", "2"]);
+    }
+
+    #[test]
+    fn string_continuations_keep_line_numbers_honest() {
+        let lexed = lex("let s = \"a \\\n    b\";\nafter();\n");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("token");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let lexed = lex("/* a /* b */ still comment */ fn\nafter();");
+        assert_eq!(lexed.tokens[0].text, "fn");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].text, "after");
+        assert_eq!(lexed.tokens[1].line, 2);
+    }
+}

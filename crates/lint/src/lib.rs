@@ -1,0 +1,121 @@
+//! `mochy_lint` — workspace-local static analysis for the invariants no
+//! compiler checks.
+//!
+//! The workspace's correctness story rests on properties that live between
+//! the lines of the type system: bit-identical `CountReport`s across thread
+//! counts, panic-free request handling in `mochy-serve`, fully-validated
+//! untrusted bytes in the `.mochy` and HTTP readers. Each was enforced by
+//! review convention until PRs 4 and 5 showed convention failing quietly.
+//! This crate turns those conventions into machine-checked rules:
+//!
+//! 1. [`lexer`] strips a Rust source file to a token stream in which
+//!    strings, chars, and comments cannot masquerade as code;
+//! 2. [`regions`] marks `#[cfg(test)]` / `#[test]` / `mod tests` line spans
+//!    so rules can exempt test code;
+//! 3. [`pragma`] parses `mochy-lint: allow(<rule>) reason="…"` suppression
+//!    comments — reasons mandatory, stale pragmas are errors;
+//! 4. [`engine`] runs the [`rules`] and folds pragmas into the final
+//!    diagnostic list;
+//! 5. [`lint_workspace`] walks `mochy/` and `crates/` and produces the
+//!    [`Report`] the `mochy-lint` bin renders (text and `mochy_json`).
+//!
+//! Vendored stand-ins under `vendor/` are third-party API surface, not
+//! workspace code, and are not scanned.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod pragma;
+pub mod regions;
+pub mod rules;
+
+pub use engine::{check_file, Diagnostic, Report, Rule, SourceFile};
+
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that hold first-party code.
+const SCAN_ROOTS: &[&str] = &["mochy", "crates"];
+
+/// Lints every `.rs` file under the workspace's first-party source roots
+/// and returns the combined report. Files are visited in sorted path order
+/// so diagnostics (and the JSON report) are deterministic.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let rules = rules::all();
+    let mut files = Vec::new();
+    for scan_root in SCAN_ROOTS {
+        collect_rs_files(&root.join(scan_root), &mut files)?;
+    }
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel_path = rel_to(root, path);
+        diagnostics.extend(check_file(&rel_path, &source, &rules));
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(Report {
+        files_scanned: files.len(),
+        rules: rules.iter().map(|r| (r.name(), r.description())).collect(),
+        diagnostics,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir` (which may not exist —
+/// silently skipped, the walker is also used on partial checkouts),
+/// ignoring `target/` build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, forward slashes, for stable diagnostics.
+fn rel_to(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_registry_has_at_least_five_named_rules() {
+        let rules = rules::all();
+        assert!(rules.len() >= 5, "{} rules", rules.len());
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate rule names");
+        for rule in &rules {
+            assert!(!rule.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/ws");
+        assert_eq!(
+            rel_to(root, Path::new("/ws/crates/serve/src/http.rs")),
+            "crates/serve/src/http.rs"
+        );
+    }
+}

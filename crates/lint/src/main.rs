@@ -1,0 +1,101 @@
+//! `mochy-lint` — run the workspace lint rules and report violations.
+//!
+//! ```text
+//! mochy-lint [--root DIR] [--json REPORT.json] [--list-rules]
+//! ```
+//!
+//! Scans `mochy/` and `crates/` under the workspace root (auto-detected by
+//! walking up from the current directory to the manifest with a
+//! `[workspace]` table, or given with `--root`). Prints one `file:line`
+//! diagnostic per violation and exits 1 when any exist, 0 when clean, 2 on
+//! usage or I/O errors. `--json` additionally writes the machine-readable
+//! report (schema `mochy-lint/1`) for tooling.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage("--json needs a file path"),
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("usage: mochy-lint [--root DIR] [--json REPORT.json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in mochy_lint::rules::all() {
+            println!("{:<24} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("mochy-lint: no workspace root found (try --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match mochy_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("mochy-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        let mut body = report.to_json().render();
+        body.push('\n');
+        if let Err(error) = std::fs::write(&path, body) {
+            eprintln!("mochy-lint: writing {}: {error}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("mochy-lint: {why}");
+    eprintln!("usage: mochy-lint [--root DIR] [--json REPORT.json] [--list-rules]");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` table.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Suppression pragmas: `// mochy-lint: allow(<rule>) reason="…"`.
+//!
+//! A pragma suppresses diagnostics of one named rule on one line — its own
+//! line when it trails code, the next code line when it stands alone. Two
+//! properties keep suppressions honest:
+//!
+//! - **the reason is mandatory** — a pragma without a non-empty
+//!   `reason="…"` is itself a diagnostic, so every exception in the tree
+//!   carries its justification at the use site;
+//! - **pragmas cannot go stale** — a pragma that matches no diagnostic is
+//!   itself a diagnostic, so when the code it excused is fixed or deleted,
+//!   CI forces the pragma to be deleted too.
+
+use crate::lexer::Lexed;
+
+/// The marker that introduces a pragma inside a comment.
+pub const MARKER: &str = "mochy-lint:";
+
+/// One parsed suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// The code line the pragma suppresses.
+    pub target_line: u32,
+    /// The line the pragma comment itself starts on.
+    pub comment_line: u32,
+}
+
+/// A pragma that could not be parsed (reported as a diagnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    /// The line of the malformed pragma comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+/// Extracts pragmas from a file's comments. Standalone pragma comments bind
+/// to the next line that holds a code token (blank and comment lines in
+/// between are skipped); trailing pragmas bind to their own line.
+pub fn parse_pragmas(lexed: &Lexed) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for comment in &lexed.comments {
+        // The marker must open the comment (after its `//`/`/*` introducer):
+        // prose that merely *mentions* the syntax, like this sentence, must
+        // not parse as a pragma.
+        let content = comment
+            .text
+            .trim_start_matches(['/', '!', '*'])
+            .trim_start();
+        let Some(rest) = content.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        match parse_body(rest) {
+            Ok((rule, reason)) => {
+                let target_line = if comment.trailing {
+                    comment.line
+                } else {
+                    next_code_line(lexed, comment.line)
+                };
+                pragmas.push(Pragma {
+                    rule,
+                    reason,
+                    target_line,
+                    comment_line: comment.line,
+                });
+            }
+            Err(why) => errors.push(PragmaError {
+                line: comment.line,
+                why,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses `allow(<rule>) reason="…"` and returns `(rule, reason)`.
+fn parse_body(body: &str) -> Result<(String, String), String> {
+    let Some(open) = body.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `{MARKER} allow(<rule>) reason=\"…\"`, got `{MARKER} {body}`"
+        ));
+    };
+    let Some(close) = open.find(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let rule = open[..close].trim().to_string();
+    if rule.is_empty() || rule.contains(',') {
+        return Err("allow(…) takes exactly one rule name".to_string());
+    }
+    let after = open[close + 1..].trim();
+    let Some(reason) = after.strip_prefix("reason=\"") else {
+        return Err(format!(
+            "pragma for `{rule}` is missing its mandatory reason=\"…\""
+        ));
+    };
+    let Some(end) = reason.find('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    let reason = reason[..end].trim().to_string();
+    if reason.is_empty() {
+        return Err(format!("pragma for `{rule}` has an empty reason"));
+    }
+    Ok((rule, reason))
+}
+
+/// The first line after `from` that carries a code token (for standalone
+/// pragmas). Falls back to `from + 1` in a file that ends with the pragma.
+fn next_code_line(lexed: &Lexed, from: u32) -> u32 {
+    lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&line| line > from)
+        .unwrap_or(from + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_pragma_binds_to_its_own_line() {
+        let lexed =
+            lex("let x = v[0]; // mochy-lint: allow(panic-free-serve) reason=\"bounded above\"\n");
+        let (pragmas, errors) = parse_pragmas(&lexed);
+        assert!(errors.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].rule, "panic-free-serve");
+        assert_eq!(pragmas[0].reason, "bounded above");
+        assert_eq!(pragmas[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_pragma_binds_to_next_code_line() {
+        let source = "// mochy-lint: allow(no-hashmap-iter-order) reason=\"sorted before output\"\n\n// another comment\nlet m = FxHashMap::default();\n";
+        let (pragmas, errors) = parse_pragmas(&lex(source));
+        assert!(errors.is_empty());
+        assert_eq!(pragmas[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_an_error() {
+        for bad in [
+            "// mochy-lint: allow(some-rule)\nx();\n",
+            "// mochy-lint: allow(some-rule) reason=\"\"\nx();\n",
+            "// mochy-lint: allow(some-rule) reason=\"unterminated\nx();\n",
+            "// mochy-lint: deny(some-rule) reason=\"wrong verb\"\nx();\n",
+            "// mochy-lint: allow(a, b) reason=\"two rules\"\nx();\n",
+        ] {
+            let (pragmas, errors) = parse_pragmas(&lex(bad));
+            assert!(pragmas.is_empty(), "accepted `{bad}`");
+            assert_eq!(errors.len(), 1, "no error for `{bad}`");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (pragmas, errors) = parse_pragmas(&lex("// just a comment about mochy\nx();\n"));
+        assert!(pragmas.is_empty() && errors.is_empty());
+    }
+}

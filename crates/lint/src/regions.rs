@@ -1,0 +1,180 @@
+//! Test-region tracking: which source lines belong to test-only code.
+//!
+//! The panic-safety and hash-order rules exempt test code — an `unwrap()` in
+//! a `#[cfg(test)]` module asserts a test invariant, it does not burn a
+//! production request. The tracker works on the stripped token stream: it
+//! finds outer attributes whose tokens include `test` (covering `#[test]`,
+//! `#[cfg(test)]`, and `#[cfg(all(test, …))]`) and **exclude** `not` (so
+//! `#[cfg(not(test))]` — production-only code — is never exempted), then
+//! brace-matches the item that follows and marks its line span. Bare
+//! `mod tests { … }` items are also marked, and files under `tests/` or
+//! `benches/` directories are test code wholesale.
+
+use crate::lexer::Lexed;
+
+/// Returns a 1-indexed line → is-test-code mask for a lexed file. Index 0 is
+/// unused. `all_test` marks the entire file (integration tests, benches).
+pub fn test_line_mask(lexed: &Lexed, all_test: bool) -> Vec<bool> {
+    let lines = lexed.line_count as usize + 2;
+    if all_test {
+        return vec![true; lines];
+    }
+    let mut mask = vec![false; lines];
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Outer attribute `#[…]` (inner `#![…]` has `!` at i+1 and is skipped).
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let attr_line = toks[i].line;
+            let (after_attr, is_test_attr) = scan_attribute(lexed, i + 2);
+            if is_test_attr {
+                let end_line = mark_item_end(lexed, after_attr);
+                for line in attr_line..=end_line {
+                    if let Some(slot) = mask.get_mut(line as usize) {
+                        *slot = true;
+                    }
+                }
+            }
+            i = after_attr;
+            continue;
+        }
+        // A bare `mod tests { … }` (or `mod test`) without the cfg attribute.
+        if toks[i].text == "mod"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.text == "tests" || t.text == "test")
+            && toks.get(i + 2).is_some_and(|t| t.text == "{")
+        {
+            let start_line = toks[i].line;
+            let end_line = mark_item_end(lexed, i + 1);
+            for line in start_line..=end_line {
+                if let Some(slot) = mask.get_mut(line as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute's tokens starting just inside its `[`. Returns the
+/// index past the closing `]` and whether the attribute marks test code
+/// (mentions `test`, does not mention `not`).
+fn scan_attribute(lexed: &Lexed, start: usize) -> (usize, bool) {
+    let toks = &lexed.tokens;
+    let mut depth = 1usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = start;
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            "test" => has_test = true,
+            "not" => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, has_test && !has_not)
+}
+
+/// From `start` (just past a test attribute, or at an item's name), skips
+/// any further attributes, then finds the end line of the item: the line of
+/// the `;` that terminates a body-less item, or of the `}` that closes its
+/// brace-matched body.
+fn mark_item_end(lexed: &Lexed, start: usize) -> u32 {
+    let toks = &lexed.tokens;
+    let mut k = start;
+    // Skip stacked attributes between the test attribute and the item.
+    while toks.get(k).is_some_and(|t| t.text == "#")
+        && toks.get(k + 1).is_some_and(|t| t.text == "[")
+    {
+        let (after, _) = scan_attribute(lexed, k + 2);
+        k = after;
+    }
+    let fallback = toks.get(k.saturating_sub(1)).map_or(1, |t| t.line);
+    while let Some(t) = toks.get(k) {
+        if t.text == ";" {
+            return t.line;
+        }
+        if t.text == "{" {
+            let mut depth = 1usize;
+            let mut m = k + 1;
+            let mut last_line = t.line;
+            while let Some(inner) = toks.get(m) {
+                match inner.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {}
+                }
+                last_line = inner.line;
+                if depth == 0 {
+                    break;
+                }
+                m += 1;
+            }
+            return last_line;
+        }
+        k += 1;
+    }
+    fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask_of(source: &str) -> Vec<bool> {
+        test_line_mask(&lex(source), false)
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked_to_its_closing_brace() {
+        let source = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}\n";
+        let mask = mask_of(source);
+        assert!(!mask[1]);
+        assert!(mask[2] && mask[3] && mask[4] && mask[5]);
+        assert!(!mask[6]);
+    }
+
+    #[test]
+    fn test_attribute_marks_one_function() {
+        let source = "#[test]\nfn t() {\n    body();\n}\nfn prod() {}\n";
+        let mask = mask_of(source);
+        assert!(mask[1] && mask[2] && mask[3] && mask[4]);
+        assert!(!mask[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let source = "#[cfg(not(test))]\nfn prod() {\n    body();\n}\n";
+        let mask = mask_of(source);
+        assert!(!mask[2] && !mask[3]);
+    }
+
+    #[test]
+    fn stacked_attributes_and_bodyless_items() {
+        let source = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() {\n    x();\n}\n#[cfg(test)]\nuse std::fmt;\nfn prod() {}\n";
+        let mask = mask_of(source);
+        assert!(mask[2] && mask[3] && mask[4] && mask[5]);
+        assert!(mask[6] && mask[7]);
+        assert!(!mask[8]);
+    }
+
+    #[test]
+    fn all_test_marks_everything() {
+        let mask = test_line_mask(&lex("fn a() {}\nfn b() {}\n"), true);
+        assert!(mask.iter().skip(1).all(|&m| m));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_modules() {
+        let source = "#[cfg(test)]\nmod tests {\n    fn t() { if x { y(); } }\n}\nfn prod() {}\n";
+        let mask = mask_of(source);
+        assert!(mask[2] && mask[3] && mask[4]);
+        assert!(!mask[5]);
+    }
+}

@@ -1,0 +1,62 @@
+//! `deterministic-rng`: randomness comes only from explicit u64 seeds.
+//!
+//! The reproduction contract (Lee et al., PVLDB 2020, and this repo's
+//! thread-invariance CI stages) is that every sampled `CountReport` is
+//! bit-identical across runs and thread counts. That holds because each
+//! sample index derives its RNG stream from an explicit seed. One
+//! `thread_rng()` — or a seed derived from the wall clock — anywhere in the
+//! pipeline silently voids the contract, so this rule bans the
+//! OS-entropy and wall-clock constructors **everywhere**, tests included
+//! (a nondeterministic test is a flaky test).
+
+use crate::engine::{Diagnostic, Rule, SourceFile};
+use crate::lexer::TokKind;
+
+/// See the module docs.
+pub struct DeterministicRng;
+
+/// Banned identifier → what it drags in.
+const BANNED: &[(&str, &str)] = &[
+    ("thread_rng", "an OS-seeded thread-local RNG"),
+    ("ThreadRng", "an OS-seeded thread-local RNG"),
+    ("from_entropy", "OS entropy"),
+    ("OsRng", "OS entropy"),
+    ("getrandom", "OS entropy"),
+    (
+        "SystemTime",
+        "wall-clock time, a classic ad-hoc seed source",
+    ),
+    (
+        "UNIX_EPOCH",
+        "wall-clock time, a classic ad-hoc seed source",
+    ),
+];
+
+impl Rule for DeterministicRng {
+    fn name(&self) -> &'static str {
+        "deterministic-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "no thread_rng/OS-entropy/wall-clock seed sources anywhere (explicit u64 seeds only)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for t in &file.lexed.tokens {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if let Some((name, why)) = BANNED.iter().find(|(name, _)| *name == t.text) {
+                file.diag(
+                    out,
+                    self.name(),
+                    t.line,
+                    format!(
+                        "`{name}` pulls in {why} — construct RNGs from explicit u64 seeds \
+                         (and measure time with the monotonic `Instant`)"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `forbid-unsafe`: every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! The workspace-level `[lints]` table already forbids `unsafe_code`, but
+//! that protection is one `workspace = true` deletion away and invisible at
+//! the crate you are reading. The in-source attribute is local, explicit,
+//! and survives a crate being split out of the workspace — so each crate
+//! root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) must carry it.
+
+use crate::engine::{Diagnostic, Rule, SourceFile};
+
+/// See the module docs.
+pub struct ForbidUnsafe;
+
+/// The token spelling of `#![forbid(unsafe_code)]`.
+const WANTED: &[&str] = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+
+impl Rule for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "every crate root must carry #![forbid(unsafe_code)]"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let is_crate_root = file.rel_path.ends_with("/src/lib.rs")
+            || file.rel_path.ends_with("/src/main.rs")
+            || file.rel_path.contains("/src/bin/");
+        if !is_crate_root {
+            return;
+        }
+        let texts: Vec<&str> = file.lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        let has_attribute = texts.windows(WANTED.len()).any(|w| w == WANTED);
+        if !has_attribute {
+            file.diag(
+                out,
+                self.name(),
+                1,
+                "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! `no-hashmap-iter-order`: unordered containers need a justification in
+//! the crates that feed report output.
+//!
+//! Iterating a `HashMap`/`HashSet`/`FxHashMap` yields an arbitrary order;
+//! if that order reaches a `CountReport`, a rendered JSON document, or the
+//! serve layer's byte-identical response cache, determinism dies quietly —
+//! the numbers stay right while the bytes stop being reproducible. In
+//! non-test code of `crates/core`, `crates/projection`, and `crates/serve`,
+//! every mention of an unordered container therefore needs either a
+//! `BTreeMap`/`BTreeSet` (ordered, preferred for anything that is
+//! serialized) or an `allow` pragma whose reason states why the container
+//! never leaks its iteration order (lookups only, or contents sorted before
+//! exposure). Plain `use` imports are exempt — the declaration is not the
+//! hazard, the use site is.
+
+use crate::engine::{Diagnostic, Rule, SourceFile};
+use crate::lexer::TokKind;
+
+/// See the module docs.
+pub struct NoHashmapIterOrder;
+
+const UNORDERED: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+impl Rule for NoHashmapIterOrder {
+    fn name(&self) -> &'static str {
+        "no-hashmap-iter-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "unordered containers in core/projection/serve need a sorted/lookup-only justification"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !(file.rel_path.starts_with("crates/core/src/")
+            || file.rel_path.starts_with("crates/projection/src/")
+            || file.rel_path.starts_with("crates/serve/src/"))
+        {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || !UNORDERED.contains(&t.text.as_str())
+                || file.is_test_line(t.line)
+            {
+                continue;
+            }
+            // Exempt `use …;` / `pub use …;` lines: collect this line's
+            // leading tokens and look for the `use` keyword up front.
+            let mut line_start: Vec<&str> = toks[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.line == t.line)
+                .map(|p| p.text.as_str())
+                .collect();
+            line_start.reverse();
+            let in_use = matches!(line_start.as_slice(), ["use", ..] | ["pub", "use", ..]);
+            if in_use {
+                continue;
+            }
+            file.diag(
+                out,
+                self.name(),
+                t.line,
+                format!(
+                    "`{}` iterates in arbitrary order — use a BTree container, or add a \
+                     pragma stating why the order never reaches output",
+                    t.text
+                ),
+            );
+        }
+    }
+}

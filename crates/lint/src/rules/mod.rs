@@ -1,0 +1,34 @@
+//! The shipped lint rules. Each rule is one module implementing
+//! [`crate::engine::Rule`]; [`all`] is the registry the bin and the
+//! workspace linter run.
+//!
+//! To add a rule: create a module here, implement `Rule` (match on the
+//! stripped token stream via `file.lexed.tokens`, honour
+//! `file.is_test_line` unless the invariant genuinely spans tests), add it
+//! to [`all`], and give it fixture coverage in `tests/fixtures.rs` proving
+//! it fires, stays quiet on the negative case, and suppresses via pragma.
+
+mod checked_arith;
+mod deterministic_rng;
+mod forbid_unsafe;
+mod hashmap_iter_order;
+mod panic_free_serve;
+
+pub use checked_arith::CheckedUntrustedArith;
+pub use deterministic_rng::DeterministicRng;
+pub use forbid_unsafe::ForbidUnsafe;
+pub use hashmap_iter_order::NoHashmapIterOrder;
+pub use panic_free_serve::PanicFreeServe;
+
+use crate::engine::Rule;
+
+/// Every active rule, in reporting order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFreeServe),
+        Box::new(ForbidUnsafe),
+        Box::new(DeterministicRng),
+        Box::new(NoHashmapIterOrder),
+        Box::new(CheckedUntrustedArith),
+    ]
+}

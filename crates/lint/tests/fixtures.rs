@@ -1,0 +1,256 @@
+//! Table-driven fixture suite for `mochy_lint`.
+//!
+//! Each case lints an in-memory source under a chosen workspace-relative
+//! path (paths select rule scope) and asserts the exact `(rule, line)`
+//! pairs reported. Fixture sources live in string literals, which the lexer
+//! of the *outer* lint pass strips — so this file never trips the linter it
+//! tests.
+
+use mochy_lint::rules;
+use mochy_lint::{check_file, Diagnostic, Report};
+
+/// Lints `source` as if it lived at `path` and returns `(rule, line)` pairs.
+fn lint(path: &str, source: &str) -> Vec<(String, u32)> {
+    check_file(path, source, &rules::all())
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+struct Case {
+    name: &'static str,
+    path: &'static str,
+    source: &'static str,
+    expect: &'static [(&'static str, u32)],
+}
+
+const CASES: &[Case] = &[
+    // ---- panic-free-serve -------------------------------------------------
+    Case {
+        name: "unwrap in serve source is flagged",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        expect: &[("panic-free-serve", 2)],
+    },
+    Case {
+        name: "expect and panic macro in json source are flagged",
+        path: "crates/json/src/parse.rs",
+        source: "fn f(v: Option<u32>) -> u32 {\n    let n = v.expect(\"set\");\n    panic!(\"boom\");\n}\n",
+        expect: &[("panic-free-serve", 2), ("panic-free-serve", 3)],
+    },
+    Case {
+        name: "slice indexing in serve source is flagged",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(buffer: &[u8]) -> u8 {\n    buffer[0]\n}\n",
+        expect: &[("panic-free-serve", 2)],
+    },
+    Case {
+        name: "debug_assert and get-based access are not flagged",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(buffer: &[u8]) -> Option<u8> {\n    debug_assert!(!buffer.is_empty());\n    buffer.get(0).copied()\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "unwrap outside the serve/json scope is not flagged",
+        path: "crates/core/src/exact.rs",
+        source: "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "unwrap inside cfg(test) in a serve file is exempt",
+        path: "crates/serve/src/api.rs",
+        source: "fn shipped() -> u32 {\n    0\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn case() {\n        Some(1u32).unwrap();\n    }\n}\n",
+        expect: &[],
+    },
+    // ---- forbid-unsafe ----------------------------------------------------
+    Case {
+        name: "crate root without forbid(unsafe_code) is flagged at line 1",
+        path: "crates/serve/src/lib.rs",
+        source: "//! Docs.\n\npub fn f() {}\n",
+        expect: &[("forbid-unsafe", 1)],
+    },
+    Case {
+        name: "crate root with the attribute is clean",
+        path: "crates/serve/src/main.rs",
+        source: "//! Docs.\n\n#![forbid(unsafe_code)]\n\nfn main() {}\n",
+        expect: &[],
+    },
+    Case {
+        name: "non-root module never needs the attribute",
+        path: "crates/serve/src/http.rs",
+        source: "pub fn f() {}\n",
+        expect: &[],
+    },
+    // ---- deterministic-rng ------------------------------------------------
+    Case {
+        name: "thread_rng is flagged anywhere, even in tests",
+        path: "crates/core/tests/sampling.rs",
+        source: "fn f() {\n    let mut rng = thread_rng();\n    let _ = rng;\n}\n",
+        expect: &[("deterministic-rng", 2)],
+    },
+    Case {
+        name: "SystemTime-based seeding is flagged",
+        path: "crates/datagen/src/lib.rs",
+        source: "#![forbid(unsafe_code)]\nfn f() -> u64 {\n    let now = SystemTime::now();\n    let _ = now;\n    0\n}\n",
+        expect: &[("deterministic-rng", 3)],
+    },
+    Case {
+        name: "seeded StdRng is clean",
+        path: "crates/core/src/sample.rs",
+        source: "fn f() {\n    let rng = StdRng::seed_from_u64(7);\n    let _ = rng;\n}\n",
+        expect: &[],
+    },
+    // ---- no-hashmap-iter-order --------------------------------------------
+    Case {
+        name: "HashMap in a counting crate is flagged",
+        path: "crates/core/src/exact.rs",
+        source: "fn f() {\n    let m: FxHashMap<u32, u32> = FxHashMap::default();\n    let _ = m;\n}\n",
+        expect: &[("no-hashmap-iter-order", 2)],
+    },
+    Case {
+        name: "use lines and BTreeMap are exempt",
+        path: "crates/core/src/exact.rs",
+        source: "use std::collections::HashMap;\npub use std::collections::HashSet;\n\nfn f() {\n    let m: std::collections::BTreeMap<u32, u32> = Default::default();\n    let _ = m;\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "HashMap outside the deterministic-output crates is fine",
+        path: "crates/experiments/src/main.rs",
+        source: "#![forbid(unsafe_code)]\nfn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    let _ = m;\n}\n",
+        expect: &[],
+    },
+    // ---- checked-untrusted-arith ------------------------------------------
+    Case {
+        name: "bare addition over length-typed names in the snapshot reader",
+        path: "crates/hypergraph/src/snapshot.rs",
+        source: "fn f(offset: usize, len: usize) -> usize {\n    offset + len\n}\n",
+        expect: &[("checked-untrusted-arith", 2)],
+    },
+    Case {
+        name: "narrowing casts in the http reader are flagged",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(declared: u64) -> usize {\n    declared as usize\n}\n",
+        expect: &[("checked-untrusted-arith", 2)],
+    },
+    Case {
+        name: "checked helpers and pure-literal arithmetic are clean",
+        path: "crates/hypergraph/src/snapshot.rs",
+        source: "fn f(offset: usize, len: usize) -> Option<usize> {\n    let _block = 16 * 1024;\n    offset.checked_add(len)\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "the same arithmetic outside the reader files is out of scope",
+        path: "crates/core/src/exact.rs",
+        source: "fn f(offset: usize, len: usize) -> usize {\n    offset + len\n}\n",
+        expect: &[],
+    },
+    // ---- pragmas ----------------------------------------------------------
+    Case {
+        name: "a standalone pragma with a reason suppresses the next line",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(v: Option<u32>) -> u32 {\n    // mochy-lint: allow(panic-free-serve) reason=\"fixture: value is set two lines up\"\n    v.unwrap()\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "a trailing pragma suppresses its own line",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(v: Option<u32>) -> u32 {\n    v.unwrap() // mochy-lint: allow(panic-free-serve) reason=\"fixture: value is set two lines up\"\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "a stale pragma is itself an error",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(v: u32) -> u32 {\n    // mochy-lint: allow(panic-free-serve) reason=\"nothing here panics any more\"\n    v\n}\n",
+        expect: &[("lint-pragma", 2)],
+    },
+    Case {
+        name: "a pragma without a reason is an error and suppresses nothing",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(v: Option<u32>) -> u32 {\n    // mochy-lint: allow(panic-free-serve)\n    v.unwrap()\n}\n",
+        expect: &[("lint-pragma", 2), ("panic-free-serve", 3)],
+    },
+    Case {
+        name: "a pragma naming an unknown rule is an error",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(v: u32) -> u32 {\n    // mochy-lint: allow(no-such-rule) reason=\"typo fixture\"\n    v\n}\n",
+        expect: &[("lint-pragma", 2)],
+    },
+];
+
+#[test]
+fn fixture_table() {
+    for case in CASES {
+        let got = lint(case.path, case.source);
+        let want: Vec<(String, u32)> = case
+            .expect
+            .iter()
+            .map(|(rule, line)| (rule.to_string(), *line))
+            .collect();
+        assert_eq!(got, want, "fixture `{}` ({})", case.name, case.path);
+    }
+}
+
+#[test]
+fn json_report_shape_round_trips_through_mochy_json() {
+    let report = Report {
+        files_scanned: 2,
+        rules: vec![("panic-free-serve", "no panics in request handling")],
+        diagnostics: vec![Diagnostic {
+            rule: "panic-free-serve".to_string(),
+            file: "crates/serve/src/http.rs".to_string(),
+            line: 7,
+            message: "unwrap".to_string(),
+        }],
+    };
+    let rendered = report.to_json().render();
+    let value = mochy_json::parse(&rendered).expect("report JSON parses");
+    assert_eq!(
+        value.get("schema").and_then(|v| v.as_str()),
+        Some("mochy-lint/1")
+    );
+    assert_eq!(value.get("files_scanned").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(value.get("clean").and_then(|v| v.as_bool()), Some(false));
+    let rules = value
+        .get("rules")
+        .and_then(|v| v.as_array())
+        .expect("rules array");
+    assert_eq!(rules.len(), 1);
+    assert_eq!(
+        rules[0].get("name").and_then(|v| v.as_str()),
+        Some("panic-free-serve")
+    );
+    let diagnostics = value
+        .get("diagnostics")
+        .and_then(|v| v.as_array())
+        .expect("diagnostics array");
+    assert_eq!(diagnostics.len(), 1);
+    assert_eq!(
+        diagnostics[0].get("file").and_then(|v| v.as_str()),
+        Some("crates/serve/src/http.rs")
+    );
+    assert_eq!(diagnostics[0].get("line").and_then(|v| v.as_u64()), Some(7));
+}
+
+#[test]
+fn the_workspace_itself_is_lint_clean() {
+    // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two up. This
+    // is the zero-baseline-exceptions guarantee: every rule passes on the
+    // real tree, so the CI stage starts strict instead of grandfathering.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = mochy_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.clean(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -59,6 +59,7 @@ pub struct LazyProjection<'a> {
     hypergraph: &'a Hypergraph,
     budget_entries: usize,
     policy: MemoPolicy,
+    // mochy-lint: allow(no-hashmap-iter-order) reason="memo cache only; eviction may walk it, but FxHash iteration is seed-free and a miss recomputes bit-identical neighborhoods, so order never reaches results"
     cache: FxHashMap<EdgeId, CachedNeighborhood>,
     resident_entries: usize,
     clock: u64,
@@ -80,6 +81,7 @@ impl<'a> LazyProjection<'a> {
             hypergraph,
             budget_entries,
             policy,
+            // mochy-lint: allow(no-hashmap-iter-order) reason="memo cache only; eviction may walk it, but FxHash iteration is seed-free and a miss recomputes bit-identical neighborhoods, so order never reaches results"
             cache: FxHashMap::default(),
             resident_entries: 0,
             clock: 0,

@@ -37,7 +37,7 @@ use mochy_projection::MemoPolicy;
 
 use crate::b64;
 use crate::http::Request;
-use crate::registry::{Registry, Snapshot, MAX_NODE_ID};
+use crate::registry::{MutateError, Registry, Snapshot, MAX_NODE_ID};
 
 /// Hard ceiling on per-request sample counts (keeps a single query bounded).
 const MAX_SAMPLES: usize = 1_000_000;
@@ -73,7 +73,14 @@ impl QueryCache {
 
     /// Looks `key` up, refreshing its recency. Counts a hit or miss.
     pub fn get(&self, key: &str) -> Option<Arc<str>> {
-        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        // Cache lock poisoning is recoverable at every use: the guarded
+        // vector only ever holds complete `(key, Arc<str>)` pairs (the
+        // mutations below are remove/push, which never leave a torn entry
+        // visible), and a degraded cache must not take down reads.
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(position) = entries.iter().position(|(k, _)| k == key) {
             let entry = entries.remove(position);
             let value = Arc::clone(&entry.1);
@@ -92,7 +99,10 @@ impl QueryCache {
         if self.capacity == 0 {
             return;
         }
-        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(position) = entries.iter().position(|(k, _)| *k == key) {
             entries.remove(position);
         } else if entries.len() >= self.capacity {
@@ -106,7 +116,10 @@ impl QueryCache {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
-            self.entries.lock().expect("cache lock poisoned").len(),
+            self.entries
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len(),
         )
     }
 }
@@ -837,7 +850,12 @@ fn mutate(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
         .registry
         .get(&name)
         .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{name}`")))?;
-    let outcome = dataset.mutate(&inserts, &removes).map_err(ApiError::bad)?;
+    let outcome = dataset
+        .mutate(&inserts, &removes)
+        .map_err(|error| match error {
+            MutateError::Invalid(why) => ApiError::bad(why),
+            MutateError::WriterPoisoned => ApiError::new(500, error.to_string()),
+        })?;
 
     let body = JsonValue::Object(vec![
         ("dataset".to_string(), JsonValue::string(name)),

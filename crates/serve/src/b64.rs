@@ -19,32 +19,35 @@ const REVERSE: [u8; 256] = {
     let mut table = [INVALID; 256];
     let mut index = 0;
     while index < ALPHABET.len() {
+        // mochy-lint: allow(panic-free-serve) reason="const-evaluated table build; an out-of-range index here is a compile error, not a runtime panic"
         table[ALPHABET[index] as usize] = index as u8;
         index += 1;
     }
     table
 };
 
+/// The alphabet symbol encoding the low six bits of `bits`.
+fn symbol(bits: u32) -> char {
+    // mochy-lint: allow(panic-free-serve) reason="index is masked to 0x3f and ALPHABET has exactly 64 entries"
+    ALPHABET[(bits & 0x3f) as usize] as char
+}
+
 /// Encodes `bytes` as standard padded base64.
 pub fn encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
     for chunk in bytes.chunks(3) {
-        let b0 = chunk[0] as u32;
-        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
-        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let b0 = u32::from(chunk.first().copied().unwrap_or(0));
+        let b1 = u32::from(chunk.get(1).copied().unwrap_or(0));
+        let b2 = u32::from(chunk.get(2).copied().unwrap_or(0));
         let word = (b0 << 16) | (b1 << 8) | b2;
-        out.push(ALPHABET[(word >> 18) as usize & 0x3f] as char);
-        out.push(ALPHABET[(word >> 12) as usize & 0x3f] as char);
+        out.push(symbol(word >> 18));
+        out.push(symbol(word >> 12));
         out.push(if chunk.len() > 1 {
-            ALPHABET[(word >> 6) as usize & 0x3f] as char
+            symbol(word >> 6)
         } else {
             '='
         });
-        out.push(if chunk.len() > 2 {
-            ALPHABET[word as usize & 0x3f] as char
-        } else {
-            '='
-        });
+        out.push(if chunk.len() > 2 { symbol(word) } else { '=' });
     }
     out
 }
@@ -68,12 +71,15 @@ pub fn decode(text: &str) -> Result<Vec<u8>, String> {
             return Err("padding may only end the input".to_string());
         }
         // The `padding` trailing bytes are '='; no '=' may appear earlier.
-        if chunk[..4 - padding].contains(&b'=') {
+        // (`padding <= 2` was checked above, so the range is in bounds; the
+        // full-chunk fallback keeps this panic-free regardless.)
+        let payload = chunk.get(..4 - padding).unwrap_or(chunk);
+        if payload.contains(&b'=') {
             return Err("malformed padding".to_string());
         }
         let mut word = 0u32;
-        for &byte in &chunk[..4 - padding] {
-            let value = REVERSE[byte as usize];
+        for &byte in payload {
+            let value = REVERSE.get(usize::from(byte)).copied().unwrap_or(INVALID);
             if value == INVALID {
                 return Err(format!("byte {byte:#04x} is not base64"));
             }

@@ -91,11 +91,13 @@ pub fn read_request(
                 "connection closed mid-request".to_string(),
             ));
         }
-        buffer.extend_from_slice(&chunk[..read]);
+        buffer.extend_from_slice(chunk.get(..read).unwrap_or(chunk.as_slice()));
     };
 
-    let head = std::str::from_utf8(&buffer[..head_end])
-        .map_err(|_| RequestError::BadRequest("request head is not utf-8".to_string()))?;
+    let head = buffer
+        .get(..head_end)
+        .and_then(|head| std::str::from_utf8(head).ok())
+        .ok_or_else(|| RequestError::BadRequest("request head is not utf-8".to_string()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
@@ -130,7 +132,8 @@ pub fn read_request(
     }
 
     // The body: whatever followed the head in the buffer, plus the rest.
-    let mut body = buffer[head_end + 4..].to_vec();
+    let body_start = head_end.saturating_add(4);
+    let mut body = buffer.get(body_start..).unwrap_or_default().to_vec();
     while body.len() < content_length {
         let read = deadline_read(stream, &mut chunk)?;
         if read == 0 {
@@ -138,7 +141,7 @@ pub fn read_request(
                 "connection closed mid-body".to_string(),
             ));
         }
-        body.extend_from_slice(&chunk[..read]);
+        body.extend_from_slice(chunk.get(..read).unwrap_or(chunk.as_slice()));
     }
     body.truncate(content_length);
     let body = String::from_utf8(body)

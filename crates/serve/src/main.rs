@@ -12,6 +12,8 @@
 //! scripts (the CI smoke stage) can scrape it. The process exits 0 after a
 //! clean `POST /shutdown`.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 
 use mochy_datagen::{generate, DomainKind, GeneratorConfig};
@@ -90,16 +92,17 @@ fn main() {
     }
 
     if !have_datasets {
-        registry.insert(
-            "fig2",
-            HypergraphBuilder::new()
-                .with_edge([0u32, 1, 2])
-                .with_edge([0, 3, 1])
-                .with_edge([4, 5, 0])
-                .with_edge([6, 7, 2])
-                .build()
-                .expect("figure-2 hypergraph"),
-        );
+        let fig2 = HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .unwrap_or_else(|error| {
+                eprintln!("failed to build the figure-2 dataset: {error}");
+                std::process::exit(1);
+            });
+        registry.insert("fig2", fig2);
         registry.insert(
             "email",
             generate(&GeneratorConfig::new(DomainKind::Email, 300, 900, 13)),

@@ -23,7 +23,7 @@
 //! [`DynamicHypergraph`]: mochy_hypergraph::DynamicHypergraph
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use mochy_core::streaming::{StreamConfig, StreamingEngine};
 use mochy_hypergraph::{EdgeId, Hypergraph, NodeId};
@@ -76,6 +76,31 @@ pub struct MutationOutcome {
     pub total_instances: f64,
 }
 
+/// Why a mutation batch was not applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// The batch itself is malformed — a client error (HTTP 400).
+    Invalid(String),
+    /// The streaming writer was poisoned by a panic mid-batch. Unlike the
+    /// publication lock (which only guards an atomic pointer swap), the
+    /// writer's incremental counts can genuinely be torn by a panic, so
+    /// this is a server error (HTTP 500); recovery is re-ingesting the
+    /// dataset.
+    WriterPoisoned,
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::Invalid(why) => write!(f, "{why}"),
+            MutateError::WriterPoisoned => write!(
+                f,
+                "the dataset's writer was poisoned by an earlier panic; re-ingest the dataset"
+            ),
+        }
+    }
+}
+
 /// One named dataset: a published snapshot plus a serialized writer.
 #[derive(Debug)]
 pub struct Dataset {
@@ -99,7 +124,15 @@ impl Dataset {
     /// the pointer clone; the returned snapshot is immutable and can be read
     /// for any length of time without blocking writers or other readers.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.published.lock().expect("publication lock poisoned"))
+        // A poisoned publication lock is recoverable: the guarded value is a
+        // plain `Arc` swapped in one assignment, so a panic elsewhere can
+        // never leave it torn — readers must keep being served.
+        Arc::clone(
+            &self
+                .published
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
     /// Applies a mutation batch — `inserts` then `removes` — and publishes a
@@ -114,22 +147,25 @@ impl Dataset {
         &self,
         inserts: &[Vec<NodeId>],
         removes: &[EdgeId],
-    ) -> Result<MutationOutcome, String> {
+    ) -> Result<MutationOutcome, MutateError> {
         for (position, members) in inserts.iter().enumerate() {
             if members.is_empty() {
-                return Err(format!(
+                return Err(MutateError::Invalid(format!(
                     "insert[{position}] is empty; hyperedges are non-empty node sets"
-                ));
+                )));
             }
             if let Some(&node) = members.iter().find(|&&v| v > MAX_NODE_ID) {
-                return Err(format!(
+                return Err(MutateError::Invalid(format!(
                     "insert[{position}] names node {node}, above the maximum node id \
                      {MAX_NODE_ID}"
-                ));
+                )));
             }
         }
 
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = self
+            .writer
+            .lock()
+            .map_err(|_| MutateError::WriterPoisoned)?;
         // First mutation: bootstrap the streaming engine from the published
         // snapshot (edge e keeps identifier e).
         let stream = writer.get_or_insert_with(|| match self.snapshot().hypergraph.as_deref() {
@@ -150,7 +186,10 @@ impl Dataset {
         let hypergraph = stream.to_hypergraph().ok().map(Arc::new);
         let num_edges = stream.num_live_edges();
         let total_instances = stream.counts().total();
-        let mut published = self.published.lock().expect("publication lock poisoned");
+        let mut published = self
+            .published
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let generation = published.generation + 1;
         *published = Arc::new(Snapshot {
             generation,
@@ -188,9 +227,14 @@ impl Registry {
     /// Registers `hypergraph` under `name` (replacing any previous dataset
     /// of that name) — the boot-time seeding path.
     pub fn insert(&self, name: impl Into<String>, hypergraph: Hypergraph) {
+        // Registry lock poisoning is recoverable everywhere below: the map
+        // operations under it (`BTreeMap` insert/get/iterate over `String`
+        // keys and `Arc` values) have no panic path that could tear the map,
+        // and refusing service registry-wide over one dead worker would turn
+        // a single burned request into a full outage.
         self.datasets
             .write()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.into(), Arc::new(Dataset::new(hypergraph)));
     }
 
@@ -204,7 +248,10 @@ impl Registry {
         hypergraph: Hypergraph,
     ) -> Result<Arc<Dataset>, String> {
         let name = name.into();
-        let mut datasets = self.datasets.write().expect("registry lock poisoned");
+        let mut datasets = self
+            .datasets
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         if datasets.contains_key(&name) {
             return Err(format!("dataset `{name}` already exists"));
         }
@@ -217,21 +264,24 @@ impl Registry {
     pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
         self.datasets
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.datasets.read().expect("registry lock poisoned").len()
+        self.datasets
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.datasets
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .is_empty()
     }
 
@@ -240,7 +290,7 @@ impl Registry {
     pub fn entries(&self) -> Vec<(String, Arc<Dataset>)> {
         self.datasets
             .read()
-            .expect("registry lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, dataset)| (name.clone(), Arc::clone(dataset)))
             .collect()
@@ -312,7 +362,10 @@ mod tests {
     #[test]
     fn bad_batches_mutate_nothing() {
         let dataset = Dataset::new(figure2());
-        let error = dataset.mutate(&[vec![0, 1], vec![]], &[0]).unwrap_err();
+        let error = dataset
+            .mutate(&[vec![0, 1], vec![]], &[0])
+            .unwrap_err()
+            .to_string();
         assert!(error.contains("insert[1]"), "{error}");
         // Node ids above the cap are rejected up front — the incidence index
         // is dense in the node id, so admitting them would be an unbounded
@@ -320,7 +373,8 @@ mod tests {
         let error = dataset
             .mutate(&[vec![0, 1], vec![2, MAX_NODE_ID + 1]], &[0])
             .unwrap_err();
-        assert!(error.contains("maximum node id"), "{error}");
+        assert!(matches!(error, MutateError::Invalid(_)), "{error:?}");
+        assert!(error.to_string().contains("maximum node id"), "{error}");
         let snapshot = dataset.snapshot();
         assert_eq!(snapshot.generation, 0);
         assert_eq!(snapshot.num_edges(), 4);

@@ -82,6 +82,8 @@
 //! assert_eq!(stream.counts().total(), 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mochy_analysis as analysis;
 pub use mochy_core as core;
 pub use mochy_datagen as datagen;
