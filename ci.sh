@@ -7,8 +7,9 @@
 # of the Criterion bench targets, the deterministic perf smoke behind
 # BENCH.json, the perf-regression gate against the committed
 # BENCH_BASELINE.json, the streaming-vs-batch equivalence check of
-# `mochy-exp evolve`, and finally the per-stage wall-clock budget gate
-# against the committed CI_BUDGET.json.
+# `mochy-exp evolve`, the keep-alive loadtest gate (LOADTEST.json against
+# the committed LOADTEST_BASELINE.json), and finally the per-stage
+# wall-clock budget gate against the committed CI_BUDGET.json.
 #
 # Everything runs offline against the vendored dependency stubs; every
 # dependency-resolving cargo invocation (fmt does not resolve) passes
@@ -99,10 +100,11 @@ run_stage snapshot-roundtrip "${TARGET_DIR}/mochy-exp" snapshot-check --dir snap
 
 # Serve smoke (both lanes): boot mochy-serve FROM A .mochy SNAPSHOT on an
 # ephemeral port, drive /healthz + /datasets + /count through the example
-# client — which also uploads a second snapshot through POST /datasets and
-# counts on it — request a clean shutdown, and assert the process exits 0.
-# Binaries are built above; the example client is built here explicitly
-# (plain `cargo build` skips examples).
+# client — which also uploads a second snapshot through POST /datasets,
+# counts on it, and repeats /count 25 times over ONE persistent connection
+# (the keep-alive smoke) — request a clean shutdown, and assert the process
+# exits 0. Binaries are built above; the example client is built here
+# explicitly (plain `cargo build` skips examples).
 serve_smoke() {
   local boot_spec="$1" upload_args=("${@:2}")
   cargo build "${CARGO_FLAGS[@]}" -p mochy_serve -p mochy --bins --examples
@@ -118,7 +120,7 @@ serve_smoke() {
     sleep 0.1
   done
   [[ -n "$addr" ]] || { echo "mochy-serve never reported an address:"; cat "$log"; return 1; }
-  "${TARGET_DIR}/examples/serve_client" "$addr" "${upload_args[@]}" --shutdown
+  "${TARGET_DIR}/examples/serve_client" "$addr" "${upload_args[@]}" --keep-alive 25 --shutdown
   wait "$pid" || { echo "mochy-serve exited non-zero:"; cat "$log"; return 1; }
   grep -q "clean shutdown" "$log" || { echo "no clean-shutdown marker:"; cat "$log"; return 1; }
   rm -f "$log"
@@ -171,6 +173,16 @@ if [[ "$PROFILE" == "release" ]]; then
   # from-scratch MotifEngine run (non-zero exit on any divergence).
   run_stage evolve-verify cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
     evolve --years 8 --window 3
+
+  # Keep-alive loadtest gate: boot an in-process server and drive it with
+  # deterministic closed-loop clients, writing LOADTEST.json (uploaded as a
+  # CI artifact) and comparing against the committed baseline. Request/
+  # response counts must match exactly; throughput and latency quantiles may
+  # drift up to the default tolerance; and keep-alive serving must stay at
+  # least 2x faster than connection-per-request on the cache-hit mix — the
+  # property the persistent-connection front end exists to deliver.
+  run_stage loadtest-gate cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
+    loadtest --json LOADTEST.json --check LOADTEST_BASELINE.json
 fi
 
 # Wall-clock budget gate: every stage above must have stayed under its

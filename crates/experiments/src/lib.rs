@@ -29,9 +29,12 @@
 //! `mochy-exp evolve`, which drives the streaming engine over a temporal
 //! hyperedge event stream with per-checkpoint verification (both run by
 //! `ci.sh`). The `.mochy` binary-snapshot tooling lives in [`snapshot`]
-//! (`mochy-exp convert` and the `snapshot-check` round-trip gate), and
+//! (`mochy-exp convert` and the `snapshot-check` round-trip gate),
 //! [`cibudget`] implements `mochy-exp ci-budget`, the per-stage wall-clock
-//! gate of the CI pipeline.
+//! gate of the CI pipeline, and [`loadtest`] implements `mochy-exp loadtest`
+//! — the closed-loop HTTP load harness that proves keep-alive serving beats
+//! connection-per-request and (with `--check`) gates throughput and latency
+//! quantiles against `LOADTEST_BASELINE.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +49,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod loadtest;
 pub mod nullmodels;
 pub mod pairwise;
 pub mod perf;

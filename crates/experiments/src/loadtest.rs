@@ -1,0 +1,903 @@
+//! `mochy-exp loadtest` — a deterministic closed-loop load harness for
+//! `mochy-serve`, and the CI throughput gate behind `--check`.
+//!
+//! Boots an in-process [`Server`](mochy_serve::server::Server) on an
+//! ephemeral port (tiny fixed datasets, fixed seeds) and drives it with
+//! closed-loop concurrent clients — every client waits for its response
+//! before sending the next request, so offered load adapts to the server
+//! rather than overrunning it. Three scenarios run per invocation:
+//!
+//! - **`cache-hit-keepalive`** — each client repeats one cacheable `/count`
+//!   query on a single persistent connection. After the first miss, every
+//!   exchange is an LRU hit: this isolates the HTTP front end, which is
+//!   exactly what keep-alive is supposed to speed up.
+//! - **`cache-hit-per-request`** — the same query mix, but a fresh
+//!   connection (with `Connection: close`) per request: the
+//!   connection-per-request baseline the old front end forced on every
+//!   client.
+//! - **`mixed-keepalive`** — a seeded per-client mix of cache-hit repeats,
+//!   distinct `/count` variants, and `/healthz` probes over persistent
+//!   connections: a smoke of realistic traffic.
+//!
+//! The report is a `mochy-loadtest/1` JSON document: per-scenario request /
+//! status counts (deterministic — the closed loop sends an exact number of
+//! requests and the queue is sized so none are shed), throughput, and
+//! p50/p95/p99 latency quantiles (noisy — gated with tolerance and a noise
+//! floor, like `BENCH.json` timings). The top-level `keepalive_speedup`
+//! ratio — cache-hit keep-alive throughput over cache-hit per-request
+//! throughput, best ratio over paired back-to-back repeats — is the
+//! machine-independent headline: both halves of a pair run on the same box
+//! under the same ambient load, so the ratio gates cleanly where absolute
+//! throughput would drift across machines. [`check`] fails CI on
+//! deterministic drift, throughput/latency regressions beyond tolerance,
+//! and a speedup below [`CheckOptions::min_speedup`].
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use mochy_datagen::{generate, DomainKind, GeneratorConfig};
+use mochy_hypergraph::HypergraphBuilder;
+use mochy_serve::registry::Registry;
+use mochy_serve::server::{Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::json::{self, JsonValue};
+
+/// Configuration of a loadtest run. Everything is fixed/deterministic
+/// except wall-clock timings.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadtestOptions {
+    /// Concurrent closed-loop clients per scenario.
+    pub clients: usize,
+    /// Requests each client sends per scenario run.
+    pub requests_per_client: usize,
+    /// Times each scenario is run; the fastest run is reported. Scheduler
+    /// noise on a busy host is one-sided (runs only ever get slower), so
+    /// best-of-k converges on the machine's true rate and keeps the
+    /// keep-alive/per-request ratio stable enough to gate.
+    pub repeats: usize,
+    /// Seed for the mixed scenario's per-client query choice.
+    pub seed: u64,
+}
+
+impl Default for LoadtestOptions {
+    fn default() -> Self {
+        Self {
+            clients: 2,
+            requests_per_client: 200,
+            repeats: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Server sizing derived from the client count: enough workers that every
+/// keep-alive client owns one, plus headroom so the per-request scenario's
+/// connection churn never sheds a request to the 503 path (a shed request
+/// would make `responses_200` nondeterministic).
+fn server_config(options: &LoadtestOptions) -> ServerConfig {
+    ServerConfig {
+        workers: options.clients + 2,
+        queue_depth: options.clients * 4,
+        cache_capacity: 64,
+        max_threads: 1,
+        // Far above requests_per_client: the cap must not force reconnects
+        // mid-scenario, which would blur the keep-alive/per-request split.
+        max_requests_per_connection: 100_000,
+        idle_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+/// One request to send: method, path, body.
+#[derive(Debug, Clone)]
+struct Query {
+    method: &'static str,
+    path: &'static str,
+    body: String,
+}
+
+/// The cacheable query every cache-hit client repeats.
+fn cache_hit_query() -> Query {
+    Query {
+        method: "POST",
+        path: "/count",
+        body: r#"{"dataset": "fig2", "seed": 1}"#.to_string(),
+    }
+}
+
+/// The mixed scenario's query pool; index 0 is the cache-hit repeat and is
+/// drawn with extra weight.
+fn mixed_pool() -> Vec<Query> {
+    let mut pool = vec![cache_hit_query()];
+    for seed in 2..6u64 {
+        pool.push(Query {
+            method: "POST",
+            path: "/count",
+            body: format!(
+                r#"{{"dataset": "email", "method": "mochy-a+", "samples": 60, "seed": {seed}}}"#
+            ),
+        });
+    }
+    pool.push(Query {
+        method: "GET",
+        path: "/healthz",
+        body: String::new(),
+    });
+    pool
+}
+
+/// Whether a scenario's clients reuse one connection or reconnect per
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnectionMode {
+    KeepAlive,
+    PerRequest,
+}
+
+/// What one client thread observed.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    latencies: Vec<Duration>,
+    responses_200: usize,
+    responses_other: usize,
+    errors: usize,
+}
+
+/// Aggregated results of one scenario.
+struct ScenarioResult {
+    name: &'static str,
+    requests: usize,
+    responses_200: usize,
+    responses_other: usize,
+    errors: usize,
+    wall_ms: f64,
+    throughput_rps: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// A minimal keep-alive-capable HTTP client over one `TcpStream`.
+struct ClientConnection {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl ClientConnection {
+    fn open(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            carry: Vec::new(),
+        })
+    }
+
+    /// One request/response exchange. Returns `(status, server_will_close)`.
+    fn exchange(&mut self, query: &Query, close: bool) -> std::io::Result<(u16, bool)> {
+        let connection = if close { "close" } else { "keep-alive" };
+        let head = format!(
+            "{} {} HTTP/1.1\r\nhost: loadtest\r\nconnection: {connection}\r\ncontent-length: {}\r\n\r\n",
+            query.method,
+            query.path,
+            query.body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(query.body.as_bytes())?;
+
+        // Read one Content-Length-framed response; pipelined leftovers (none
+        // in the closed loop, but cheap to support) stay in `carry`.
+        let mut chunk = [0u8; 2048];
+        let head_end = loop {
+            if let Some(position) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break position;
+            }
+            let read = self.stream.read(&mut chunk)?;
+            if read == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response head",
+                ));
+            }
+            self.carry.extend_from_slice(&chunk[..read]);
+        };
+        let head = String::from_utf8_lossy(&self.carry[..head_end]).to_string();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| line.strip_prefix("content-length: "))
+            .and_then(|value| value.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
+            })?;
+        let closing = head
+            .lines()
+            .any(|line| line.eq_ignore_ascii_case("connection: close"));
+        let body_end = head_end + 4 + content_length;
+        while self.carry.len() < body_end {
+            let read = self.stream.read(&mut chunk)?;
+            if read == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.carry.extend_from_slice(&chunk[..read]);
+        }
+        self.carry.drain(..body_end);
+        Ok((status, closing))
+    }
+}
+
+/// Runs one client's closed loop: `requests` sequential exchanges, timing
+/// each one.
+fn run_client(
+    addr: SocketAddr,
+    queries: &[Query],
+    mode: ConnectionMode,
+    requests: usize,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    let mut connection: Option<ClientConnection> = None;
+    for i in 0..requests {
+        let query = &queries[i % queries.len()];
+        let started = Instant::now();
+        let close = mode == ConnectionMode::PerRequest;
+        if connection.is_none() {
+            match ClientConnection::open(addr) {
+                Ok(fresh) => connection = Some(fresh),
+                Err(_) => {
+                    outcome.errors += 1;
+                    continue;
+                }
+            }
+        }
+        let Some(open) = connection.as_mut() else {
+            outcome.errors += 1;
+            continue;
+        };
+        match open.exchange(query, close) {
+            Ok((status, closing)) => {
+                outcome.latencies.push(started.elapsed());
+                if status == 200 {
+                    outcome.responses_200 += 1;
+                } else {
+                    outcome.responses_other += 1;
+                }
+                if close || closing {
+                    connection = None;
+                }
+            }
+            Err(_) => {
+                outcome.errors += 1;
+                connection = None;
+            }
+        }
+    }
+    outcome
+}
+
+/// The latency value at quantile `q` (0–100) by nearest rank over a sorted
+/// slice.
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Runs one scenario [`LoadtestOptions::repeats`] times and keeps the
+/// fastest run (by throughput).
+fn run_scenario(
+    name: &'static str,
+    addr: SocketAddr,
+    options: &LoadtestOptions,
+    mode: ConnectionMode,
+    per_client_queries: &impl Fn(usize) -> Vec<Query>,
+) -> ScenarioResult {
+    let mut best: Option<ScenarioResult> = None;
+    for _ in 0..options.repeats.max(1) {
+        let run = run_scenario_once(name, addr, options, mode, per_client_queries);
+        let better = match &best {
+            Some(current) => run.throughput_rps > current.throughput_rps,
+            None => true,
+        };
+        if better {
+            best = Some(run);
+        }
+    }
+    // The loop above always executes at least once.
+    best.unwrap_or_else(|| run_scenario_once(name, addr, options, mode, per_client_queries))
+}
+
+/// One scenario run: `clients` threads of `requests_per_client` closed-loop
+/// exchanges, released together by a barrier.
+fn run_scenario_once(
+    name: &'static str,
+    addr: SocketAddr,
+    options: &LoadtestOptions,
+    mode: ConnectionMode,
+    per_client_queries: &impl Fn(usize) -> Vec<Query>,
+) -> ScenarioResult {
+    let barrier = Arc::new(Barrier::new(options.clients + 1));
+    let workers: Vec<_> = (0..options.clients)
+        .map(|client| {
+            let barrier = Arc::clone(&barrier);
+            let queries = per_client_queries(client);
+            let requests = options.requests_per_client;
+            std::thread::spawn(move || {
+                barrier.wait();
+                run_client(addr, &queries, mode, requests)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = workers
+        .into_iter()
+        .map(|handle| handle.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed();
+
+    let requests = options.clients * options.requests_per_client;
+    let responses_200 = outcomes.iter().map(|o| o.responses_200).sum();
+    let responses_other = outcomes.iter().map(|o| o.responses_other).sum();
+    let errors = outcomes.iter().map(|o| o.errors).sum();
+    let mut latencies: Vec<Duration> = outcomes.into_iter().flat_map(|o| o.latencies).collect();
+    latencies.sort();
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().map(Duration::as_secs_f64).sum::<f64>() / latencies.len() as f64 * 1e3
+    };
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    ScenarioResult {
+        name,
+        requests,
+        responses_200,
+        responses_other,
+        errors,
+        wall_ms: wall_s * 1e3,
+        throughput_rps: requests as f64 / wall_s,
+        mean_ms,
+        p50_ms: quantile_ms(&latencies, 50.0),
+        p95_ms: quantile_ms(&latencies, 95.0),
+        p99_ms: quantile_ms(&latencies, 99.0),
+    }
+}
+
+/// Boots the in-process server, runs all three scenarios, and renders the
+/// `mochy-loadtest/1` JSON document.
+pub fn run(options: &LoadtestOptions) -> Result<String, String> {
+    let options = LoadtestOptions {
+        clients: options.clients.max(1),
+        requests_per_client: options.requests_per_client.max(1),
+        repeats: options.repeats.max(1),
+        seed: options.seed,
+    };
+    let registry = Registry::new();
+    registry.insert(
+        "fig2",
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .map_err(|error| format!("failed to build fig2: {error}"))?,
+    );
+    registry.insert(
+        "email",
+        generate(&GeneratorConfig::new(DomainKind::Email, 120, 240, 7)),
+    );
+    let config = server_config(&options);
+    let server = Server::start(config.clone(), registry)
+        .map_err(|error| format!("failed to boot the loadtest server: {error}"))?;
+    let addr = server.local_addr();
+
+    // Scenario order matters only for cache warmth, and each scenario warms
+    // its own keys on its first exchanges; the cache-hit pair uses one key
+    // total, so both run overwhelmingly on hits.
+    //
+    // The two cache-hit scenarios run back to back inside each repeat and
+    // the speedup is the best *paired* ratio: ambient load on a shared CI
+    // host slows both halves of a pair alike, so the ratio stays stable
+    // where two independently-chosen bests would not.
+    let cache_hit = |_client: usize| vec![cache_hit_query()];
+    let mut keepalive: Option<ScenarioResult> = None;
+    let mut per_request: Option<ScenarioResult> = None;
+    let mut speedup = 0.0f64;
+    let faster = |best: &mut Option<ScenarioResult>, run: ScenarioResult| {
+        let better = best
+            .as_ref()
+            .is_none_or(|current| run.throughput_rps > current.throughput_rps);
+        if better {
+            *best = Some(run);
+        }
+    };
+    for _ in 0..options.repeats {
+        let ka = run_scenario_once(
+            "cache-hit-keepalive",
+            addr,
+            &options,
+            ConnectionMode::KeepAlive,
+            &cache_hit,
+        );
+        let pr = run_scenario_once(
+            "cache-hit-per-request",
+            addr,
+            &options,
+            ConnectionMode::PerRequest,
+            &cache_hit,
+        );
+        speedup = speedup.max(ka.throughput_rps / pr.throughput_rps.max(1e-9));
+        faster(&mut keepalive, ka);
+        faster(&mut per_request, pr);
+    }
+    let Some((keepalive, per_request)) = keepalive.zip(per_request) else {
+        return Err("loadtest ran zero repeats".to_string());
+    };
+    let pool = mixed_pool();
+    let seed = options.seed;
+    let mixed = run_scenario(
+        "mixed-keepalive",
+        addr,
+        &options,
+        ConnectionMode::KeepAlive,
+        &move |client| {
+            // Per-client seeded choice: weight the cache-hit repeat at ~50%,
+            // the rest uniform over the pool tail. The sequence depends only
+            // on (seed, client index), so request *counts* are exact and the
+            // mix is reproducible.
+            let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9e37));
+            let mut queries = Vec::new();
+            for _ in 0..64 {
+                if rng.gen_bool(0.5) {
+                    queries.push(pool[0].clone());
+                } else {
+                    queries.push(pool[rng.gen_range(1..pool.len())].clone());
+                }
+            }
+            queries
+        },
+    );
+    server.shutdown();
+    server.wait();
+
+    Ok(render_json(
+        &options,
+        &config,
+        speedup,
+        &[keepalive, per_request, mixed],
+    ))
+}
+
+fn render_json(
+    options: &LoadtestOptions,
+    config: &ServerConfig,
+    speedup: f64,
+    scenarios: &[ScenarioResult],
+) -> String {
+    let number = |value: f64| -> String {
+        if value.is_finite() {
+            format!("{value:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mochy-loadtest/1\",\n");
+    out.push_str(&format!("  \"clients\": {},\n", options.clients));
+    out.push_str(&format!(
+        "  \"requests_per_client\": {},\n",
+        options.requests_per_client
+    ));
+    out.push_str(&format!("  \"repeats\": {},\n", options.repeats));
+    out.push_str(&format!("  \"seed\": {},\n", options.seed));
+    out.push_str(&format!("  \"workers\": {},\n", config.workers));
+    out.push_str(&format!("  \"queue_depth\": {},\n", config.queue_depth));
+    out.push_str(&format!("  \"keepalive_speedup\": {},\n", number(speedup)));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, scenario) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", scenario.name));
+        out.push_str(&format!("      \"requests\": {},\n", scenario.requests));
+        out.push_str(&format!(
+            "      \"responses_200\": {},\n",
+            scenario.responses_200
+        ));
+        out.push_str(&format!(
+            "      \"responses_other\": {},\n",
+            scenario.responses_other
+        ));
+        out.push_str(&format!("      \"errors\": {},\n", scenario.errors));
+        out.push_str(&format!(
+            "      \"wall_ms\": {},\n",
+            number(scenario.wall_ms)
+        ));
+        out.push_str(&format!(
+            "      \"throughput_rps\": {},\n",
+            number(scenario.throughput_rps)
+        ));
+        out.push_str("      \"latency_ms\": {\n");
+        out.push_str(&format!(
+            "        \"mean\": {},\n",
+            number(scenario.mean_ms)
+        ));
+        out.push_str(&format!("        \"p50\": {},\n", number(scenario.p50_ms)));
+        out.push_str(&format!("        \"p95\": {},\n", number(scenario.p95_ms)));
+        out.push_str(&format!("        \"p99\": {}\n", number(scenario.p99_ms)));
+        out.push_str("      }\n");
+        out.push_str(if i + 1 < scenarios.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Options of the loadtest gate (`mochy-exp loadtest --check`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckOptions {
+    /// Maximum tolerated throughput drop / latency growth over the baseline,
+    /// in percent. Wall-clock rates are noisy (shared CI hosts), so the
+    /// default is generous — the gate targets collapse, not jitter.
+    pub tolerance_pct: f64,
+    /// Baseline latency quantiles below this floor are exempt from the drift
+    /// comparison (sub-floor latencies are dominated by scheduler noise).
+    pub min_ms: f64,
+    /// Hard floor on the current run's `keepalive_speedup`: machine-
+    /// independent (both scenarios run on the same box in the same process),
+    /// so it is gated absolutely rather than against the baseline.
+    pub min_speedup: f64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            tolerance_pct: 400.0,
+            min_ms: 20.0,
+            min_speedup: 2.0,
+        }
+    }
+}
+
+fn number_field(value: &JsonValue, key: &str, context: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{context}: missing key `{key}`"))?
+        .as_f64()
+        .ok_or_else(|| format!("{context}: key `{key}` is not a number"))
+}
+
+/// Compares a current loadtest document against a baseline document.
+///
+/// Fails (returns `Err` with one line per violation) on:
+/// - differing run configuration (`schema`, `clients`, `requests_per_client`,
+///   `seed`, `workers`, `queue_depth`);
+/// - any scenario present in the baseline but missing now;
+/// - drift in the deterministic counters (`requests`, `responses_200`,
+///   `responses_other`, `errors`) — the closed loop sends an exact number of
+///   requests and the pool is sized to shed none, so any drift is a behaviour
+///   change, not noise;
+/// - throughput below `baseline / (1 + tolerance)` or latency quantiles
+///   above `baseline * (1 + tolerance)` (quantiles under
+///   [`CheckOptions::min_ms`] in the baseline are skipped);
+/// - a current `keepalive_speedup` below [`CheckOptions::min_speedup`].
+///
+/// On success returns a one-paragraph summary of what was compared.
+pub fn check(baseline: &str, current: &str, options: &CheckOptions) -> Result<String, String> {
+    let baseline = json::parse(baseline).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let current =
+        json::parse(current).map_err(|e| format!("current run is not valid JSON: {e}"))?;
+    let mut violations: Vec<String> = Vec::new();
+
+    for key in [
+        "schema",
+        "clients",
+        "requests_per_client",
+        "repeats",
+        "seed",
+        "workers",
+        "queue_depth",
+    ] {
+        let b = baseline.get(key);
+        let c = current.get(key);
+        if b != c {
+            violations.push(format!(
+                "configuration mismatch on `{key}`: baseline {b:?} vs current {c:?}"
+            ));
+        }
+    }
+
+    match number_field(&current, "keepalive_speedup", "current run") {
+        Ok(speedup) => {
+            if speedup < options.min_speedup {
+                violations.push(format!(
+                    "keepalive_speedup {speedup:.2}x is below the {:.2}x floor — keep-alive \
+                     serving no longer beats connection-per-request",
+                    options.min_speedup
+                ));
+            }
+        }
+        Err(error) => violations.push(error),
+    }
+
+    let empty = Vec::new();
+    let baseline_scenarios = baseline
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let current_scenarios = current
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&empty);
+    let mut compared = 0usize;
+    let mut skipped_fast_quantiles = 0usize;
+
+    for base in baseline_scenarios {
+        let Some(name) = base.get("name").and_then(JsonValue::as_str) else {
+            violations.push("baseline scenario: missing or non-string `name`".to_string());
+            continue;
+        };
+        let context = format!("scenario `{name}`");
+        let Some(now) = current_scenarios
+            .iter()
+            .find(|s| s.get("name").and_then(JsonValue::as_str) == Some(name))
+        else {
+            violations.push(format!("{context}: missing from current run"));
+            continue;
+        };
+        compared += 1;
+
+        // Deterministic counters: any drift is a hard failure.
+        for key in ["requests", "responses_200", "responses_other", "errors"] {
+            if base.get(key) != now.get(key) {
+                violations.push(format!(
+                    "{context}: `{key}` changed: baseline {:?} vs current {:?}",
+                    base.get(key),
+                    now.get(key)
+                ));
+            }
+        }
+
+        // Throughput: a drop beyond tolerance fails.
+        match (
+            number_field(base, "throughput_rps", &context),
+            number_field(now, "throughput_rps", &context),
+        ) {
+            (Ok(b), Ok(c)) => {
+                if c < b / (1.0 + options.tolerance_pct / 100.0) {
+                    violations.push(format!(
+                        "{context}: throughput regression: baseline {b:.1} rps vs current \
+                         {c:.1} rps (tolerance {:.0}%)",
+                        options.tolerance_pct
+                    ));
+                }
+            }
+            (Err(error), _) | (_, Err(error)) => violations.push(error),
+        }
+
+        // Latency quantiles: growth beyond tolerance fails, with the same
+        // noise floor as the perf gate.
+        let base_latency = base.get("latency_ms");
+        let now_latency = now.get("latency_ms");
+        match (base_latency, now_latency) {
+            (Some(base_latency), Some(now_latency)) => {
+                for key in ["p50", "p95", "p99"] {
+                    let quantile_context = format!("{context}, latency `{key}`");
+                    match (
+                        number_field(base_latency, key, &quantile_context),
+                        number_field(now_latency, key, &quantile_context),
+                    ) {
+                        (Ok(b), Ok(c)) => {
+                            if b < options.min_ms {
+                                skipped_fast_quantiles += 1;
+                            } else if c > b * (1.0 + options.tolerance_pct / 100.0) {
+                                violations.push(format!(
+                                    "{quantile_context}: regression: baseline {b:.3} ms vs \
+                                     current {c:.3} ms (tolerance {:.0}%)",
+                                    options.tolerance_pct
+                                ));
+                            }
+                        }
+                        (Err(error), _) | (_, Err(error)) => violations.push(error),
+                    }
+                }
+            }
+            _ => violations.push(format!("{context}: missing `latency_ms` block")),
+        }
+    }
+
+    // A gate that compared nothing must not report success (mirrors the perf
+    // gate's anti-vacuous stance).
+    if compared == 0 {
+        violations.push(
+            "baseline contains no scenarios to compare; the gate would pass vacuously \
+             (is the baseline file truncated or its `scenarios` array empty?)"
+                .to_string(),
+        );
+    }
+
+    if violations.is_empty() {
+        Ok(format!(
+            "loadtest gate passed: {compared} scenario(s) compared; deterministic counters \
+             identical; {skipped_fast_quantiles} quantile(s) under the {:.0} ms floor skipped; \
+             tolerance {:.0}%, speedup floor {:.2}x",
+            options.min_ms, options.tolerance_pct, options.min_speedup
+        ))
+    } else {
+        Err(violations.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> LoadtestOptions {
+        LoadtestOptions {
+            clients: 2,
+            requests_per_client: 8,
+            repeats: 1,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn loadtest_emits_valid_json_with_all_scenarios() {
+        let report = run(&tiny_options()).expect("loadtest runs");
+        json::validate(&report).expect("loadtest output must be valid JSON");
+        let doc = json::parse(&report).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("mochy-loadtest/1")
+        );
+        let scenarios = doc.get("scenarios").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        for scenario in scenarios {
+            let name = scenario.get("name").and_then(JsonValue::as_str).unwrap();
+            // The closed loop completed every request, none errored, and
+            // none were shed to the 503 path.
+            assert_eq!(
+                scenario.get("requests").and_then(JsonValue::as_f64),
+                Some(16.0),
+                "{name}"
+            );
+            assert_eq!(
+                scenario.get("responses_200").and_then(JsonValue::as_f64),
+                Some(16.0),
+                "{name}"
+            );
+            assert_eq!(
+                scenario.get("errors").and_then(JsonValue::as_f64),
+                Some(0.0),
+                "{name}"
+            );
+            let latency = scenario.get("latency_ms").unwrap();
+            let p50 = latency.get("p50").and_then(JsonValue::as_f64).unwrap();
+            let p99 = latency.get("p99").and_then(JsonValue::as_f64).unwrap();
+            assert!(p50 >= 0.0 && p99 >= p50, "{name}: p50 {p50}, p99 {p99}");
+        }
+        assert!(
+            doc.get("keepalive_speedup")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn check_passes_against_itself_and_catches_counter_drift() {
+        let report = run(&tiny_options()).expect("loadtest runs");
+        // Identical documents always pass, whatever this machine's timings
+        // were — modulo the speedup floor, which this test must not depend
+        // on, so disable it.
+        let options = CheckOptions {
+            min_speedup: 0.0,
+            ..CheckOptions::default()
+        };
+        let summary = check(&report, &report, &options).expect("self-check must pass");
+        assert!(summary.contains("loadtest gate passed"), "{summary}");
+
+        // Counter drift is fatal regardless of tolerance.
+        let drifted = report.replacen("\"responses_200\": 16", "\"responses_200\": 15", 1);
+        assert_ne!(drifted, report);
+        let error = check(&report, &drifted, &options).unwrap_err();
+        assert!(error.contains("`responses_200` changed"), "{error}");
+    }
+
+    /// A hand-written two-scenario document for gate-logic tests (no server
+    /// boot, no timing noise).
+    fn synthetic_report() -> &'static str {
+        r#"{
+            "schema": "mochy-loadtest/1", "clients": 2, "requests_per_client": 8,
+            "repeats": 1, "seed": 0, "workers": 4, "queue_depth": 8,
+            "keepalive_speedup": 3.0,
+            "scenarios": [{
+                "name": "cache-hit-keepalive",
+                "requests": 16, "responses_200": 16, "responses_other": 0, "errors": 0,
+                "wall_ms": 10.0, "throughput_rps": 1600.0,
+                "latency_ms": {"mean": 0.5, "p50": 0.4, "p95": 30.0, "p99": 40.0}
+            }, {
+                "name": "cache-hit-per-request",
+                "requests": 16, "responses_200": 16, "responses_other": 0, "errors": 0,
+                "wall_ms": 30.0, "throughput_rps": 533.0,
+                "latency_ms": {"mean": 1.5, "p50": 1.2, "p95": 60.0, "p99": 80.0}
+            }]
+        }"#
+    }
+
+    #[test]
+    fn check_gates_speedup_throughput_and_latency() {
+        let baseline = synthetic_report();
+        let options = CheckOptions {
+            tolerance_pct: 100.0,
+            min_ms: 20.0,
+            min_speedup: 2.0,
+        };
+        assert!(check(baseline, baseline, &options).is_ok());
+
+        // Speedup below the floor fails even when the baseline agreed.
+        let slow = baseline.replace("\"keepalive_speedup\": 3.0", "\"keepalive_speedup\": 1.4");
+        let error = check(baseline, &slow, &options).unwrap_err();
+        assert!(error.contains("below the 2.00x floor"), "{error}");
+
+        // Throughput collapse beyond tolerance fails (100% => halving is
+        // the limit; 16x under is far out).
+        let collapsed = baseline.replace("\"throughput_rps\": 1600.0", "\"throughput_rps\": 100.0");
+        let error = check(baseline, &collapsed, &options).unwrap_err();
+        assert!(error.contains("throughput regression"), "{error}");
+        // …while a within-tolerance dip passes.
+        let dipped = baseline.replace("\"throughput_rps\": 1600.0", "\"throughput_rps\": 900.0");
+        assert!(check(baseline, &dipped, &options).is_ok());
+
+        // Latency quantile drift beyond tolerance fails — but only above the
+        // noise floor (p50 of 0.4 ms is exempt, p95 of 30 ms is not).
+        let slower = baseline.replace(
+            "\"p95\": 30.0, \"p99\": 40.0",
+            "\"p95\": 90.0, \"p99\": 40.0",
+        );
+        let error = check(baseline, &slower, &options).unwrap_err();
+        assert!(error.contains("latency `p95`"), "{error}");
+        let jittery = baseline.replace("\"p50\": 0.4", "\"p50\": 5.0");
+        assert!(
+            check(baseline, &jittery, &options).is_ok(),
+            "sub-floor quantiles must not gate"
+        );
+
+        // Config drift and missing scenarios fail.
+        let reconfigured = baseline.replace("\"clients\": 2,", "\"clients\": 4,");
+        let error = check(baseline, &reconfigured, &options).unwrap_err();
+        assert!(error.contains("configuration mismatch"), "{error}");
+        let renamed = baseline.replace("\"name\": \"cache-hit-per-request\"", "\"name\": \"gone\"");
+        let error = check(baseline, &renamed, &options).unwrap_err();
+        assert!(error.contains("missing from current run"), "{error}");
+    }
+
+    #[test]
+    fn vacuous_baselines_fail_the_gate() {
+        let options = CheckOptions::default();
+        let empty = r#"{"schema": "mochy-loadtest/1", "clients": 2, "requests_per_client": 8,
+                        "seed": 0, "workers": 4, "queue_depth": 8,
+                        "keepalive_speedup": 3.0, "scenarios": []}"#;
+        let error = check(empty, empty, &options).unwrap_err();
+        assert!(error.contains("vacuously"), "{error}");
+    }
+}

@@ -12,6 +12,9 @@
 //! mochy-exp ci-budget <budget.json> <profile> <stage>=<ms>...
 //! mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]
 //!           [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]
+//! mochy-exp loadtest [--json <path>] [--clients <n>] [--requests <n>]
+//!           [--repeats <n>] [--seed <n>] [--check <baseline.json>]
+//!           [--tolerance <pct>] [--min-ms <ms>] [--min-speedup <x>]
 //! mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>]
 //!           [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]
 //! ```
@@ -20,7 +23,7 @@
 
 use mochy_experiments::tool::{self, CountAlgorithm};
 use mochy_experiments::{
-    cibudget, evolve, perf, run_experiment, snapshot, ExperimentScale, ALL_EXPERIMENTS,
+    cibudget, evolve, loadtest, perf, run_experiment, snapshot, ExperimentScale, ALL_EXPERIMENTS,
 };
 
 fn main() {
@@ -52,6 +55,10 @@ fn main() {
     }
     if command == "perf" {
         run_perf(&args[1..]);
+        return;
+    }
+    if command == "loadtest" {
+        run_loadtest(&args[1..]);
         return;
     }
     if command == "evolve" {
@@ -318,6 +325,103 @@ fn run_perf(args: &[String]) {
     }
 }
 
+fn run_loadtest(args: &[String]) {
+    let mut options = loadtest::LoadtestOptions::default();
+    let mut check_options = loadtest::CheckOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_number = |text: String, what: &str| -> f64 {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |text: String, what: &str| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--json" => json_path = Some(take_value("--json")),
+            "--check" => baseline_path = Some(take_value("--check")),
+            "--tolerance" => {
+                check_options.tolerance_pct = parse_number(take_value("--tolerance"), "tolerance")
+            }
+            "--min-ms" => check_options.min_ms = parse_number(take_value("--min-ms"), "floor"),
+            "--min-speedup" => {
+                check_options.min_speedup = parse_number(take_value("--min-speedup"), "speedup")
+            }
+            "--clients" => {
+                options.clients = parse_count(take_value("--clients"), "client count").max(1)
+            }
+            "--requests" => {
+                options.requests_per_client =
+                    parse_count(take_value("--requests"), "request count").max(1)
+            }
+            "--repeats" => {
+                options.repeats = parse_count(take_value("--repeats"), "repeat count").max(1)
+            }
+            "--seed" => options.seed = parse_count(take_value("--seed"), "seed") as u64,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: mochy-exp loadtest [--json <path>] [--clients <n>] [--requests <n>] \
+                     [--repeats <n>] [--seed <n>] [--check <baseline.json>] [--tolerance <pct>] \
+                     [--min-ms <ms>] [--min-speedup <x>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = loadtest::run(&options).unwrap_or_else(|error| {
+        eprintln!("loadtest failed: {error}");
+        std::process::exit(1);
+    });
+    match &json_path {
+        Some(path) => {
+            if let Err(error) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {error}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote loadtest report to {path} (clients = {}, requests = {}, seed = {})",
+                options.clients, options.requests_per_client, options.seed
+            );
+        }
+        None => {
+            if baseline_path.is_none() {
+                print!("{json}");
+            }
+        }
+    }
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+            eprintln!("failed to read baseline {path}: {error}");
+            std::process::exit(1);
+        });
+        match loadtest::check(&baseline, &json, &check_options) {
+            Ok(summary) => println!("{summary}"),
+            Err(violations) => {
+                eprintln!("loadtest gate FAILED against {path}:\n{violations}");
+                eprintln!(
+                    "(if serving legitimately changed, refresh the baseline: \
+                     mochy-exp loadtest --json {path} --clients <as before>)"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn run_evolve(args: &[String]) {
     let mut options = mochy_experiments::evolve::EvolveOptions::default();
     let mut iter = args.iter();
@@ -398,6 +502,9 @@ fn print_usage() {
     eprintln!(
         "                      [--check <baseline.json>] [--tolerance <pct>] [--min-ms <ms>]"
     );
+    eprintln!("       mochy-exp loadtest [--json <path>] [--clients <n>] [--requests <n>]");
+    eprintln!("                          [--repeats <n>] [--seed <n>] [--check <baseline.json>]");
+    eprintln!("                          [--tolerance <pct>] [--min-ms <ms>] [--min-speedup <x>]");
     eprintln!("       mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>]");
     eprintln!("                        [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));

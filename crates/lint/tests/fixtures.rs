@@ -144,6 +144,22 @@ const CASES: &[Case] = &[
         source: "fn f(offset: usize, len: usize) -> usize {\n    offset + len\n}\n",
         expect: &[],
     },
+    // The rolling-buffer idiom the keep-alive HTTP reader is built on: head
+    // and body positions come from client-controlled bytes, so every
+    // combination must go through saturating/checked helpers and clamped
+    // ranges — which the rule accepts without any pragma.
+    Case {
+        name: "rolling-buffer position arithmetic via saturating helpers is clean",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(buffer: &mut Vec<u8>, head_end: usize, content_length: usize) {\n    let body_start = head_end.saturating_add(4);\n    let body_end = body_start.saturating_add(content_length);\n    buffer.drain(..body_end.min(buffer.len()));\n}\n",
+        expect: &[],
+    },
+    Case {
+        name: "bare arithmetic on rolling-buffer positions is still flagged",
+        path: "crates/serve/src/http.rs",
+        source: "fn f(head_end: usize, content_length: usize) -> usize {\n    head_end + 4 + content_length\n}\n",
+        expect: &[("checked-untrusted-arith", 2)],
+    },
     // ---- pragmas ----------------------------------------------------------
     Case {
         name: "a standalone pragma with a reason suppresses the next line",

@@ -205,6 +205,10 @@ pub struct ApiContext {
     pub num_workers: usize,
     /// Bounded accept-queue depth (reported by `/healthz`).
     pub queue_depth: usize,
+    /// Per-connection keep-alive request cap (reported by `/healthz`).
+    pub max_requests_per_connection: usize,
+    /// Keep-alive idle deadline, in milliseconds (reported by `/healthz`).
+    pub idle_timeout_ms: u64,
     /// Server start time (reported by `/healthz`).
     pub started: Instant,
 }
@@ -260,6 +264,19 @@ fn healthz(ctx: &ApiContext) -> ApiResponse {
         (
             "uptime_ms".to_string(),
             JsonValue::Number(ctx.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "keep_alive".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "max_requests".to_string(),
+                    JsonValue::Number(ctx.max_requests_per_connection as f64),
+                ),
+                (
+                    "idle_ms".to_string(),
+                    JsonValue::Number(ctx.idle_timeout_ms as f64),
+                ),
+            ]),
         ),
         (
             "cache".to_string(),
@@ -918,6 +935,8 @@ mod tests {
             max_threads: 2,
             num_workers: 1,
             queue_depth: 4,
+            max_requests_per_connection: 128,
+            idle_timeout_ms: 5_000,
             started: Instant::now(),
         }
     }
@@ -927,6 +946,7 @@ mod tests {
             method: "POST".to_string(),
             path: path.to_string(),
             body: body.to_string(),
+            keep_alive: true,
         }
     }
 
@@ -1102,6 +1122,7 @@ mod tests {
                 method: "GET".to_string(),
                 path: "/datasets".to_string(),
                 body: String::new(),
+                keep_alive: true,
             },
         );
         assert!(listing.body.contains("uploaded"), "{}", listing.body);
@@ -1168,6 +1189,7 @@ mod tests {
             method: "GET".to_string(),
             path: path.to_string(),
             body: String::new(),
+            keep_alive: true,
         };
         assert_eq!(handle(&ctx, &get("/healthz")).status, 200);
         assert_eq!(handle(&ctx, &get("/datasets")).status, 200);

@@ -27,14 +27,18 @@
 //!   exact bytes the uncached run produced.
 //! - [`http`] — a hand-rolled HTTP/1.1 front end over
 //!   `std::net::TcpListener` (the sandbox is offline and vendors no HTTP
-//!   stack; the subset implemented here — one request per connection,
-//!   `Content-Length` bodies — is all the API needs).
+//!   stack; the subset implemented here — persistent keep-alive connections,
+//!   pipelined requests out of a rolling buffer, `Content-Length` bodies —
+//!   is all the API needs). `Connection: keep-alive|close` is honored, and
+//!   every wait is bounded by an idle deadline between requests plus a
+//!   whole-request deadline within one.
 //! - [`server`] — the accept loop, driven by the shared
 //!   [`mochy_hypergraph::parallel::WorkerPool`]: connections are handed to a
-//!   fixed set of resident workers through a **bounded** queue, and when the
-//!   queue is full the accept loop answers `503 Service Unavailable` inline
-//!   instead of blocking — explicit backpressure, so overload never wedges
-//!   accept.
+//!   fixed set of resident workers through a **bounded** queue, and a worker
+//!   owns its connection for the whole keep-alive session (up to a
+//!   per-connection request cap). When the queue is full the accept loop
+//!   answers `503 Service Unavailable` inline instead of blocking —
+//!   explicit backpressure, so overload never wedges accept.
 //!
 //! ```no_run
 //! use mochy_hypergraph::HypergraphBuilder;

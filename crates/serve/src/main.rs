@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]
-//!             [--cache N] [--threads N]
+//!             [--cache N] [--threads N] [--max-requests N] [--idle-ms N]
 //!             [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...
 //! ```
 //!
@@ -55,6 +55,15 @@ fn main() {
             "--queue" => config.queue_depth = parse_count(&take_value("--queue"), "--queue"),
             "--cache" => config.cache_capacity = parse_count(&take_value("--cache"), "--cache"),
             "--threads" => config.max_threads = parse_count(&take_value("--threads"), "--threads"),
+            "--max-requests" => {
+                config.max_requests_per_connection =
+                    parse_count(&take_value("--max-requests"), "--max-requests").max(1)
+            }
+            "--idle-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(
+                    parse_count(&take_value("--idle-ms"), "--idle-ms").max(1) as u64,
+                )
+            }
             "--gen" => {
                 let spec = take_value("--gen");
                 let (name, hypergraph) = generate_spec(&spec).unwrap_or_else(|error| {
@@ -161,7 +170,7 @@ fn generate_spec(spec: &str) -> Result<(String, mochy_hypergraph::Hypergraph), S
 
 fn print_usage() {
     eprintln!("usage: mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]");
-    eprintln!("                   [--cache N] [--threads N]");
+    eprintln!("                   [--cache N] [--threads N] [--max-requests N] [--idle-ms N]");
     eprintln!("                   [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...");
     eprintln!("(--load auto-detects text edge-lists and binary .mochy snapshots)");
     eprintln!("routes: GET /healthz, GET /datasets, POST /datasets, POST /count,");

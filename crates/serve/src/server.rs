@@ -3,14 +3,18 @@
 //! The accept loop does exactly two cheap things per connection — accept and
 //! `try_execute` onto a [`WorkerPool`] — so it can never be wedged by a slow
 //! request or a slow client. Request reading, JSON handling, and counting
-//! all happen on the pool's resident workers; when every worker is busy and
-//! the bounded queue is full, the loop answers `503 Service Unavailable`
-//! inline (with a tiny JSON body) and moves on. Overload degrades service,
-//! it never stops it.
+//! all happen on the pool's resident workers; a worker owns its connection
+//! for the whole keep-alive session, serving pipelined requests back to back
+//! until the client closes, the per-connection request cap is reached, or
+//! the idle deadline expires. When every worker is busy and the bounded
+//! queue is full, the loop answers `503 Service Unavailable` inline (with a
+//! tiny JSON body and `connection: close`) and moves on. Overload degrades
+//! service, it never stops it.
 //!
 //! Shutdown is cooperative: `POST /shutdown` (or [`Server::shutdown`]) sets
 //! a flag and pokes the listener with a wake connection so the blocking
-//! `accept` returns. Queued requests drain before the workers exit.
+//! `accept` returns. Queued requests drain before the workers exit, and
+//! persistent connections close after their in-flight exchange.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,7 +25,7 @@ use std::time::{Duration, Instant};
 use mochy_hypergraph::parallel::{PoolSaturated, WorkerPool};
 
 use crate::api::{self, ApiContext, QueryCache};
-use crate::http::{self, RequestError};
+use crate::http::{self, Persistence, RequestError};
 use crate::registry::Registry;
 
 /// Upper bound on bytes drained from an overloaded connection before the
@@ -34,7 +38,8 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Resident request workers.
+    /// Resident request workers. Each busy worker owns one keep-alive
+    /// connection, so this is also the concurrent-connection ceiling.
     pub workers: usize,
     /// Bounded queue of accepted-but-unclaimed connections beyond the busy
     /// workers; when full, new connections get 503.
@@ -43,12 +48,18 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Ceiling on the per-query `threads` parameter.
     pub max_threads: usize,
-    /// Bound on each connection's I/O: the total time allowed to read one
+    /// Bound on each exchange's I/O: the total time allowed to read one
     /// request (a deadline, so slow-drip clients cannot pin a worker) and
     /// the per-call write timeout for the response.
     pub io_timeout: Duration,
     /// Maximum accepted request-body size, in bytes.
     pub max_body_bytes: usize,
+    /// Requests served on one connection before the server closes it —
+    /// bounds how long a single client can monopolize a resident worker.
+    pub max_requests_per_connection: usize,
+    /// How long a persistent connection may sit idle between requests
+    /// before the server closes it silently.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +72,29 @@ impl Default for ServerConfig {
             max_threads: 4,
             io_timeout: Duration::from_secs(10),
             max_body_bytes: 1 << 20,
+            max_requests_per_connection: 128,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The per-connection limits a worker enforces, split out of
+/// [`ServerConfig`] so a connection job captures one small `Copy` value.
+#[derive(Debug, Clone, Copy)]
+struct ConnectionLimits {
+    max_body_bytes: usize,
+    request_timeout: Duration,
+    idle_timeout: Duration,
+    max_requests: usize,
+}
+
+impl ConnectionLimits {
+    fn from_config(config: &ServerConfig) -> Self {
+        Self {
+            max_body_bytes: config.max_body_bytes,
+            request_timeout: config.io_timeout,
+            idle_timeout: config.idle_timeout,
+            max_requests: config.max_requests_per_connection.max(1),
         }
     }
 }
@@ -85,6 +119,8 @@ impl Server {
             max_threads: config.max_threads.max(1),
             num_workers: config.workers.max(1),
             queue_depth: config.queue_depth,
+            max_requests_per_connection: config.max_requests_per_connection.max(1),
+            idle_timeout_ms: u64::try_from(config.idle_timeout.as_millis()).unwrap_or(u64::MAX),
             started: Instant::now(),
         });
         let accept_shutdown = Arc::clone(&shutdown);
@@ -144,6 +180,7 @@ fn accept_loop(
     // Dropped at the end of this function: joins the workers only after the
     // queued connections have been served.
     let pool = WorkerPool::new(config.workers, config.queue_depth);
+    let limits = ConnectionLimits::from_config(config);
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -160,7 +197,6 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             break; // the stream (possibly the wake connection) just closes
         }
-        let _ = stream.set_read_timeout(Some(config.io_timeout));
         let _ = stream.set_write_timeout(Some(config.io_timeout));
         let _ = stream.set_nodelay(true);
 
@@ -169,18 +205,9 @@ fn accept_loop(
         let overload_handle = stream.try_clone();
         let job_context = Arc::clone(context);
         let job_shutdown = Arc::clone(shutdown);
-        let max_body_bytes = config.max_body_bytes;
-        let io_timeout = config.io_timeout;
         let submission = pool.try_execute(move || {
             let mut stream = stream;
-            handle_connection(
-                &mut stream,
-                &job_context,
-                &job_shutdown,
-                local_addr,
-                max_body_bytes,
-                io_timeout,
-            );
+            handle_connection(&mut stream, &job_context, &job_shutdown, local_addr, limits);
         });
         match submission {
             Ok(()) => {}
@@ -212,6 +239,7 @@ fn accept_loop(
                         503,
                         &[("retry-after", "1")],
                         &api::error_body("server overloaded; retry shortly"),
+                        Persistence::Close,
                     );
                 }
             }
@@ -219,36 +247,79 @@ fn accept_loop(
     }
 }
 
-/// One request/response exchange, entirely on a worker thread.
+/// One keep-alive session, entirely on a worker thread: exchanges loop until
+/// the client closes or asks to (`Connection: close`), the request cap is
+/// reached, the idle deadline expires, or the server is shutting down.
 fn handle_connection(
     stream: &mut TcpStream,
     context: &ApiContext,
     shutdown: &AtomicBool,
     local_addr: SocketAddr,
-    max_body_bytes: usize,
-    io_timeout: Duration,
+    limits: ConnectionLimits,
 ) {
-    // `io_timeout` bounds the whole request read, not just each read call —
-    // a slow-drip client must not pin a resident worker indefinitely.
-    let request = match http::read_request(stream, max_body_bytes, io_timeout) {
-        Ok(request) => request,
-        Err(error) => {
-            let status = match &error {
-                RequestError::BadRequest(_) => 400,
-                RequestError::PayloadTooLarge(_) => 413,
-                RequestError::Io(_) => 408,
-            };
-            let _ = http::write_response(stream, status, &[], &api::error_body(&error.to_string()));
+    let mut rolling = http::ConnectionBuffer::new();
+    let mut served = 0usize;
+    loop {
+        // `request_timeout` bounds the whole request read (not just each
+        // read call — a slow-drip client must not pin a resident worker),
+        // while `idle_timeout` bounds the silent wait *between* requests.
+        let request = match http::read_request(
+            stream,
+            &mut rolling,
+            limits.max_body_bytes,
+            limits.idle_timeout,
+            limits.request_timeout,
+        ) {
+            Ok(request) => request,
+            // The normal ends of a keep-alive session: the peer hung up
+            // between requests, or went idle past the deadline. Nothing to
+            // answer.
+            Err(RequestError::Closed) | Err(RequestError::IdleTimeout) => return,
+            Err(error) => {
+                let status = match &error {
+                    RequestError::BadRequest(_) => 400,
+                    RequestError::PayloadTooLarge(_) => 413,
+                    _ => 408,
+                };
+                // Framing is no longer trustworthy after a parse failure, so
+                // the error response always closes the connection.
+                let _ = http::write_response(
+                    stream,
+                    status,
+                    &[],
+                    &api::error_body(&error.to_string()),
+                    Persistence::Close,
+                );
+                return;
+            }
+        };
+        served = served.saturating_add(1);
+        let response = api::handle(context, &request);
+        let closing = !request.keep_alive
+            || response.shutdown
+            || served >= limits.max_requests
+            || shutdown.load(Ordering::SeqCst);
+        let persistence = if closing {
+            Persistence::Close
+        } else {
+            Persistence::KeepAlive
+        };
+        let mut headers: Vec<(&str, &str)> = Vec::new();
+        if let Some(state) = response.cache_state {
+            headers.push(("x-mochy-cache", state.as_str()));
+        }
+        let written = http::write_response(
+            stream,
+            response.status,
+            &headers,
+            &response.body,
+            persistence,
+        );
+        if response.shutdown {
+            request_shutdown(shutdown, local_addr);
+        }
+        if closing || written.is_err() {
             return;
         }
-    };
-    let response = api::handle(context, &request);
-    let mut headers: Vec<(&str, &str)> = Vec::new();
-    if let Some(state) = response.cache_state {
-        headers.push(("x-mochy-cache", state.as_str()));
-    }
-    let _ = http::write_response(stream, response.status, &headers, &response.body);
-    if response.shutdown {
-        request_shutdown(shutdown, local_addr);
     }
 }

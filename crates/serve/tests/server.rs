@@ -55,18 +55,104 @@ fn read_response(stream: &mut TcpStream) -> Response {
     }
 }
 
+/// One-shot client: explicitly opts out of keep-alive so the `read_to_string`
+/// framing (read until the server closes) stays valid.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Response {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: mochy\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();
     stream.write_all(body.as_bytes()).unwrap();
     read_response(&mut stream)
+}
+
+/// Sends one request on an already-open keep-alive connection.
+fn send_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+/// Reads one `Content-Length`-framed response off a keep-alive connection
+/// (cannot wait for EOF — the connection stays open). Bytes of the *next*
+/// response (pipelined answers arrive back to back) stay in `carry`. Also
+/// returns the `connection:` header value so tests can pin the advertised
+/// persistence.
+fn read_framed_from(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (Response, String) {
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(position) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break position;
+        }
+        let read = stream.read(&mut chunk).expect("read response head");
+        assert!(read > 0, "connection closed before a full response head");
+        carry.extend_from_slice(&chunk[..read]);
+    };
+    let head = String::from_utf8(carry[..head_end].to_vec()).unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| line.strip_prefix("content-length: "))
+        .expect("content-length header")
+        .parse()
+        .unwrap();
+    let connection = head
+        .lines()
+        .find_map(|line| line.strip_prefix("connection: "))
+        .expect("connection header")
+        .to_string();
+    let body_start = head_end + 4;
+    while carry.len() < body_start + content_length {
+        let read = stream.read(&mut chunk).expect("read response body");
+        assert!(read > 0, "connection closed mid-body");
+        carry.extend_from_slice(&chunk[..read]);
+    }
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in `{head}`"));
+    let cache = head.lines().find_map(|line| {
+        line.strip_prefix("x-mochy-cache: ")
+            .map(|value| value.to_string())
+    });
+    let body = String::from_utf8(carry[body_start..body_start + content_length].to_vec()).unwrap();
+    carry.drain(..body_start + content_length);
+    (
+        Response {
+            status,
+            cache,
+            body,
+        },
+        connection,
+    )
+}
+
+/// [`read_framed_from`] for sequential (non-pipelined) exchanges, where no
+/// bytes may be left over between responses.
+fn read_framed_response(stream: &mut TcpStream) -> (Response, String) {
+    let mut carry = Vec::new();
+    let parsed = read_framed_from(stream, &mut carry);
+    assert!(
+        carry.is_empty(),
+        "server sent bytes beyond the framed response"
+    );
+    parsed
+}
+
+/// True once the peer has closed: a read returning 0 within `patience`.
+fn closed_by_server(stream: &mut TcpStream, patience: Duration) -> bool {
+    stream.set_read_timeout(Some(patience)).unwrap();
+    let mut probe = [0u8; 64];
+    matches!(stream.read(&mut probe), Ok(0))
 }
 
 #[test]
@@ -337,7 +423,7 @@ fn overload_returns_503_without_wedging_the_accept_loop() {
     stalled
         .write_all(
             format!(
-                "POST /count HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n",
+                "POST /count HTTP/1.1\r\nhost: mochy\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
                 body.len()
             )
             .as_bytes(),
@@ -353,7 +439,9 @@ fn overload_returns_503_without_wedging_the_accept_loop() {
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     queued
-        .write_all(b"GET /healthz HTTP/1.1\r\nhost: mochy\r\ncontent-length: 0\r\n\r\n")
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: mochy\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+        )
         .unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
@@ -376,6 +464,192 @@ fn overload_returns_503_without_wedging_the_accept_loop() {
     // …and the accept loop takes fresh requests as if nothing happened.
     let fresh = request(addr, "POST", "/count", body);
     assert_eq!(fresh.status, 200, "{}", fresh.body);
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Three sequential exchanges on one connection; the second /count is a
+    // byte-identical cache hit, proving the session reaches the same API
+    // layer as one-shot connections.
+    send_request(&mut stream, "GET", "/healthz", "");
+    let (health, connection) = read_framed_response(&mut stream);
+    assert_eq!(health.status, 200, "{}", health.body);
+    assert_eq!(connection, "keep-alive");
+
+    let count_body = r#"{"dataset": "fig2", "seed": 11}"#;
+    send_request(&mut stream, "POST", "/count", count_body);
+    let (first, connection) = read_framed_response(&mut stream);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    assert_eq!(connection, "keep-alive");
+    send_request(&mut stream, "POST", "/count", count_body);
+    let (second, _) = read_framed_response(&mut stream);
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+
+    // `Connection: close` mid-stream is honored: the response advertises
+    // close and the server hangs up afterwards.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: mochy\r\nconnection: close\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    let (last, connection) = read_framed_response(&mut stream);
+    assert_eq!(last.status, 200);
+    assert_eq!(connection, "close");
+    assert!(
+        closed_by_server(&mut stream, Duration::from_secs(5)),
+        "server must close after honoring Connection: close"
+    );
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = boot(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Two requests in a single write: both must be answered, in order, off
+    // the rolling buffer.
+    let body = r#"{"dataset": "fig2", "seed": 21}"#;
+    let exchange = format!(
+        "POST /count HTTP/1.1\r\nhost: mochy\r\ncontent-length: {len}\r\n\r\n{body}\
+         POST /count HTTP/1.1\r\nhost: mochy\r\ncontent-length: {len}\r\n\r\n{body}",
+        len = body.len()
+    );
+    stream.write_all(exchange.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut carry = Vec::new();
+    let (first, _) = read_framed_from(&mut stream, &mut carry);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.cache.as_deref(), Some("miss"));
+    let (second, _) = read_framed_from(&mut stream, &mut carry);
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_eq!(second.cache.as_deref(), Some("hit"));
+    assert_eq!(first.body, second.body);
+}
+
+#[test]
+fn request_cap_closes_the_connection_cleanly() {
+    let server = boot(ServerConfig {
+        max_requests_per_connection: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    send_request(&mut stream, "GET", "/healthz", "");
+    let (_, connection) = read_framed_response(&mut stream);
+    assert_eq!(connection, "keep-alive", "request 1 of 2 stays open");
+    send_request(&mut stream, "GET", "/healthz", "");
+    let (response, connection) = read_framed_response(&mut stream);
+    assert_eq!(response.status, 200);
+    assert_eq!(connection, "close", "the cap response advertises close");
+    assert!(
+        closed_by_server(&mut stream, Duration::from_secs(5)),
+        "server must close once the request cap is reached"
+    );
+
+    // The cap frees the worker for other clients; a fresh connection works.
+    assert_eq!(request(addr, "GET", "/healthz", "").status, 200);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped_after_the_deadline() {
+    let server = boot(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    send_request(&mut stream, "GET", "/healthz", "");
+    let (response, connection) = read_framed_response(&mut stream);
+    assert_eq!(response.status, 200);
+    assert_eq!(connection, "keep-alive");
+
+    // Send nothing: the idle deadline must close the session silently (no
+    // error response bytes), and the server keeps accepting new clients.
+    assert!(
+        closed_by_server(&mut stream, Duration::from_secs(5)),
+        "idle connection must be reaped"
+    );
+    assert_eq!(request(addr, "GET", "/healthz", "").status, 200);
+}
+
+#[test]
+fn idle_keepalive_connection_saturates_pool_and_new_clients_get_503() {
+    // One worker, one queue slot — and the worker is pinned not by a stalled
+    // body but by a *persistent* connection parked between requests. The 503
+    // must still be deterministic, advertise close, and clear once the idle
+    // deadline reaps the parked session.
+    let server = boot(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        idle_timeout: Duration::from_millis(600),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Connection A: one complete exchange, then park (worker idle-waits).
+    let mut parked = TcpStream::connect(addr).unwrap();
+    parked
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    send_request(&mut parked, "GET", "/healthz", "");
+    let (response, connection) = read_framed_response(&mut parked);
+    assert_eq!(response.status, 200);
+    assert_eq!(connection, "keep-alive");
+
+    // Connection B: parks in the queue slot.
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    queued
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: mochy\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Connection C: pool saturated — inline 503 that closes the connection.
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    rejected
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: mochy\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    rejected.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+    assert!(raw.contains("connection: close\r\n"), "{raw}");
+    assert!(raw.contains("overloaded"), "{raw}");
+
+    // The idle deadline reaps A, freeing the worker for the queued B…
+    let response = read_response(&mut queued);
+    assert_eq!(response.status, 200, "{}", response.body);
+    // …and A observes its silent close.
+    assert!(
+        closed_by_server(&mut parked, Duration::from_secs(5)),
+        "parked connection must be reaped, not answered"
+    );
+    // The accept loop takes fresh requests as if nothing happened.
+    assert_eq!(request(addr, "GET", "/healthz", "").status, 200);
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! A minimal `mochy-serve` client over plain `std::net::TcpStream`.
 //!
 //! ```text
-//! cargo run --example serve_client -- 127.0.0.1:7700 [--upload NAME=PATH.mochy] [--shutdown]
+//! cargo run --example serve_client -- 127.0.0.1:7700 [--upload NAME=PATH.mochy]
+//!     [--keep-alive N] [--shutdown]
 //! ```
 //!
 //! Queries a running server — `GET /healthz`, `GET /datasets`, one
@@ -9,9 +10,13 @@
 //! cache) — and prints what it finds. With `--upload NAME=PATH` it first
 //! ingests a `.mochy` snapshot through `POST /datasets` (base64 in the
 //! JSON body) and asserts the fresh dataset answers `/count`. With
-//! `--shutdown` it additionally sends `POST /shutdown`, asking the server
-//! to exit cleanly. Exits non-zero on any failure, which is what lets the
-//! CI smoke stage use it as its assertion harness.
+//! `--keep-alive N` it then repeats the `/count` query N times over ONE
+//! persistent connection, asserting every response arrives with status 200
+//! and `connection: keep-alive` — the smoke for the server's HTTP/1.1
+//! keep-alive path. With `--shutdown` it additionally sends
+//! `POST /shutdown`, asking the server to exit cleanly. Exits non-zero on
+//! any failure, which is what lets the CI smoke stage use it as its
+//! assertion harness.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -28,6 +33,18 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7700".to_string());
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    let keep_alive = args
+        .iter()
+        .position(|a| a == "--keep-alive")
+        .map(|position| {
+            args.get(position + 1)
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--keep-alive requires a positive request count");
+                    std::process::exit(2);
+                })
+        });
     let upload = args.iter().position(|a| a == "--upload").map(|position| {
         let spec = args.get(position + 1).unwrap_or_else(|| {
             eprintln!("--upload requires NAME=PATH");
@@ -138,11 +155,91 @@ fn main() {
         again.cache.as_deref().unwrap_or("?"),
     );
 
+    if let Some(requests) = keep_alive {
+        keep_alive_session(&addr, requests, &body, &uncached.body);
+    }
+
     if shutdown {
         let response = request(&addr, "POST", "/shutdown", "");
         expect_status(&response, 200, "/shutdown");
         println!("shutdown requested: {}", response.body);
     }
+}
+
+/// `requests` consecutive `POST /count` exchanges over ONE persistent
+/// connection: every response must be 200, byte-identical to the reference
+/// body, and advertise `connection: keep-alive` (a `close` before the last
+/// exchange means the server dropped the session early).
+fn keep_alive_session(addr: &str, requests: usize, body: &str, reference: &str) {
+    let fail = |message: String| -> ! {
+        eprintln!("keep-alive session against {addr} failed: {message}");
+        std::process::exit(1);
+    };
+    let attempt = || -> std::io::Result<()> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut carry: Vec<u8> = Vec::new();
+        for exchange in 0..requests {
+            stream.write_all(
+                format!(
+                    "POST /count HTTP/1.1\r\nhost: mochy\r\nconnection: keep-alive\r\n\
+                     content-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )?;
+            // Read one Content-Length-framed response from the shared stream.
+            let mut chunk = [0u8; 2048];
+            let head_end = loop {
+                if let Some(position) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                    break position;
+                }
+                let read = stream.read(&mut chunk)?;
+                if read == 0 {
+                    fail(format!(
+                        "server closed the connection after {exchange} of {requests} exchanges"
+                    ));
+                }
+                carry.extend_from_slice(&chunk[..read]);
+            };
+            let head = String::from_utf8_lossy(&carry[..head_end]).to_string();
+            let status = head.split(' ').nth(1).unwrap_or("?").to_string();
+            if status != "200" {
+                fail(format!("exchange {exchange}: expected 200, got {status}"));
+            }
+            if !head
+                .lines()
+                .any(|line| line.eq_ignore_ascii_case("connection: keep-alive"))
+            {
+                fail(format!(
+                    "exchange {exchange}: server did not advertise connection: keep-alive\n{head}"
+                ));
+            }
+            let content_length: usize = head
+                .lines()
+                .find_map(|line| line.strip_prefix("content-length: "))
+                .and_then(|value| value.parse().ok())
+                .unwrap_or_else(|| fail(format!("exchange {exchange}: missing content-length")));
+            let body_end = head_end + 4 + content_length;
+            while carry.len() < body_end {
+                let read = stream.read(&mut chunk)?;
+                if read == 0 {
+                    fail(format!("exchange {exchange}: connection closed mid-body"));
+                }
+                carry.extend_from_slice(&chunk[..read]);
+            }
+            let payload = String::from_utf8_lossy(&carry[head_end + 4..body_end]).to_string();
+            if payload != reference {
+                fail(format!(
+                    "exchange {exchange}: response body differs from the per-connection one"
+                ));
+            }
+            carry.drain(..body_end);
+        }
+        Ok(())
+    };
+    attempt().unwrap_or_else(|error| fail(format!("{error}")));
+    println!("keep-alive: {requests} /count exchanges on one connection, all 200 + cached bytes");
 }
 
 struct Response {
@@ -151,14 +248,17 @@ struct Response {
     body: String,
 }
 
-/// One HTTP/1.1 exchange (the server closes the connection per request).
+/// One HTTP/1.1 exchange on a fresh connection. Sends `connection: close`
+/// so the (keep-alive) server ends the response with EOF — which is what
+/// lets this simple client frame it with `read_to_string`.
 fn request(addr: &str, method: &str, path: &str, body: &str) -> Response {
     let attempt = || -> std::io::Result<Response> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nhost: mochy\r\ncontent-length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nhost: mochy\r\nconnection: close\r\n\
+                 content-length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
