@@ -2,10 +2,12 @@
 # CI entry point: formatting, lints (clippy plus the workspace's own
 # mochy-lint pass — determinism, panic-safety, and untrusted-input
 # invariants, writing LINT.json), build, tests, the .mochy snapshot
-# round-trip gate, the serve smoke (booted from a binary snapshot, with a
-# runtime snapshot upload), explicit thread-invariance runs, a compile check
-# of the Criterion bench targets, the deterministic perf smoke behind
-# BENCH.json, the perf-regression gate against the committed
+# round-trip gate, the shard-equivalence gate (scatter-gather MoCHy-E over
+# persisted shard families must merge bit-identically to the unsharded run,
+# writing SHARD.json), the serve smoke (booted from a binary snapshot, with
+# a runtime snapshot upload), explicit thread- and shard-invariance runs, a
+# compile check of the Criterion bench targets, the deterministic perf smoke
+# behind BENCH.json, the perf-regression gate against the committed
 # BENCH_BASELINE.json, the streaming-vs-batch equivalence check of
 # `mochy-exp evolve`, the keep-alive loadtest gate (LOADTEST.json against
 # the committed LOADTEST_BASELINE.json), and finally the per-stage
@@ -98,6 +100,16 @@ run_stage test cargo test "${CARGO_FLAGS[@]}" -q
 # what CI serves is literally the artifact this gate verified.
 run_stage snapshot-roundtrip "${TARGET_DIR}/mochy-exp" snapshot-check --dir snapshots --threads 2
 
+# Shard-equivalence gate (both lanes): split every bench dataset into
+# contiguous shard families (per-shard .mochy snapshots + checksummed
+# manifest, persisted in snapshots/ next to the round-trip artifacts),
+# reload them through the validating manifest reader, and require the
+# scatter-gather merged report at K in {1,2,4} to be bit-identical to the
+# unsharded MoCHy-E run. SHARD.json records the full matrix (uploaded as a
+# CI artifact) and the stage exits non-zero on any divergence.
+run_stage shard-equivalence "${TARGET_DIR}/mochy-exp" shard-check \
+  --dir snapshots --shards 1,2,4 --threads 2 --json SHARD.json
+
 # Serve smoke (both lanes): boot mochy-serve FROM A .mochy SNAPSHOT on an
 # ephemeral port, drive /healthz + /datasets + /count through the example
 # client — which also uploads a second snapshot through POST /datasets,
@@ -106,10 +118,19 @@ run_stage snapshot-roundtrip "${TARGET_DIR}/mochy-exp" snapshot-check --dir snap
 # exits 0. Binaries are built above; the example client is built here
 # explicitly (plain `cargo build` skips examples).
 serve_smoke() {
-  local boot_spec="$1" upload_args=("${@:2}")
   cargo build "${CARGO_FLAGS[@]}" -p mochy_serve -p mochy --bins --examples
-  local log addr pid
+  local log status=0
   log=$(mktemp)
+  # The driver below has several early-failure returns; running it behind
+  # `|| status=$?` (which also suspends `set -e` inside it) lets this
+  # wrapper remove the temp log on every path instead of leaking it.
+  drive_serve_smoke "$log" "$@" || status=$?
+  rm -f "$log"
+  return "$status"
+}
+drive_serve_smoke() {
+  local log="$1" boot_spec="$2" upload_args=("${@:3}")
+  local addr pid
   "${TARGET_DIR}/mochy-serve" --port 0 --workers 2 --queue 8 --load "$boot_spec" >"$log" 2>&1 &
   pid=$!
   addr=""
@@ -120,10 +141,10 @@ serve_smoke() {
     sleep 0.1
   done
   [[ -n "$addr" ]] || { echo "mochy-serve never reported an address:"; cat "$log"; return 1; }
-  "${TARGET_DIR}/examples/serve_client" "$addr" "${upload_args[@]}" --keep-alive 25 --shutdown
+  "${TARGET_DIR}/examples/serve_client" "$addr" "${upload_args[@]}" --keep-alive 25 --shutdown \
+    || { echo "serve client failed:"; cat "$log"; kill "$pid" 2>/dev/null; wait "$pid" 2>/dev/null; return 1; }
   wait "$pid" || { echo "mochy-serve exited non-zero:"; cat "$log"; return 1; }
   grep -q "clean shutdown" "$log" || { echo "no clean-shutdown marker:"; cat "$log"; return 1; }
-  rm -f "$log"
 }
 serve_smoke_snapshot() {
   [[ -f snapshots/email.mochy && -f snapshots/tags.mochy ]] \
@@ -135,25 +156,31 @@ run_stage serve-smoke serve_smoke_snapshot
 # Text-boot coverage (debug lane only): one run that loads the dataset from
 # a text edge-list instead of a snapshot, so the legacy path keeps working.
 serve_smoke_text() {
-  local text
+  local text status=0
   text=$(mktemp)
-  "${TARGET_DIR}/mochy-exp" gen email 300 900 13 "$text"
-  serve_smoke "ci-text=$text"
+  # Same discipline as serve_smoke: a failing step must not strand the
+  # temp edge-list file.
+  { "${TARGET_DIR}/mochy-exp" gen email 300 900 13 "$text" \
+      && serve_smoke "ci-text=$text"; } || status=$?
   rm -f "$text"
+  return "$status"
 }
 if [[ "$PROFILE" == "debug" ]]; then
   run_stage serve-smoke-text serve_smoke_text
 fi
 
-# Thread-count invariance. Every suite run counts at threads=1 AND at
-# threads=$MOCHY_POOL_THREADS and asserts bit-equality, so these two
+# Thread- and shard-count invariance. Every suite run counts at threads=1
+# AND at threads=$MOCHY_POOL_THREADS and asserts bit-equality, so these two
 # stages explicitly pin threads=1 against both a minimal pool (2, the
 # cheapest configuration that exercises work stealing at all) and the
-# standard pool (8).
+# standard pool (8). The shard_invariance suite rides along at the same
+# pool sizes, pinning K in {1,2,4,8} == unsharded under thread variation.
 run_stage invariance-1v2 env MOCHY_POOL_THREADS=2 \
-  cargo test "${CARGO_FLAGS[@]}" -q -p mochy_core --test thread_invariance
+  cargo test "${CARGO_FLAGS[@]}" -q -p mochy_core \
+  --test thread_invariance --test shard_invariance
 run_stage invariance-1v8 env MOCHY_POOL_THREADS=8 \
-  cargo test "${CARGO_FLAGS[@]}" -q -p mochy_core --test thread_invariance
+  cargo test "${CARGO_FLAGS[@]}" -q -p mochy_core \
+  --test thread_invariance --test shard_invariance
 
 if [[ "$PROFILE" == "release" ]]; then
   run_stage bench-compile cargo bench --locked --no-run

@@ -157,6 +157,14 @@ pub struct CountConfig {
     /// When `Some(k)` (k = 3 or 4), the report additionally carries exact
     /// generalized h-motif counts over `k` hyperedges (Section 2.2).
     pub generalized_k: Option<u32>,
+    /// Number of contiguous hyperedge shards for [`Method::Exact`]. `0` and
+    /// `1` both mean unsharded; `K > 1` routes through the scatter-gather
+    /// path ([`crate::shard`]): per-shard internal counting plus a
+    /// deterministic boundary exchange, merged order-fixed. The merged
+    /// report is bit-identical to the unsharded run for every `K`
+    /// (shard-count invariance, pinned by `shard_invariance.rs` and the
+    /// `shard-check` CI gate).
+    pub shards: usize,
 }
 
 impl CountConfig {
@@ -167,6 +175,7 @@ impl CountConfig {
             threads: 1,
             seed: 0,
             generalized_k: None,
+            shards: 1,
         }
     }
 
@@ -213,6 +222,19 @@ impl CountConfig {
     /// Sets the RNG seed used by sampling methods.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Splits exact counting across `k` contiguous hyperedge shards
+    /// (scatter-gather; merged bit-identical to unsharded). Only
+    /// [`Method::Exact`] decomposes this way — sampling estimators draw
+    /// from the global hyperwedge distribution.
+    pub fn shards(mut self, k: usize) -> Self {
+        assert!(
+            matches!(self.method, Method::Exact),
+            "sharded counting supports Method::Exact only"
+        );
+        self.shards = k;
         self
     }
 
@@ -367,15 +389,36 @@ impl MotifEngine {
             Method::Exact => {
                 let ((projected, projection), projection_time) =
                     timed(|| self.eager_projection(hypergraph, threads));
-                let (counts, counting_time) = timed(|| {
-                    if threads > 1 {
-                        mochy_e_parallel(hypergraph, &projected, threads)
-                    } else {
-                        mochy_e(hypergraph, &projected)
-                    }
-                });
-                let report = self.base_report(counts, projection, Some(&projected), hypergraph);
-                (report, projection_time, counting_time)
+                if self.config.shards > 1 {
+                    // Scatter-gather: per-shard internal counting plus the
+                    // boundary exchange, merged order-fixed. The merged
+                    // counts and hyperwedge total are bit-identical to the
+                    // unsharded branch below, so the report compares equal
+                    // across shard counts (PartialEq ignores timings).
+                    let ((counts, num_hyperwedges), counting_time) = timed(|| {
+                        let partials = crate::shard::count_sharded(
+                            hypergraph,
+                            &projected,
+                            self.config.shards,
+                            threads,
+                        );
+                        crate::shard::merge_partials(&partials)
+                    });
+                    let mut report =
+                        self.base_report(counts, projection, Some(&projected), hypergraph);
+                    report.num_hyperwedges = Some(num_hyperwedges);
+                    (report, projection_time, counting_time)
+                } else {
+                    let (counts, counting_time) = timed(|| {
+                        if threads > 1 {
+                            mochy_e_parallel(hypergraph, &projected, threads)
+                        } else {
+                            mochy_e(hypergraph, &projected)
+                        }
+                    });
+                    let report = self.base_report(counts, projection, Some(&projected), hypergraph);
+                    (report, projection_time, counting_time)
+                }
             }
             Method::Incremental => {
                 // Replay every hyperedge through the streaming engine; the

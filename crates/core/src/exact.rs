@@ -94,8 +94,10 @@ pub fn mochy_e_per_edge(hypergraph: &Hypergraph, projected: &ProjectedGraph) -> 
 }
 
 /// Shared inner loop of Algorithms 2 and 3: visits every instance attributed
-/// to centre hyperedge `i` exactly once, calling `emit(motif, j, k)`.
-fn count_instances_centred_at<F>(
+/// to centre hyperedge `i` exactly once, calling `emit(motif, j, k)`. Also
+/// reused by the sharded scatter-gather path ([`crate::shard`]), whose
+/// boundary pass filters the emitted instances by shard membership.
+pub(crate) fn count_instances_centred_at<F>(
     hypergraph: &Hypergraph,
     projected: &ProjectedGraph,
     catalog: &MotifCatalog,

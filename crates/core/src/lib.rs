@@ -42,6 +42,10 @@
 //! - [`streaming`] — [`streaming::StreamingEngine`]: exact counts maintained
 //!   incrementally under hyperedge insertions and deletions, over a mutable
 //!   projection overlay (evolving-hypergraph workloads).
+//! - [`shard`] — scatter-gather MoCHy-E over contiguous hyperedge shards:
+//!   per-shard internal counting plus a deterministic boundary exchange,
+//!   with an order-fixed merge bit-identical to the unsharded run
+//!   (`CountConfig::shards`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +61,7 @@ pub mod pairwise;
 pub mod pernode;
 pub mod profile;
 pub mod sample;
+pub mod shard;
 pub mod streaming;
 pub mod variance;
 
@@ -69,6 +74,7 @@ pub use pairwise::{PairRelation, PairwiseCensus, PairwiseCollapse, PairwisePatte
 pub use pernode::{mochy_e_per_node, node_participation_totals};
 pub use profile::{characteristic_profile, significance, SignificanceOptions};
 pub use sample::{mochy_a_parallel, mochy_a_plus_parallel};
+pub use shard::{count_sharded, merge_partials, ShardPartial};
 pub use streaming::{StreamConfig, StreamStats, StreamingEngine};
 
 #[allow(deprecated)]

@@ -1,0 +1,329 @@
+//! Sharded MoCHy-E: scatter-gather exact counting, bit-identical to the
+//! unsharded run.
+//!
+//! The hyperwedge formula is per-edge-pair local and the MoCHy-E attribution
+//! rule ([`crate::exact`]) assigns every h-motif instance to exactly one
+//! centre hyperedge, so exact counting decomposes across any partition of
+//! the hyperedges. This module counts in two phases over the contiguous
+//! shard layout of [`mochy_hypergraph::shard`]:
+//!
+//! 1. **Scatter (internal instances).** Each shard's edge slice keeps global
+//!    node ids and order-isomorphic local edge ids, so projecting the slice
+//!    and running plain MoCHy-E on it visits exactly the instances whose
+//!    three hyperedges all live in the shard — with the same per-instance
+//!    classification and the same open/closed attribution decisions as the
+//!    global run (classification depends only on node sets and intersection
+//!    weights; attribution compares edge ids, and local order equals global
+//!    order within a shard).
+//! 2. **Boundary exchange (cross-shard instances).** One pass over the full
+//!    projected graph enumerates every instance through the same shared
+//!    inner loop and keeps only those spanning at least two shards,
+//!    attributing each to its centre's shard. Together the two phases visit
+//!    every instance exactly once.
+//!
+//! The hyperwedge count decomposes the same way: a shard's internal
+//! hyperwedges are the local projection's pair count, and each cross-shard
+//! hyperwedge `{e_i, e_j}` (with `i < j`) is attributed to `shard(i)`.
+//!
+//! **Why the merge is bit-identical.** Every contribution on both paths is
+//! a `+1.0` increment into an `f64` accumulator. The totals stay far below
+//! `2^53`, where floating-point addition of integers is exact — so any
+//! grouping of the same instance multiset sums to identical bits. The merge
+//! is nevertheless defined order-fixed (shard 0, 1, …, K−1; internal before
+//! boundary) so the gather step is deterministic by construction, not by
+//! arithmetic accident. `shard-check` (CI) and `shard_invariance.rs` pin
+//! the resulting reports bit-equal to unsharded MoCHy-E.
+
+use std::ops::Range;
+
+use mochy_hypergraph::{
+    default_chunk_size, edge_slice, map_reduce_chunks, shard_boundaries, EdgeId, Hypergraph,
+};
+use mochy_motif::MotifCatalog;
+use mochy_projection::{project, project_parallel, ProjectedGraph};
+
+use crate::count::MotifCounts;
+use crate::exact::{count_instances_centred_at, mochy_e, mochy_e_parallel};
+
+/// One shard's contribution to a sharded count: everything needed for the
+/// order-fixed gather, kept split by phase so diagnostics (and the
+/// `shard-check` report) can show where each count came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPartial {
+    /// Zero-based shard index.
+    pub shard: usize,
+    /// The global edge span `[start, end)` this shard covers.
+    pub edges: Range<usize>,
+    /// Instances whose three hyperedges all lie in this shard, counted from
+    /// the shard-local projection.
+    pub internal_counts: MotifCounts,
+    /// Instances spanning at least two shards whose centre lies in this
+    /// shard, counted in the boundary exchange over the full projection.
+    pub boundary_counts: MotifCounts,
+    /// Hyperwedges with both hyperedges in this shard.
+    pub internal_hyperwedges: usize,
+    /// Cross-shard hyperwedges `{e_i, e_j}` (`i < j`, different shards) with
+    /// `e_i` in this shard.
+    pub cross_hyperwedges: usize,
+}
+
+impl ShardPartial {
+    /// The shard's merged counts (internal then boundary — both are exact
+    /// integer-valued sums, so this is itself exact).
+    pub fn counts(&self) -> MotifCounts {
+        let mut counts = self.internal_counts.clone();
+        counts.merge(&self.boundary_counts);
+        counts
+    }
+
+    /// The shard's attributed hyperwedge count.
+    pub fn num_hyperwedges(&self) -> usize {
+        self.internal_hyperwedges + self.cross_hyperwedges
+    }
+}
+
+/// Runs both phases of sharded MoCHy-E over `num_shards` contiguous shards,
+/// returning one [`ShardPartial`] per shard. `projected` must be the full
+/// eager projection of `hypergraph` (the boundary pass and the hyperwedge
+/// decomposition read it); the per-shard internal passes build their own
+/// shard-local projections.
+///
+/// `threads` parallelizes each phase on the shared worker pool exactly like
+/// unsharded counting; the partials are thread-count invariant.
+pub fn count_sharded(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    num_shards: usize,
+    threads: usize,
+) -> Vec<ShardPartial> {
+    let num_edges = hypergraph.num_edges();
+    let boundaries = shard_boundaries(num_edges, num_shards);
+    let shards = boundaries.len();
+
+    // Dense edge → shard map for the boundary pass's inner loop.
+    let mut shard_of = vec![0u32; num_edges];
+    for (shard, range) in boundaries.iter().enumerate() {
+        for e in range.clone() {
+            shard_of[e] = shard as u32;
+        }
+    }
+
+    // Phase 1 — scatter: each shard's internal instances from its local
+    // projection. Local edge ids are order-isomorphic to global ids and
+    // node ids are global, so plain MoCHy-E on the slice classifies and
+    // attributes every all-internal instance exactly as the global run.
+    let mut partials: Vec<ShardPartial> = boundaries
+        .iter()
+        .enumerate()
+        .map(|(shard, range)| {
+            if range.is_empty() {
+                return ShardPartial {
+                    shard,
+                    edges: range.clone(),
+                    internal_counts: MotifCounts::zero(),
+                    boundary_counts: MotifCounts::zero(),
+                    internal_hyperwedges: 0,
+                    cross_hyperwedges: 0,
+                };
+            }
+            let local = edge_slice(hypergraph, range.clone())
+                .expect("shard boundaries are in range and non-empty");
+            let local_projected = if threads > 1 {
+                project_parallel(&local, threads)
+            } else {
+                project(&local)
+            };
+            let internal_counts = if threads > 1 {
+                mochy_e_parallel(&local, &local_projected, threads)
+            } else {
+                mochy_e(&local, &local_projected)
+            };
+            ShardPartial {
+                shard,
+                edges: range.clone(),
+                internal_counts,
+                boundary_counts: MotifCounts::zero(),
+                internal_hyperwedges: local_projected.num_hyperwedges(),
+                cross_hyperwedges: 0,
+            }
+        })
+        .collect();
+
+    // Phase 2 — boundary exchange: every instance spanning at least two
+    // shards, attributed to its centre's shard, plus the cross-shard
+    // hyperwedge pairs. Workers accumulate per-shard vectors; worker
+    // partials merge in pool order, then into the shard partials in shard
+    // order — every sum is an exact integer sum, so chunking cannot change
+    // a single bit.
+    let worker_partials = map_reduce_chunks(
+        num_edges,
+        threads,
+        default_chunk_size(num_edges, threads),
+        || {
+            (
+                MotifCatalog::new(),
+                vec![(MotifCounts::zero(), 0usize); shards],
+            )
+        },
+        |(catalog, locals), range| {
+            for i in range {
+                let centre = i as EdgeId;
+                let home = shard_of[i] as usize;
+                count_instances_centred_at(
+                    hypergraph,
+                    projected,
+                    catalog,
+                    centre,
+                    |motif, j, k| {
+                        if shard_of[j as usize] == shard_of[i]
+                            && shard_of[k as usize] == shard_of[i]
+                        {
+                            return; // all-internal: phase 1 counted it
+                        }
+                        locals[home].0.increment(motif);
+                    },
+                );
+                for &(j, _) in projected.neighbors(centre) {
+                    if j > centre && shard_of[j as usize] != shard_of[i] {
+                        locals[home].1 += 1;
+                    }
+                }
+            }
+        },
+    );
+    for (_, locals) in &worker_partials {
+        for (shard, (boundary, cross)) in locals.iter().enumerate() {
+            partials[shard].boundary_counts.merge(boundary);
+            partials[shard].cross_hyperwedges += cross;
+        }
+    }
+    partials
+}
+
+/// The order-fixed gather: folds the partials in shard order (internal
+/// counts before boundary counts within each shard) into the merged motif
+/// counts and the merged hyperwedge count. Associative by exact integer
+/// `f64` arithmetic; the fixed order makes the merge deterministic by
+/// construction as well.
+pub fn merge_partials(partials: &[ShardPartial]) -> (MotifCounts, usize) {
+    let mut counts = MotifCounts::zero();
+    let mut num_hyperwedges = 0usize;
+    for partial in partials {
+        counts.merge(&partial.internal_counts);
+        counts.merge(&partial.boundary_counts);
+        num_hyperwedges += partial.num_hyperwedges();
+    }
+    (counts, num_hyperwedges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochy_hypergraph::HypergraphBuilder;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn figure2() -> Hypergraph {
+        HypergraphBuilder::new()
+            .with_edge([0u32, 1, 2])
+            .with_edge([0, 3, 1])
+            .with_edge([4, 5, 0])
+            .with_edge([6, 7, 2])
+            .build()
+            .unwrap()
+    }
+
+    fn random_hypergraph(seed: u64, nodes: u32, edges: usize, max_size: usize) -> Hypergraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = HypergraphBuilder::new();
+        for _ in 0..edges {
+            let size = rng.gen_range(1..=max_size);
+            let members: Vec<u32> = (0..size).map(|_| rng.gen_range(0..nodes)).collect();
+            builder.add_edge(members);
+        }
+        builder.build().unwrap()
+    }
+
+    fn unsharded(h: &Hypergraph) -> (MotifCounts, usize) {
+        let projected = project(h);
+        (mochy_e(h, &projected), projected.num_hyperwedges())
+    }
+
+    #[test]
+    fn figure2_sharded_matches_unsharded() {
+        let h = figure2();
+        let (expected_counts, expected_wedges) = unsharded(&h);
+        let projected = project(&h);
+        for shards in [1usize, 2, 3, 4] {
+            let partials = count_sharded(&h, &projected, shards, 1);
+            let (counts, wedges) = merge_partials(&partials);
+            assert_eq!(counts, expected_counts, "shards={shards}");
+            assert_eq!(wedges, expected_wedges, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn random_hypergraphs_sharded_match_for_every_shard_and_thread_count() {
+        for seed in 0..4u64 {
+            let h = random_hypergraph(seed, 25, 40, 6);
+            let (expected_counts, expected_wedges) = unsharded(&h);
+            let projected = project(&h);
+            for shards in [1usize, 2, 4, 8] {
+                for threads in [1usize, 2, 4] {
+                    let partials = count_sharded(&h, &projected, shards, threads);
+                    let (counts, wedges) = merge_partials(&partials);
+                    assert_eq!(
+                        counts, expected_counts,
+                        "seed={seed} K={shards} t={threads}"
+                    );
+                    assert_eq!(
+                        wedges, expected_wedges,
+                        "seed={seed} K={shards} t={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_edges_still_merges_correctly() {
+        let h = figure2();
+        let (expected_counts, expected_wedges) = unsharded(&h);
+        let projected = project(&h);
+        let partials = count_sharded(&h, &projected, 9, 1);
+        assert_eq!(partials.len(), 9);
+        let (counts, wedges) = merge_partials(&partials);
+        assert_eq!(counts, expected_counts);
+        assert_eq!(wedges, expected_wedges);
+    }
+
+    #[test]
+    fn partials_decompose_by_phase() {
+        let h = random_hypergraph(7, 20, 30, 5);
+        let projected = project(&h);
+        let partials = count_sharded(&h, &projected, 3, 1);
+        // Internal hyperwedges of each shard equal the local projections'
+        // pair counts; cross pairs make up the difference.
+        let total: usize = partials.iter().map(ShardPartial::num_hyperwedges).sum();
+        assert_eq!(total, projected.num_hyperwedges());
+        // With K=1 everything is internal.
+        let single = count_sharded(&h, &projected, 1, 1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].boundary_counts, MotifCounts::zero());
+        assert_eq!(single[0].cross_hyperwedges, 0);
+        assert_eq!(single[0].internal_hyperwedges, projected.num_hyperwedges());
+    }
+
+    #[test]
+    fn shard_partial_counts_helper_merges_phases() {
+        let h = random_hypergraph(3, 18, 24, 5);
+        let projected = project(&h);
+        let partials = count_sharded(&h, &projected, 2, 1);
+        let (merged, _) = merge_partials(&partials);
+        let mut via_helper = MotifCounts::zero();
+        for partial in &partials {
+            via_helper.merge(&partial.counts());
+        }
+        assert_eq!(merged, via_helper);
+    }
+}

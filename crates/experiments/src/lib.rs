@@ -29,9 +29,12 @@
 //! `mochy-exp evolve`, which drives the streaming engine over a temporal
 //! hyperedge event stream with per-checkpoint verification (both run by
 //! `ci.sh`). The `.mochy` binary-snapshot tooling lives in [`snapshot`]
-//! (`mochy-exp convert` and the `snapshot-check` round-trip gate),
-//! [`cibudget`] implements `mochy-exp ci-budget`, the per-stage wall-clock
-//! gate of the CI pipeline, and [`loadtest`] implements `mochy-exp loadtest`
+//! (`mochy-exp convert` and the `snapshot-check` round-trip gate), the shard
+//! tooling in [`shard`] (`mochy-exp shard` splits a dataset into a
+//! checksummed shard family; `shard-check` is the CI shard-equivalence gate
+//! behind `SHARD.json`), [`cibudget`] implements `mochy-exp ci-budget`, the
+//! per-stage wall-clock gate of the CI pipeline, and [`loadtest`] implements
+//! `mochy-exp loadtest`
 //! — the closed-loop HTTP load harness that proves keep-alive serving beats
 //! connection-per-request and (with `--check`) gates throughput and latency
 //! quantiles against `LOADTEST_BASELINE.json`.
@@ -54,6 +57,7 @@ pub mod nullmodels;
 pub mod pairwise;
 pub mod perf;
 pub mod q3domain;
+pub mod shard;
 pub mod snapshot;
 pub mod table2;
 pub mod table3;

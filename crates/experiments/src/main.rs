@@ -8,6 +8,9 @@
 //! mochy-exp gen <domain> <nodes> <edges> <seed> <path>
 //! mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]
 //! mochy-exp convert <input> [<simplices>] <out.mochy>
+//! mochy-exp shard <input> <out-stem> [--shards <k>] [--threads <n>] [--verify]
+//! mochy-exp shard-check [--dir <path>] [--shards <k,k,...>] [--threads <n>]
+//!           [--json <path>]
 //! mochy-exp snapshot-check [--dir <path>] [--threads <n>] [--reps <n>]
 //! mochy-exp ci-budget <budget.json> <profile> <stage>=<ms>...
 //! mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]
@@ -23,7 +26,8 @@
 
 use mochy_experiments::tool::{self, CountAlgorithm};
 use mochy_experiments::{
-    cibudget, evolve, loadtest, perf, run_experiment, snapshot, ExperimentScale, ALL_EXPERIMENTS,
+    cibudget, evolve, loadtest, perf, run_experiment, shard, snapshot, ExperimentScale,
+    ALL_EXPERIMENTS,
 };
 
 fn main() {
@@ -43,6 +47,14 @@ fn main() {
     }
     if command == "convert" {
         run_convert(&args[1..]);
+        return;
+    }
+    if command == "shard" {
+        run_shard(&args[1..]);
+        return;
+    }
+    if command == "shard-check" {
+        run_shard_check(&args[1..]);
         return;
     }
     if command == "snapshot-check" {
@@ -173,6 +185,115 @@ fn run_convert(args: &[String]) {
             eprintln!("convert failed: {error}");
             std::process::exit(1);
         }
+    }
+}
+
+fn run_shard(args: &[String]) {
+    let usage = "usage: mochy-exp shard <input> <out-stem> [--shards <k>] [--threads <n>] \
+                 [--verify]";
+    let mut options = shard::ShardSplitOptions::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |text: String, what: &str| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--shards" => options.shards = parse_count(take_value("--shards"), "shard count"),
+            "--threads" => options.threads = parse_count(take_value("--threads"), "thread count"),
+            "--verify" => options.verify = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+            _ => positional.push(argument),
+        }
+    }
+    let [input, stem] = positional.as_slice() else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    match shard::split(input, stem, &options) {
+        Ok(summary) => println!("{summary}"),
+        Err(error) => {
+            eprintln!("shard failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_shard_check(args: &[String]) {
+    let usage = "usage: mochy-exp shard-check [--dir <path>] [--shards <k,k,...>] \
+                 [--threads <n>] [--json <path>]";
+    let mut options = shard::ShardCheckOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--dir" => options.dir = take_value("--dir"),
+            "--json" => json_path = Some(take_value("--json")),
+            "--threads" => {
+                options.threads = take_value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("invalid thread count");
+                    std::process::exit(2);
+                })
+            }
+            "--shards" => {
+                let list = take_value("--shards");
+                options.shards = list
+                    .split(',')
+                    .map(|text| {
+                        text.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid shard count `{text}` in `{list}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let outcome = shard::shard_check(&options).unwrap_or_else(|error| {
+        eprintln!("shard-check failed to run: {error}");
+        std::process::exit(1);
+    });
+    // SHARD.json records the full matrix even when the gate fails, so the
+    // uploaded artifact shows *what* diverged.
+    if let Some(path) = &json_path {
+        if let Err(error) = std::fs::write(path, &outcome.json) {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+    print!("{}", outcome.table);
+    if outcome.violations.is_empty() {
+        println!("shard-equivalence gate passed: all merged reports bit-identical");
+    } else {
+        eprintln!(
+            "shard-equivalence gate FAILED:\n{}",
+            outcome.violations.join("\n")
+        );
+        std::process::exit(1);
     }
 }
 
@@ -496,6 +617,11 @@ fn print_usage() {
     eprintln!("       mochy-exp gen <domain> <nodes> <edges> <seed> <path>");
     eprintln!("       mochy-exp count <path> [e|a:<samples>|a+:<samples>] [threads]");
     eprintln!("       mochy-exp convert <input> [<simplices>] <out.mochy>");
+    eprintln!(
+        "       mochy-exp shard <input> <out-stem> [--shards <k>] [--threads <n>] [--verify]"
+    );
+    eprintln!("       mochy-exp shard-check [--dir <path>] [--shards <k,k,...>] [--threads <n>]");
+    eprintln!("                             [--json <path>]");
     eprintln!("       mochy-exp snapshot-check [--dir <path>] [--threads <n>] [--reps <n>]");
     eprintln!("       mochy-exp ci-budget <budget.json> <profile> <stage>=<ms>...");
     eprintln!("       mochy-exp perf [--json <path>] [--threads <n>] [--samples <n>]");

@@ -4,7 +4,8 @@
 //! Times projection and counting separately (via the engine's per-stage
 //! [`CountReport`](mochy_core::CountReport) timings) for all six counting
 //! methods — MoCHy-E, streamed-incremental, MoCHy-A, MoCHy-A+, adaptive
-//! MoCHy-A+, and on-the-fly MoCHy-A+ — on every
+//! MoCHy-A+, and on-the-fly MoCHy-A+ — plus a sharded-exact row
+//! (`mochy-e-sharded`, scatter-gather MoCHy-E at K = 4 shards) on every
 //! [`mochy_bench::bench_datasets`] workload, and renders the result as
 //! machine-readable JSON. Seeds are fixed, so the *counts* in the output are
 //! bit-reproducible; the timings are what CI tracks over time as the
@@ -102,6 +103,9 @@ struct DatasetBlock {
 /// minimum over a few runs is the stable location estimate).
 const LOAD_REPS: usize = 3;
 
+/// Shard count of the `mochy-e-sharded` perf row.
+const SHARDED_K: usize = 4;
+
 fn run_dataset(name: &str, hypergraph: &Hypergraph, options: &PerfOptions) -> DatasetBlock {
     // Load timings go through real files in a scratch directory (cleaned
     // afterwards): the point is to time the actual cold-start path the
@@ -145,6 +149,24 @@ fn run_dataset(name: &str, hypergraph: &Hypergraph, options: &PerfOptions) -> Da
             total_count: report.counts.total(),
         });
     }
+    // Sharded-exact row: the same Method::Exact under the scatter-gather
+    // execution strategy. Its `total_count` must equal the `mochy-e` row's
+    // bit-for-bit, so the baseline comparison doubles as a standing
+    // shard-equivalence check inside the perf gate.
+    let report = CountConfig::new(Method::Exact)
+        .threads(options.threads)
+        .seed(options.seed)
+        .shards(SHARDED_K)
+        .build()
+        .count(hypergraph);
+    block.rows.push(MethodRow {
+        method_name: "mochy-e-sharded",
+        projection_ms: report.projection_time.as_secs_f64() * 1e3,
+        counting_ms: report.counting_time.as_secs_f64() * 1e3,
+        total_ms: report.elapsed.as_secs_f64() * 1e3,
+        samples_drawn: report.samples_drawn,
+        total_count: report.counts.total(),
+    });
     block
 }
 
@@ -557,7 +579,7 @@ mod tests {
     }
 
     #[test]
-    fn perf_json_is_valid_and_covers_all_six_methods() {
+    fn perf_json_is_valid_and_covers_all_method_rows() {
         let datasets = vec![tiny_dataset()];
         let json = run_on(&datasets, &tiny_options());
         json::validate(&json).expect("perf output must be valid JSON");
@@ -568,6 +590,7 @@ mod tests {
             "mochy-a+\"",
             "mochy-a+-adaptive",
             "mochy-a+-otf",
+            "mochy-e-sharded",
         ] {
             assert!(json.contains(name), "missing method {name} in:\n{json}");
         }
@@ -664,6 +687,8 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(total("mochy-e"), total("incremental"));
+        // The scatter-gather row is exact too: bit-identical to MoCHy-E.
+        assert_eq!(total("mochy-e"), total("mochy-e-sharded"));
     }
 
     #[test]

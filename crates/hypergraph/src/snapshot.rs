@@ -195,8 +195,9 @@ fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
 }
 
 /// FNV-1a 64-bit of `bytes` in one shot (the read path has the whole file
-/// in memory anyway).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// in memory anyway). Shared with the shard-manifest reader/writer
+/// ([`crate::shard`]), which uses the same trailer discipline.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     fnv1a64_update(FNV_OFFSET, bytes)
 }
 

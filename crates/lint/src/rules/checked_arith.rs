@@ -1,8 +1,9 @@
 //! `checked-untrusted-arith`: length arithmetic on untrusted input goes
 //! through the checked helpers.
 //!
-//! Two files parse bytes an attacker (or a corrupt disk) controls: the
-//! `.mochy` snapshot reader (`crates/hypergraph/src/snapshot.rs`) and the
+//! Three files parse bytes an attacker (or a corrupt disk) controls: the
+//! `.mochy` snapshot reader (`crates/hypergraph/src/snapshot.rs`), the
+//! shard-manifest reader (`crates/hypergraph/src/shard.rs`), and the
 //! HTTP request reader (`crates/serve/src/http.rs`). In those files, bare
 //! `+`/`-`/`*` (and their compound forms) over length-typed values can wrap
 //! in release builds — turning a hostile header into a bogus offset instead
@@ -28,6 +29,7 @@ pub struct CheckedUntrustedArith;
 
 /// The untrusted-byte parsers this rule guards.
 const SCOPE: &[&str] = &[
+    "crates/hypergraph/src/shard.rs",
     "crates/hypergraph/src/snapshot.rs",
     "crates/serve/src/http.rs",
 ];

@@ -41,6 +41,9 @@ use crate::registry::{MutateError, Registry, Snapshot, MAX_NODE_ID};
 
 /// Hard ceiling on per-request sample counts (keeps a single query bounded).
 const MAX_SAMPLES: usize = 1_000_000;
+/// Hard ceiling on the per-request `shards` parameter of exact counting
+/// (each shard carries its own projection, so the parameter is cost-bearing).
+const MAX_SHARDS: usize = 64;
 /// Hard ceiling on per-request null-model randomizations.
 const MAX_RANDOMIZATIONS: usize = 16;
 /// Longest accepted dataset name on the ingestion route.
@@ -467,6 +470,11 @@ struct CountQuery {
     dataset: String,
     method: Method,
     threads: usize,
+    /// Scatter-gather shard count for exact counting (1 = unsharded). The
+    /// merged report is bit-identical either way, but the parameter is part
+    /// of the cache key: it changes how the answer is computed, and the key
+    /// must record exactly what was asked.
+    shards: usize,
     seed: u64,
     generalized: Option<u32>,
 }
@@ -506,6 +514,7 @@ impl CountQuery {
             "threads".to_string(),
             JsonValue::Number(self.threads as f64),
         ));
+        members.push(("shards".to_string(), JsonValue::Number(self.shards as f64)));
         members.push(("seed".to_string(), JsonValue::Number(self.seed as f64)));
         members.push((
             "generalized".to_string(),
@@ -562,10 +571,20 @@ fn parse_count_query(ctx: &ApiContext, body: &str) -> Result<CountQuery, ApiErro
             _ => return Err(ApiError::bad("`generalized` must be 3 or 4")),
         },
     };
+    // Sharded counting is an exact-only execution strategy; rejecting the
+    // combination here keeps the engine's `Method::Exact` assertion out of
+    // reach of untrusted bodies.
+    let shards = optional_usize(&body, "shards", 1, MAX_SHARDS)?.max(1);
+    if shards > 1 && !matches!(method, Method::Exact) {
+        return Err(ApiError::bad(
+            "`shards` above 1 requires the exact method (`mochy-e`)",
+        ));
+    }
     Ok(CountQuery {
         dataset,
         method,
         threads: optional_usize(&body, "threads", 1, ctx.max_threads)?.max(1),
+        shards,
         seed: optional_u64(&body, "seed", 0)?,
         generalized,
     })
@@ -608,6 +627,9 @@ fn render_count(query: &CountQuery, snapshot: &Snapshot) -> String {
         let mut config = CountConfig::new(query.method)
             .threads(query.threads)
             .seed(query.seed);
+        if query.shards > 1 {
+            config = config.shards(query.shards);
+        }
         if let Some(k) = query.generalized {
             config = config.generalized(k);
         }
@@ -625,6 +647,7 @@ fn render_count(query: &CountQuery, snapshot: &Snapshot) -> String {
         ),
         ("method".to_string(), JsonValue::string(query.method.name())),
         ("seed".to_string(), JsonValue::Number(query.seed as f64)),
+        ("shards".to_string(), JsonValue::Number(query.shards as f64)),
         (
             "num_nodes".to_string(),
             JsonValue::Number(snapshot.num_nodes() as f64),
@@ -996,6 +1019,12 @@ mod tests {
             (r#"{"dataset": "fig2", "samples": -3}"#, "`samples`"),
             (r#"{"dataset": "fig2", "generalized": 5}"#, "3 or 4"),
             (r#"{"dataset": "fig2", "threads": 99}"#, "`threads`"),
+            (r#"{"dataset": "fig2", "shards": 100}"#, "`shards`"),
+            (r#"{"dataset": "fig2", "shards": -2}"#, "`shards`"),
+            (
+                r#"{"dataset": "fig2", "method": "mochy-a+", "shards": 2}"#,
+                "exact",
+            ),
             (
                 r#"{"dataset": "fig2", "method": "mochy-a+-ratio", "ratio": "5"}"#,
                 "`ratio`",
@@ -1013,6 +1042,32 @@ mod tests {
                 response.body
             );
         }
+    }
+
+    #[test]
+    fn sharded_counts_match_unsharded_and_key_the_cache_by_shard_config() {
+        let ctx = context();
+        let unsharded = handle(&ctx, &post("/count", r#"{"dataset": "fig2"}"#));
+        assert_eq!(unsharded.status, 200, "{}", unsharded.body);
+        let sharded = handle(&ctx, &post("/count", r#"{"dataset": "fig2", "shards": 2}"#));
+        assert_eq!(sharded.status, 200, "{}", sharded.body);
+        // Different execution strategy, so a distinct cache entry…
+        assert_eq!(sharded.cache_state, Some(CacheState::Miss));
+        // …but bit-identical counted quantities.
+        let a = json::parse(&unsharded.body).unwrap();
+        let b = json::parse(&sharded.body).unwrap();
+        for key in ["counts", "total", "num_hyperwedges"] {
+            assert_eq!(a.get(key), b.get(key), "`{key}` diverges");
+        }
+        assert_eq!(b.get("shards").and_then(JsonValue::as_f64), Some(2.0));
+        // Explicit `shards: 1` is the default spelling — shared entry.
+        let explicit = handle(&ctx, &post("/count", r#"{"dataset": "fig2", "shards": 1}"#));
+        assert_eq!(explicit.cache_state, Some(CacheState::Hit));
+        assert_eq!(unsharded.body, explicit.body);
+        // And a repeat of the sharded query hits its own entry.
+        let again = handle(&ctx, &post("/count", r#"{"dataset": "fig2", "shards": 2}"#));
+        assert_eq!(again.cache_state, Some(CacheState::Hit));
+        assert_eq!(sharded.body, again.body);
     }
 
     #[test]
