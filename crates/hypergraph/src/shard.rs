@@ -262,9 +262,10 @@ impl ShardManifest {
             .iter()
             .map(|record| {
                 // Lossless: the structural pass admitted only spans within
-                // num_edges, which is capped at the 32-bit id ceiling.
-                let lo = usize::try_from(record.edge_start).expect("span within id ceiling");
-                let hi = usize::try_from(record.edge_end).expect("span within id ceiling");
+                // num_edges, which is capped at the 32-bit id ceiling. The
+                // saturating fallback keeps this total without a panic path.
+                let lo = usize::try_from(record.edge_start).unwrap_or(usize::MAX);
+                let hi = usize::try_from(record.edge_end).unwrap_or(usize::MAX);
                 lo..hi
             })
             .collect()
@@ -285,9 +286,10 @@ pub fn shard_boundaries(num_edges: usize, num_shards: usize) -> Vec<Range<usize>
         let lo = a * n / k;
         let b = a.saturating_add(1);
         let hi = b * n / k;
-        // Lossless: both quotients are at most n, which came from a usize.
-        let lo = usize::try_from(lo).expect("bounded by num_edges");
-        let hi = usize::try_from(hi).expect("bounded by num_edges");
+        // Lossless: both quotients are at most n, which came from a usize —
+        // the fallback (exact upper bound) keeps this total without a panic.
+        let lo = usize::try_from(lo).unwrap_or(num_edges);
+        let hi = usize::try_from(hi).unwrap_or(num_edges);
         boundaries.push(lo..hi);
     }
     boundaries
@@ -313,9 +315,10 @@ pub fn edge_slice(
     }
     let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(range.len());
     for e in range {
-        // Lossless: e < num_edges, which the snapshot/builder layers cap at
-        // the 32-bit id ceiling.
-        let e = u32::try_from(e).expect("edge id within 32-bit ceiling");
+        // e < num_edges, which the snapshot/builder layers cap at the 32-bit
+        // id ceiling — but propagate a typed error rather than panicking.
+        let e =
+            u32::try_from(e).map_err(|_| HypergraphError::Sharded(ShardError::CountOverflow))?;
         rows.push(hypergraph.edge(e).to_vec());
     }
     Hypergraph::from_sorted_edges(hypergraph.num_nodes(), rows)
@@ -397,7 +400,7 @@ pub fn write_shards(
 /// the trailer is always present.
 fn snapshot_trailing_checksum(bytes: &[u8]) -> u64 {
     let tail = bytes.len().saturating_sub(CHECKSUM_LEN);
-    u64::from_le_bytes(bytes[tail..].try_into().expect("8-byte snapshot trailer"))
+    snapshot::le_u64(bytes.get(tail..).unwrap_or_default())
 }
 
 /// Serializes `manifest` in the version-[`SHARD_FORMAT_VERSION`] layout,
@@ -446,21 +449,23 @@ impl<'a> ManifestFields<'a> {
                 needed: self.position.saturating_add(len),
                 actual: self.bytes.len(),
             })?;
-        let slice = &self.bytes[self.position..end];
+        let slice = self
+            .bytes
+            .get(self.position..end)
+            .ok_or(ShardError::Truncated {
+                needed: end,
+                actual: self.bytes.len(),
+            })?;
         self.position = end;
         Ok(slice)
     }
 
     fn take_u32(&mut self) -> Result<u32, ShardError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(snapshot::le_u32(self.take(4)?))
     }
 
     fn take_u64(&mut self) -> Result<u64, ShardError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(snapshot::le_u64(self.take(8)?))
     }
 }
 
@@ -481,7 +486,7 @@ pub fn read_manifest_bytes(bytes: &[u8]) -> Result<ShardManifest, ShardError> {
             actual: bytes.len(),
         });
     }
-    if bytes[..8] != SHARD_MAGIC {
+    if !bytes.starts_with(&SHARD_MAGIC) {
         return Err(ShardError::BadMagic);
     }
     let mut fields = ManifestFields { bytes, position: 8 };
@@ -515,8 +520,8 @@ pub fn read_manifest_bytes(bytes: &[u8]) -> Result<ShardManifest, ShardError> {
     // Checksum before structure: a flipped bit is reported as corruption of
     // the manifest, not as whichever invariant it happens to break.
     let payload_end = bytes.len().saturating_sub(CHECKSUM_LEN);
-    let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8 bytes"));
-    let computed = snapshot::fnv1a64(&bytes[..payload_end]);
+    let stored = snapshot::le_u64(bytes.get(payload_end..).unwrap_or_default());
+    let computed = snapshot::fnv1a64(bytes.get(..payload_end).unwrap_or_default());
     if stored != computed {
         return Err(ShardError::ChecksumMismatch { stored, computed });
     }

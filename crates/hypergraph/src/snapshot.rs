@@ -305,40 +305,55 @@ impl<'a> Fields<'a> {
                 needed: self.position.saturating_add(len),
                 actual: self.bytes.len(),
             })?;
-        let slice = &self.bytes[self.position..end];
+        let slice = self
+            .bytes
+            .get(self.position..end)
+            .ok_or(SnapshotError::Truncated {
+                needed: end,
+                actual: self.bytes.len(),
+            })?;
         self.position = end;
         Ok(slice)
     }
 
     fn take_u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(le_u32(self.take(4)?))
     }
 
     fn take_u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(le_u64(self.take(8)?))
     }
 
     /// Bulk-decodes `count` little-endian u64s (the offset arrays).
     fn take_u64s(&mut self, count: usize) -> Result<Vec<u64>, SnapshotError> {
         let raw = self.take(count.checked_mul(8).ok_or(SnapshotError::CountOverflow)?)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8 bytes")))
-            .collect())
+        Ok(raw.chunks_exact(8).map(le_u64).collect())
     }
 
     /// Bulk-decodes `count` little-endian u32s (the value arrays).
     fn take_u32s(&mut self, count: usize) -> Result<Vec<u32>, SnapshotError> {
         let raw = self.take(count.checked_mul(4).ok_or(SnapshotError::CountOverflow)?)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|chunk| u32::from_le_bytes(chunk.try_into().expect("4 bytes")))
-            .collect())
+        Ok(raw.chunks_exact(4).map(le_u32).collect())
     }
+}
+
+/// Folds up to eight little-endian bytes into a `u64`. A total function —
+/// no indexing, no fixed-size conversion to panic — so callers that have
+/// already length-checked their slice need no `expect`. Short slices
+/// zero-extend, which never arises on the validated paths here.
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &byte| (acc << 8) | u64::from(byte))
+}
+
+/// Four-byte sibling of [`le_u64`].
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
+    bytes
+        .iter()
+        .rev()
+        .fold(0u32, |acc, &byte| (acc << 8) | u32::from(byte))
 }
 
 /// The exact byte length a snapshot with these counts must have, or `None`
@@ -396,7 +411,7 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
             actual: bytes.len(),
         });
     }
-    if bytes[..8] != MAGIC {
+    if !bytes.starts_with(&MAGIC) {
         return Err(SnapshotError::BadMagic);
     }
     let mut fields = Fields { bytes, position: 8 };
@@ -432,8 +447,8 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
     // Cannot underflow: the minimum-length check above already admitted only
     // buffers of at least MIN_SNAPSHOT_LEN (> CHECKSUM_LEN) bytes.
     let payload_end = bytes.len().saturating_sub(CHECKSUM_LEN);
-    let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8 bytes"));
-    let computed = fnv1a64(&bytes[..payload_end]);
+    let stored = le_u64(bytes.get(payload_end..).unwrap_or_default());
+    let computed = fnv1a64(bytes.get(..payload_end).unwrap_or_default());
     if stored != computed {
         return Err(SnapshotError::ChecksumMismatch { stored, computed });
     }
@@ -484,22 +499,31 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
     )?;
     let incidence_values: Vec<EdgeId> = fields.take_u32s(entries)?;
 
-    // Per-edge rows: non-empty, strictly sorted, in node range.
-    for (edge, bounds) in edge_offsets.windows(2).enumerate() {
-        let row = &edge_values[bounds[0]..bounds[1]];
+    // Per-edge rows: non-empty, strictly sorted, in node range. Offsets were
+    // proved non-decreasing and bounded by num_incidences in decode_offsets,
+    // so the row lookups cannot fail — but they stay fallible (`.get`) rather
+    // than indexing, with a typed error on the impossible branch.
+    let row_bounds = |edge: usize| SnapshotError::Corrupt {
+        section: "edge values",
+        message: format!("hyperedge {edge} has out-of-range row bounds"),
+    };
+    let edge_rows_iter = edge_offsets.iter().zip(edge_offsets.iter().skip(1));
+    for (edge, (&row_start, &row_end)) in edge_rows_iter.clone().enumerate() {
+        let row = edge_values
+            .get(row_start..row_end)
+            .ok_or_else(|| row_bounds(edge))?;
         if row.is_empty() {
             return Err(SnapshotError::Corrupt {
                 section: "edge values",
                 message: format!("hyperedge {edge} is empty"),
             });
         }
-        for pair in row.windows(2) {
-            if pair[0] >= pair[1] {
+        for (first, second) in row.iter().zip(row.iter().skip(1)) {
+            if first >= second {
                 return Err(SnapshotError::Corrupt {
                     section: "edge values",
                     message: format!(
-                        "hyperedge {edge} is not strictly sorted ({} then {})",
-                        pair[0], pair[1]
+                        "hyperedge {edge} is not strictly sorted ({first} then {second})"
                     ),
                 });
             }
@@ -520,36 +544,55 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Hypergraph, SnapshotError> {
     // The incidence section must be the exact transpose of the edge section.
     // One cursor pass verifies it completely: walking the edges in ascending
     // id order must reproduce each node's incidence row left to right.
-    let mut cursors: Vec<usize> = incidence_offsets[..num_nodes].to_vec();
-    for (edge, bounds) in edge_offsets.windows(2).enumerate() {
-        for &node in &edge_values[bounds[0]..bounds[1]] {
+    let mut cursors: Vec<usize> = incidence_offsets
+        .get(..num_nodes)
+        .unwrap_or_default()
+        .to_vec();
+    let transpose_mismatch = |node: usize, edge: usize| SnapshotError::Corrupt {
+        section: "incidence values",
+        message: format!(
+            "incidence index is not the transpose of the hyperedge list \
+             (node {node}, hyperedge {edge})"
+        ),
+    };
+    for (edge, (&row_start, &row_end)) in edge_rows_iter.enumerate() {
+        let row = edge_values
+            .get(row_start..row_end)
+            .ok_or_else(|| row_bounds(edge))?;
+        for &node in row {
             // mochy-lint: allow(checked-untrusted-arith) reason="NodeId is u32 and usize is at least 32 bits on every supported platform, so the widening cast is lossless"
             let node = node as usize;
-            let cursor = cursors[node];
-            // `node + 1` indexes at most the terminal offset entry because the
-            // per-edge row check above proved node < num_nodes; saturating_add
-            // only spells out that it cannot wrap.
-            let row_end = incidence_offsets[node.saturating_add(1)];
-            if cursor >= row_end || incidence_values[cursor] != edge as EdgeId {
-                return Err(SnapshotError::Corrupt {
-                    section: "incidence values",
-                    message: format!(
-                        "incidence index is not the transpose of the hyperedge list \
-                         (node {node}, hyperedge {edge})"
-                    ),
-                });
+            // Every `.get` below is proved in range by the per-edge row check
+            // above (node < num_nodes, and cursors/incidence_offsets carry
+            // num_nodes / num_nodes + 1 entries); a miss still reports the
+            // transpose mismatch rather than indexing.
+            let cursor = cursors
+                .get(node)
+                .copied()
+                .ok_or_else(|| transpose_mismatch(node, edge))?;
+            let incidence_row_end = incidence_offsets
+                .get(node.saturating_add(1))
+                .copied()
+                .ok_or_else(|| transpose_mismatch(node, edge))?;
+            if cursor >= incidence_row_end
+                || incidence_values.get(cursor) != Some(&(edge as EdgeId))
+            {
+                return Err(transpose_mismatch(node, edge));
             }
-            // Bounded by `cursor < row_end` just above, so no wrap is possible.
-            cursors[node] = cursor.saturating_add(1);
+            if let Some(slot) = cursors.get_mut(node) {
+                // Bounded by `cursor < incidence_row_end` above, so no wrap.
+                *slot = cursor.saturating_add(1);
+            }
         }
     }
-    for (node, bounds) in incidence_offsets.windows(2).enumerate() {
-        if cursors[node] != bounds[1] {
+    let node_rows_iter = incidence_offsets.iter().skip(1).zip(cursors.iter());
+    for (node, (&incidence_row_end, &cursor)) in node_rows_iter.enumerate() {
+        if cursor != incidence_row_end {
             return Err(SnapshotError::Corrupt {
                 section: "incidence values",
                 message: format!(
                     "node {node} has {} extra incidence entries not backed by any hyperedge",
-                    bounds[1].saturating_sub(cursors[node])
+                    incidence_row_end.saturating_sub(cursor)
                 ),
             });
         }

@@ -1,0 +1,427 @@
+//! Name-resolved intra-workspace call graph: the second layer of the
+//! cross-file pass.
+//!
+//! Call sites are `ident (` token pairs (macros, definitions, and
+//! attribute pseudo-calls excluded), attributed to the innermost enclosing
+//! function and classified by receiver shape:
+//!
+//! - `self.name(...)`        → methods of the caller's `impl` type;
+//! - `Type::name(...)`       → methods/associated fns of `Type`
+//!   (`Self::` maps to the caller's impl type);
+//! - `module::name(...)`     → free fns in the module with that layout path;
+//! - `name(...)`             → free fns: same file, then same crate, then a
+//!   workspace-unique free fn;
+//! - `expr.name(...)`        → resolved only when exactly ONE workspace
+//!   method carries that name — ambiguity produces *no* edge rather than a
+//!   guessed one, so a `BTreeMap::insert` on a guard never aliases
+//!   `Registry::insert`.
+//!
+//! Test regions (the `regions` mask) contribute no call sites and no
+//! resolution targets. The graph is therefore an under-approximation; the
+//! rules built on it (lock-order, guard-across-blocking) are tuned so a
+//! missed edge costs a missed warning, never a false one.
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+use crate::symbols::SymbolIndex;
+
+/// A resolved call edge occurrence.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Caller fn index in the symbol table.
+    pub caller: usize,
+    /// Callee fn index.
+    pub callee: usize,
+    /// Token index of the callee-name token in the caller's file.
+    pub tok: usize,
+    pub line: u32,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every resolved call occurrence, in (file, token) order.
+    pub calls: Vec<CallSite>,
+    /// Adjacency: fn index → sorted, deduped callee fn indices.
+    pub edges: Vec<Vec<usize>>,
+    /// Total `ident (` call sites considered (resolved or not), test
+    /// regions excluded. Reported in the JSON stats.
+    pub sites_seen: usize,
+}
+
+impl CallGraph {
+    pub fn build(files: &[SourceFile], symbols: &SymbolIndex) -> CallGraph {
+        let mut graph = CallGraph {
+            edges: vec![Vec::new(); symbols.functions.len()],
+            ..CallGraph::default()
+        };
+        for (file_id, file) in files.iter().enumerate() {
+            scan_file(file_id, file, symbols, &mut graph);
+        }
+        for adj in &mut graph.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        graph
+    }
+
+    /// Marks every fn from which any fn in `roots` is reachable (including
+    /// the roots themselves): reverse transitive closure over call edges.
+    pub fn reaches(&self, roots: &[bool]) -> Vec<bool> {
+        let mut reach = roots.to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (caller, adj) in self.edges.iter().enumerate() {
+                if reach[caller] {
+                    continue;
+                }
+                if adj.iter().any(|c| reach[*c]) {
+                    reach[caller] = true;
+                    changed = true;
+                }
+            }
+        }
+        reach
+    }
+
+    /// Resolved call sites of `caller` whose name token lies in
+    /// `(start, end)`, in token order.
+    pub fn calls_within<'a>(
+        &'a self,
+        caller: usize,
+        start: usize,
+        end: usize,
+    ) -> impl Iterator<Item = &'a CallSite> + 'a {
+        self.calls
+            .iter()
+            .filter(move |c| c.caller == caller && c.tok > start && c.tok < end)
+    }
+}
+
+/// How a call site names its callee.
+enum Shape {
+    /// `self.name(...)`
+    SelfMethod,
+    /// `Seg::name(...)` — `Seg` is the immediate path segment.
+    Qualified(String),
+    /// `name(...)` with no receiver.
+    Bare,
+    /// `expr.name(...)` with a non-`self` receiver.
+    Method,
+}
+
+fn scan_file(file_id: usize, file: &SourceFile, symbols: &SymbolIndex, graph: &mut CallGraph) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || crate::lexer::is_keyword(&t.text)
+            || file.is_test_line(t.line)
+        {
+            continue;
+        }
+        if toks.get(i + 1).map(|n| n.text != "(").unwrap_or(true) {
+            continue;
+        }
+        // Uppercase initials are tuple structs / enum variants, not fns.
+        if t.text
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_uppercase())
+            .unwrap_or(true)
+        {
+            continue;
+        }
+        let prev = i
+            .checked_sub(1)
+            .map(|p| toks[p].text.as_str())
+            .unwrap_or("");
+        // Definitions and attribute pseudo-calls (`#[cfg(...)]`).
+        if matches!(prev, "fn" | "#" | "[") {
+            continue;
+        }
+        let Some(caller) = symbols.enclosing_fn(file_id, i) else {
+            continue;
+        };
+        if symbols.functions[caller].is_test {
+            continue;
+        }
+        graph.sites_seen += 1;
+
+        let shape = match prev {
+            "." => {
+                let recv = i
+                    .checked_sub(2)
+                    .map(|p| toks[p].text.as_str())
+                    .unwrap_or("");
+                if recv == "self" {
+                    Shape::SelfMethod
+                } else {
+                    Shape::Method
+                }
+            }
+            "::" => {
+                let seg = i
+                    .checked_sub(2)
+                    .map(|p| toks[p].text.as_str())
+                    .unwrap_or("");
+                Shape::Qualified(seg.to_string())
+            }
+            _ => Shape::Bare,
+        };
+        for callee in resolve(&shape, &t.text, caller, file_id, symbols) {
+            graph.calls.push(CallSite {
+                caller,
+                callee,
+                tok: i,
+                line: t.line,
+            });
+            graph.edges[caller].push(callee);
+        }
+    }
+}
+
+/// Resolution per the module docs. Returns fn indices (possibly several
+/// for same-crate free-fn collisions; empty when unresolvable/ambiguous).
+fn resolve(
+    shape: &Shape,
+    name: &str,
+    caller: usize,
+    file_id: usize,
+    symbols: &SymbolIndex,
+) -> Vec<usize> {
+    let live = |i: &usize| !symbols.functions[*i].is_test;
+    match shape {
+        Shape::SelfMethod => {
+            let Some(ty) = symbols.functions[caller].impl_type.clone() else {
+                return Vec::new();
+            };
+            symbols
+                .fns_named(name)
+                .filter(live)
+                .filter(|i| symbols.functions[*i].impl_type.as_deref() == Some(ty.as_str()))
+                .collect()
+        }
+        Shape::Qualified(seg) => {
+            let seg = if seg == "Self" {
+                match symbols.functions[caller].impl_type.clone() {
+                    Some(ty) => ty,
+                    None => return Vec::new(),
+                }
+            } else {
+                seg.clone()
+            };
+            if seg
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_uppercase())
+                .unwrap_or(false)
+            {
+                symbols
+                    .fns_named(name)
+                    .filter(live)
+                    .filter(|i| symbols.functions[*i].impl_type.as_deref() == Some(seg.as_str()))
+                    .collect()
+            } else {
+                // Module-qualified free fn: match the final layout segment.
+                symbols
+                    .fns_named(name)
+                    .filter(live)
+                    .filter(|i| {
+                        let f = &symbols.functions[*i];
+                        f.impl_type.is_none()
+                            && f.module
+                                .rsplit("::")
+                                .next()
+                                .map(|m| m == seg)
+                                .unwrap_or(false)
+                    })
+                    .collect()
+            }
+        }
+        Shape::Bare => {
+            let free: Vec<usize> = symbols
+                .fns_named(name)
+                .filter(live)
+                .filter(|i| symbols.functions[*i].impl_type.is_none())
+                .collect();
+            let same_file: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|i| symbols.functions[*i].file == file_id)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let crate_of = |i: usize| {
+                symbols.functions[i]
+                    .module
+                    .split("::")
+                    .next()
+                    .unwrap_or("")
+                    .to_string()
+            };
+            let caller_crate = crate_of(caller);
+            let same_crate: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|i| crate_of(*i) == caller_crate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            // Cross-crate bare call (brought in via `use`): only when the
+            // name is workspace-unique among free fns.
+            match free.as_slice() {
+                [only] => vec![*only],
+                _ => Vec::new(),
+            }
+        }
+        Shape::Method => {
+            let methods: Vec<usize> = symbols
+                .fns_named(name)
+                .filter(live)
+                .filter(|i| symbols.functions[*i].impl_type.is_some())
+                .collect();
+            match methods.as_slice() {
+                [only] => vec![*only],
+                _ => Vec::new(), // ambiguous → no edge
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace(sources: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolIndex) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::from_source(rel, src))
+            .collect();
+        let symbols = SymbolIndex::build(&files);
+        (files, symbols)
+    }
+
+    fn edge_names(graph: &CallGraph, symbols: &SymbolIndex, caller: &str) -> Vec<String> {
+        let caller_id = symbols.fns_named(caller).next().expect("caller exists");
+        graph.edges[caller_id]
+            .iter()
+            .map(|c| symbols.functions[*c].name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn resolves_free_fn_calls_across_files() {
+        let (files, symbols) = workspace(&[
+            ("crates/a/src/lib.rs", "pub fn kernel() {}"),
+            ("crates/b/src/lib.rs", "pub fn driver() { kernel(); }"),
+        ]);
+        let graph = CallGraph::build(&files, &symbols);
+        assert_eq!(edge_names(&graph, &symbols, "driver"), ["kernel"]);
+    }
+
+    #[test]
+    fn local_free_fn_shadows_same_named_method() {
+        let (files, symbols) = workspace(&[
+            (
+                "crates/a/src/lib.rs",
+                "struct Remote; impl Remote { pub fn fetch(&self) {} }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn fetch() {} pub fn driver() { fetch(); }",
+            ),
+        ]);
+        let graph = CallGraph::build(&files, &symbols);
+        let driver = symbols.fns_named("driver").next().unwrap();
+        let callee = graph.edges[driver][0];
+        assert_eq!(symbols.functions[callee].file, 1, "same-file free fn wins");
+    }
+
+    #[test]
+    fn ambiguous_method_names_produce_no_edge_but_unique_ones_resolve() {
+        let (files, symbols) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+                struct A; impl A { pub fn insert(&self) {} pub fn unique_op(&self) {} }
+                struct B; impl B { pub fn insert(&self) {} }
+                pub fn driver(a: &A) { a.insert(); a.unique_op(); }
+                "#,
+        )]);
+        let graph = CallGraph::build(&files, &symbols);
+        assert_eq!(edge_names(&graph, &symbols, "driver"), ["unique_op"]);
+    }
+
+    #[test]
+    fn self_and_type_qualified_calls_prefer_the_impl_type() {
+        let (files, symbols) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+                struct Engine; impl Engine { pub fn run(&self) { self.step(); } fn step(&self) {} }
+                struct Other; impl Other { fn step(&self) {} }
+                pub fn boot() { Engine::bootstrap(); }
+                impl Engine { pub fn bootstrap() {} }
+                "#,
+        )]);
+        let graph = CallGraph::build(&files, &symbols);
+        let run = symbols.fns_named("run").next().unwrap();
+        let callee = graph.edges[run][0];
+        assert_eq!(
+            symbols.functions[callee].impl_type.as_deref(),
+            Some("Engine")
+        );
+        assert_eq!(edge_names(&graph, &symbols, "boot"), ["bootstrap"]);
+    }
+
+    #[test]
+    fn module_qualified_calls_resolve_by_layout_path() {
+        let (files, symbols) = workspace(&[
+            ("crates/serve/src/http.rs", "pub fn read_request() {}"),
+            (
+                "crates/serve/src/server.rs",
+                "pub fn accept_loop() { http::read_request(); }",
+            ),
+        ]);
+        let graph = CallGraph::build(&files, &symbols);
+        assert_eq!(
+            edge_names(&graph, &symbols, "accept_loop"),
+            ["read_request"]
+        );
+    }
+
+    #[test]
+    fn test_regions_contribute_no_call_sites() {
+        let (files, symbols) = workspace(&[(
+            "crates/a/src/lib.rs",
+            r#"
+                pub fn kernel() {}
+                #[cfg(test)]
+                mod tests {
+                    #[test]
+                    fn probe() { crate::kernel(); }
+                }
+                "#,
+        )]);
+        let graph = CallGraph::build(&files, &symbols);
+        assert!(graph.calls.is_empty());
+    }
+
+    #[test]
+    fn reverse_reachability_marks_transitive_callers() {
+        let (files, symbols) = workspace(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn io_root() {} pub fn mid() { io_root(); } pub fn top() { mid(); } pub fn other() {}",
+            ),
+        ]);
+        let graph = CallGraph::build(&files, &symbols);
+        let mut roots = vec![false; symbols.functions.len()];
+        roots[symbols.fns_named("io_root").next().unwrap()] = true;
+        let reach = graph.reaches(&roots);
+        assert!(reach[symbols.fns_named("top").next().unwrap()]);
+        assert!(!reach[symbols.fns_named("other").next().unwrap()]);
+    }
+}

@@ -1,14 +1,28 @@
-//! The rule engine: lex a file, run every rule, apply suppression pragmas,
-//! and report stale or malformed pragmas as diagnostics of their own.
+//! The rule engine: lex the file set, run per-file rules, build the
+//! cross-file semantic pass (symbols → call graph → liveness), run the
+//! workspace rules over it, apply suppression pragmas, and report stale or
+//! malformed pragmas as diagnostics of their own.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, Lexed};
+use crate::liveness::FnLiveness;
 use crate::pragma::parse_pragmas;
 use crate::regions::test_line_mask;
+use crate::symbols::SymbolIndex;
 use mochy_json::JsonValue;
 
 /// The pseudo-rule name diagnostics about pragmas themselves carry
 /// (malformed pragma, stale pragma, unknown rule). Not suppressible.
 pub const PRAGMA_RULE: &str = "lint-pragma";
+
+/// Rules whose pragmas must cite a specific argument in their reason:
+/// (rule, required substring, what the reason must argue).
+const REASON_REQUIREMENTS: &[(&str, &str, &str)] = &[(
+    "unordered-float-merge",
+    "2^53",
+    "the exact integer-sum argument (every addend is an integer-valued f64 \
+     and the total stays below 2^53, so addition order cannot change the sum)",
+)];
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,29 +95,150 @@ pub trait Rule {
     fn name(&self) -> &'static str;
     /// One-line description for `--list-rules` and the JSON report.
     fn description(&self) -> &'static str;
+    /// Where the rule applies, for `--list-rules` and the JSON report.
+    fn scope(&self) -> &'static str;
     /// Appends diagnostics for `file` to `out`.
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
 }
 
-/// Lints one file: runs `rules`, suppresses diagnostics matched by pragmas,
-/// and reports malformed pragmas, stale pragmas, and pragmas naming unknown
-/// rules. Diagnostics come back sorted by line then rule, deduplicated.
-pub fn check_file(rel_path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
-    let file = SourceFile::from_source(rel_path, source);
-    let mut found = Vec::new();
-    for rule in rules {
-        rule.check(&file, &mut found);
-    }
-    found.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
-    found.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+/// A workspace rule: a named check over the cross-file semantic pass.
+pub trait WorkspaceRule {
+    /// The rule's name, as used in `allow(…)` pragmas.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the JSON report.
+    fn description(&self) -> &'static str;
+    /// Where the rule applies, for `--list-rules` and the JSON report.
+    fn scope(&self) -> &'static str;
+    /// Appends diagnostics for the whole workspace to `out`.
+    fn check(&self, workspace: &Workspace, out: &mut Vec<Diagnostic>);
+}
 
+/// The cross-file semantic model workspace rules run against.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub symbols: SymbolIndex,
+    pub callgraph: CallGraph,
+    /// Per-fn guard liveness, indexed like `symbols.functions`.
+    pub liveness: Vec<FnLiveness>,
+}
+
+impl Workspace {
+    /// Runs the three analysis layers in dependency order.
+    pub fn build(files: Vec<SourceFile>) -> Workspace {
+        let symbols = SymbolIndex::build(&files);
+        let callgraph = CallGraph::build(&files, &symbols);
+        let liveness = crate::liveness::analyze(&files, &symbols);
+        Workspace {
+            files,
+            symbols,
+            callgraph,
+            liveness,
+        }
+    }
+
+    /// Summary numbers for the JSON report.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            functions: self.symbols.functions.len(),
+            call_sites: self.callgraph.sites_seen,
+            resolved_calls: self.callgraph.calls.len(),
+            lock_fields: self.symbols.lock_fields.len(),
+            lock_params: self
+                .symbols
+                .functions
+                .iter()
+                .map(|f| f.lock_params.len())
+                .sum(),
+            guard_spans: self.liveness.iter().map(|l| l.spans.len()).sum(),
+        }
+    }
+}
+
+/// Call-graph / lock-surface statistics, reported under `callgraph` in the
+/// `mochy-lint/2` schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    pub functions: usize,
+    pub call_sites: usize,
+    pub resolved_calls: usize,
+    pub lock_fields: usize,
+    pub lock_params: usize,
+    pub guard_spans: usize,
+}
+
+/// The result of linting a file set: diagnostics plus the semantic-pass
+/// statistics.
+pub struct LintOutcome {
+    pub diagnostics: Vec<Diagnostic>,
+    pub stats: WorkspaceStats,
+}
+
+/// Lints a whole file set with the full registry (per-file rules and
+/// workspace rules), optionally restricted to the rule names in `filter`.
+/// Pragma semantics under filtering: pragmas naming a registered but
+/// unselected rule are left alone (no stale check — the rule did not run);
+/// pragmas naming unknown rules are errors regardless.
+pub fn check_sources(sources: &[(&str, &str)], filter: Option<&[String]>) -> LintOutcome {
+    let per_file = crate::rules::all();
+    let workspace_rules = crate::rules::workspace_all();
+    let active = |name: &str| filter.map(|f| f.iter().any(|n| n == name)).unwrap_or(true);
+
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::from_source(rel, src))
+        .collect();
+
+    let mut found = Vec::new();
+    for file in &files {
+        for rule in per_file.iter().filter(|r| active(r.name())) {
+            rule.check(file, &mut found);
+        }
+    }
+    let workspace = Workspace::build(files);
+    for rule in workspace_rules.iter().filter(|r| active(r.name())) {
+        rule.check(&workspace, &mut found);
+    }
+    sort_diagnostics(&mut found);
+    found.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+
+    let known: Vec<&str> = per_file
+        .iter()
+        .map(|r| r.name())
+        .chain(workspace_rules.iter().map(|r| r.name()))
+        .collect();
+    for file in &workspace.files {
+        apply_pragmas(file, &known, &active, &mut found);
+    }
+    sort_diagnostics(&mut found);
+    LintOutcome {
+        diagnostics: found,
+        stats: workspace.stats(),
+    }
+}
+
+fn sort_diagnostics(found: &mut [Diagnostic]) {
+    found.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+}
+
+/// Applies one file's pragmas to the diagnostic set: suppress matches,
+/// enforce per-rule reason requirements, and report unknown/stale/malformed
+/// pragmas.
+fn apply_pragmas(
+    file: &SourceFile,
+    known: &[&str],
+    active: &dyn Fn(&str) -> bool,
+    found: &mut Vec<Diagnostic>,
+) {
     let (pragmas, pragma_errors) = parse_pragmas(&file.lexed);
     let mut used = vec![false; pragmas.len()];
     found.retain(|d| {
-        let matched = pragmas
+        if d.file != file.rel_path {
+            return true;
+        }
+        match pragmas
             .iter()
-            .position(|p| p.rule == d.rule && p.target_line == d.line);
-        match matched {
+            .position(|p| p.rule == d.rule && p.target_line == d.line)
+        {
             Some(index) => {
                 used[index] = true;
                 false
@@ -112,16 +247,38 @@ pub fn check_file(rel_path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<
         }
     });
     for (pragma, used) in pragmas.iter().zip(used) {
-        if !rules.iter().any(|r| r.name() == pragma.rule) {
+        if !known.contains(&pragma.rule.as_str()) {
             file.diag(
-                &mut found,
+                found,
                 PRAGMA_RULE,
                 pragma.comment_line,
                 format!("pragma names unknown rule `{}`", pragma.rule),
             );
-        } else if !used {
+            continue;
+        }
+        if !active(&pragma.rule) {
+            continue; // rule not selected this run: no stale verdict possible
+        }
+        if used {
+            if let Some((_, needle, what)) = REASON_REQUIREMENTS
+                .iter()
+                .find(|(rule, _, _)| *rule == pragma.rule)
+            {
+                if !pragma.reason.contains(needle) {
+                    file.diag(
+                        found,
+                        PRAGMA_RULE,
+                        pragma.comment_line,
+                        format!(
+                            "allow({}) reasons must cite {what} — this one does not",
+                            pragma.rule
+                        ),
+                    );
+                }
+            }
+        } else {
             file.diag(
-                &mut found,
+                found,
                 PRAGMA_RULE,
                 pragma.comment_line,
                 format!(
@@ -132,10 +289,35 @@ pub fn check_file(rel_path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<
         }
     }
     for error in pragma_errors {
-        file.diag(&mut found, PRAGMA_RULE, error.line, error.why);
+        file.diag(found, PRAGMA_RULE, error.line, error.why);
+    }
+}
+
+/// Lints one file with an explicit per-file rule set (unit-test entry; the
+/// production path is `check_sources`). Diagnostics come back sorted by
+/// line then rule, deduplicated.
+pub fn check_file(rel_path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+    let file = SourceFile::from_source(rel_path, source);
+    let mut found = Vec::new();
+    for rule in rules {
+        rule.check(&file, &mut found);
     }
     found.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    found.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+
+    let known: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    apply_pragmas(&file, &known, &|_| true, &mut found);
+    found.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
     found
+}
+
+/// Name, description, and scope of one registered rule, for `--list-rules`
+/// and the JSON report.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub scope: &'static str,
 }
 
 /// The outcome of linting a file set.
@@ -143,8 +325,10 @@ pub fn check_file(rel_path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// `(name, description)` of every active rule.
-    pub rules: Vec<(&'static str, &'static str)>,
+    /// Every rule active in this run.
+    pub rules: Vec<RuleInfo>,
+    /// Semantic-pass statistics.
+    pub stats: WorkspaceStats,
     /// All diagnostics, sorted by file, line, rule.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -153,6 +337,11 @@ impl Report {
     /// Whether the tree is lint-clean.
     pub fn clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Violation count for one rule name.
+    fn violations(&self, rule: &str) -> usize {
+        self.diagnostics.iter().filter(|d| d.rule == rule).count()
     }
 
     /// Human-readable summary: one `file:line` diagnostic per line, then a
@@ -164,27 +353,63 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "mochy-lint: {} file(s), {} rule(s), {} violation(s)\n",
+            "mochy-lint: {} file(s), {} rule(s), {} fn(s), {} call edge(s), {} violation(s)\n",
             self.files_scanned,
             self.rules.len(),
+            self.stats.functions,
+            self.stats.resolved_calls,
             self.diagnostics.len()
         ));
         out
     }
 
-    /// The machine-readable report (schema `mochy-lint/1`), rendered with
+    /// The machine-readable report (schema `mochy-lint/2`), rendered with
     /// `mochy_json` so the byte output is deterministic.
     pub fn to_json(&self) -> JsonValue {
         let rules = self
             .rules
             .iter()
-            .map(|(name, description)| {
+            .map(|info| {
                 JsonValue::Object(vec![
-                    ("name".to_string(), JsonValue::string(*name)),
-                    ("description".to_string(), JsonValue::string(*description)),
+                    ("name".to_string(), JsonValue::string(info.name)),
+                    (
+                        "description".to_string(),
+                        JsonValue::string(info.description),
+                    ),
+                    ("scope".to_string(), JsonValue::string(info.scope)),
+                    (
+                        "violations".to_string(),
+                        JsonValue::Number(self.violations(info.name) as f64),
+                    ),
                 ])
             })
             .collect();
+        let stats = JsonValue::Object(vec![
+            (
+                "functions".to_string(),
+                JsonValue::Number(self.stats.functions as f64),
+            ),
+            (
+                "call_sites".to_string(),
+                JsonValue::Number(self.stats.call_sites as f64),
+            ),
+            (
+                "resolved_calls".to_string(),
+                JsonValue::Number(self.stats.resolved_calls as f64),
+            ),
+            (
+                "lock_fields".to_string(),
+                JsonValue::Number(self.stats.lock_fields as f64),
+            ),
+            (
+                "lock_params".to_string(),
+                JsonValue::Number(self.stats.lock_params as f64),
+            ),
+            (
+                "guard_spans".to_string(),
+                JsonValue::Number(self.stats.guard_spans as f64),
+            ),
+        ]);
         let diagnostics = self
             .diagnostics
             .iter()
@@ -198,12 +423,13 @@ impl Report {
             })
             .collect();
         JsonValue::Object(vec![
-            ("schema".to_string(), JsonValue::string("mochy-lint/1")),
+            ("schema".to_string(), JsonValue::string("mochy-lint/2")),
             (
                 "files_scanned".to_string(),
                 JsonValue::Number(self.files_scanned as f64),
             ),
             ("rules".to_string(), JsonValue::Array(rules)),
+            ("callgraph".to_string(), stats),
             ("clean".to_string(), JsonValue::Bool(self.clean())),
             ("diagnostics".to_string(), JsonValue::Array(diagnostics)),
         ])
@@ -221,6 +447,9 @@ mod tests {
         }
         fn description(&self) -> &'static str {
             "no calls to foo()"
+        }
+        fn scope(&self) -> &'static str {
+            "everywhere"
         }
         fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
             for t in &file.lexed.tokens {
@@ -277,21 +506,44 @@ mod tests {
     }
 
     #[test]
+    fn rule_filtering_skips_stale_checks_for_unselected_rules() {
+        // A pragma for a real but unselected rule must not be "stale".
+        let src = "fn f() { let x = 1; } \
+                   // mochy-lint: allow(lock-order) reason=\"not selected\"\n";
+        let filter = vec!["deterministic-rng".to_string()];
+        let outcome = check_sources(&[("crates/x/src/lib.rs", src)], Some(&filter));
+        assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
+    }
+
+    #[test]
     fn json_report_shape() {
         let report = Report {
             files_scanned: 3,
-            rules: vec![("ban-foo", "no calls to foo()")],
+            rules: vec![RuleInfo {
+                name: "ban-foo",
+                description: "no calls to foo()",
+                scope: "everywhere",
+            }],
+            stats: WorkspaceStats::default(),
             diagnostics: check_file("x.rs", "foo();\n", &rules()),
         };
         let json = report.to_json();
         let parsed = mochy_json::parse(&json.render()).expect("report must round-trip");
         assert_eq!(
             parsed.get("schema").and_then(JsonValue::as_str),
-            Some("mochy-lint/1")
+            Some("mochy-lint/2")
         );
         assert_eq!(
             parsed.get("clean").and_then(JsonValue::as_bool),
             Some(false)
+        );
+        let rules = parsed
+            .get("rules")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(
+            rules[0].get("violations").and_then(JsonValue::as_u64),
+            Some(1)
         );
         let diagnostics = parsed
             .get("diagnostics")

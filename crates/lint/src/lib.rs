@@ -4,33 +4,46 @@
 //! The workspace's correctness story rests on properties that live between
 //! the lines of the type system: bit-identical `CountReport`s across thread
 //! counts, panic-free request handling in `mochy-serve`, fully-validated
-//! untrusted bytes in the `.mochy` and HTTP readers. Each was enforced by
-//! review convention until PRs 4 and 5 showed convention failing quietly.
-//! This crate turns those conventions into machine-checked rules:
+//! untrusted bytes in the `.mochy` and HTTP readers, and — since the lock
+//! surface started growing — deadlock-free, tail-latency-safe locking.
+//! Each was enforced by review convention until PRs 4 and 5 showed
+//! convention failing quietly. This crate turns those conventions into
+//! machine-checked rules:
 //!
 //! 1. [`lexer`] strips a Rust source file to a token stream in which
 //!    strings, chars, and comments cannot masquerade as code;
 //! 2. [`regions`] marks `#[cfg(test)]` / `#[test]` / `mod tests` line spans
 //!    so rules can exempt test code;
-//! 3. [`pragma`] parses `mochy-lint: allow(<rule>) reason="…"` suppression
+//! 3. [`symbols`] → [`callgraph`] → [`liveness`] build the cross-file
+//!    semantic pass: a workspace symbol index (fns, impls, lock fields),
+//!    name-resolved call edges, and per-function lock-guard liveness;
+//! 4. [`pragma`] parses `mochy-lint: allow(<rule>) reason="…"` suppression
 //!    comments — reasons mandatory, stale pragmas are errors;
-//! 4. [`engine`] runs the [`rules`] and folds pragmas into the final
-//!    diagnostic list;
-//! 5. [`lint_workspace`] walks `mochy/` and `crates/` and produces the
-//!    [`Report`] the `mochy-lint` bin renders (text and `mochy_json`).
+//! 5. [`engine`] runs the per-file [`rules`], then the workspace rules
+//!    over the semantic pass, and folds pragmas into the final diagnostic
+//!    list;
+//! 6. [`lint_workspace`] walks `mochy/` and `crates/` and produces the
+//!    [`Report`] the `mochy-lint` bin renders (text and `mochy_json`,
+//!    schema `mochy-lint/2`).
 //!
 //! Vendored stand-ins under `vendor/` are third-party API surface, not
 //! workspace code, and are not scanned.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod liveness;
 pub mod pragma;
 pub mod regions;
 pub mod rules;
+pub mod symbols;
 
-pub use engine::{check_file, Diagnostic, Report, Rule, SourceFile};
+pub use engine::{
+    check_file, check_sources, Diagnostic, LintOutcome, Report, Rule, RuleInfo, SourceFile,
+    Workspace, WorkspaceRule, WorkspaceStats,
+};
 
 use std::path::{Path, PathBuf};
 
@@ -39,25 +52,37 @@ const SCAN_ROOTS: &[&str] = &["mochy", "crates"];
 
 /// Lints every `.rs` file under the workspace's first-party source roots
 /// and returns the combined report. Files are visited in sorted path order
-/// so diagnostics (and the JSON report) are deterministic.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
-    let rules = rules::all();
+/// so diagnostics (and the JSON report) are deterministic. `filter`
+/// restricts the run to the named rules (both per-file and workspace);
+/// `None` runs everything.
+pub fn lint_workspace(root: &Path, filter: Option<&[String]>) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for scan_root in SCAN_ROOTS {
         collect_rs_files(&root.join(scan_root), &mut files)?;
     }
     files.sort();
-    let mut diagnostics = Vec::new();
+    let mut sources = Vec::new();
     for path in &files {
         let source = std::fs::read_to_string(path)?;
-        let rel_path = rel_to(root, path);
-        diagnostics.extend(check_file(&rel_path, &source, &rules));
+        sources.push((rel_to(root, path), source));
     }
-    diagnostics.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), src.as_str()))
+        .collect();
+    let outcome = check_sources(&borrowed, filter);
+    let rules = match filter {
+        Some(names) => rules::infos()
+            .into_iter()
+            .filter(|info| names.iter().any(|n| n == info.name))
+            .collect(),
+        None => rules::infos(),
+    };
     Ok(Report {
         files_scanned: files.len(),
-        rules: rules.iter().map(|r| (r.name(), r.description())).collect(),
-        diagnostics,
+        rules,
+        stats: outcome.stats,
+        diagnostics: outcome.diagnostics,
     })
 }
 
@@ -97,16 +122,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn rule_registry_has_at_least_five_named_rules() {
-        let rules = rules::all();
-        assert!(rules.len() >= 5, "{} rules", rules.len());
-        let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    fn rule_registry_has_eight_named_rules_with_scopes() {
+        let infos = rules::infos();
+        assert!(infos.len() >= 8, "{} rules", infos.len());
+        let mut names: Vec<&str> = infos.iter().map(|i| i.name).collect();
         let total = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), total, "duplicate rule names");
-        for rule in &rules {
-            assert!(!rule.description().is_empty());
+        for info in &infos {
+            assert!(!info.description.is_empty());
+            assert!(!info.scope.is_empty());
+        }
+        for required in [
+            "lock-order",
+            "guard-across-blocking",
+            "unordered-float-merge",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
         }
     }
 

@@ -1,0 +1,530 @@
+//! Per-function lock-guard liveness: the third layer of the cross-file
+//! pass.
+//!
+//! An *acquisition* is a zero-argument `.lock()` / `.read()` / `.write()`
+//! whose receiver resolves to a known lock — a `Mutex`/`RwLock` struct
+//! field from the symbol index (`self.published.lock()` →
+//! `Dataset.published`) or a lock-typed parameter of the enclosing fn
+//! (`receiver.lock()` in `worker_loop`). The zero-argument requirement is
+//! what keeps `stream.read(&mut buf)` IO out of the lock analysis.
+//!
+//! Each acquisition produces a *guard span* over the file token stream:
+//!
+//! - `let g = x.lock()…;` — live from the binding statement to the end of
+//!   the innermost enclosing block, ended early by `drop(g)` or by a
+//!   rebinding (`g = …` / a shadowing `let g = …`). The right-hand side
+//!   must be a plain receiver chain (`self.published.lock().…`) for the
+//!   binding to hold the guard; `let job = match receiver.lock() {…}` or
+//!   `let v = f(&x.lock())` bind a *result*, so the guard is a temporary;
+//! - `g = x.lock()…;` (plain reassignment) — same as a binding;
+//! - any other position (a statement temporary, e.g. a `match` scrutinee
+//!   or `Arc::clone(&x.lock()…)`) — live to the end of its statement.
+//!
+//! Scope tracking is brace-matched, so guards bound inside nested blocks
+//! die at the inner `}` while an early `return` above the span's end keeps
+//! every token it can actually reach inside the span. The rules consume
+//! spans as token ranges and intersect them with call sites and further
+//! acquisitions.
+
+use crate::engine::SourceFile;
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::{FnSym, LockKind, SymbolIndex};
+
+/// A resolved lock acquisition.
+#[derive(Debug)]
+pub struct Acquisition {
+    /// Canonical lock identity: `Struct.field` for fields,
+    /// `module::fn(param)` for lock-typed parameters.
+    pub lock: String,
+    /// Token index of the `lock`/`read`/`write` name.
+    pub tok: usize,
+    pub line: u32,
+}
+
+/// A guard's live token range `(start, end]` within one file.
+#[derive(Debug)]
+pub struct GuardSpan {
+    pub lock: String,
+    /// Binding name, `None` for statement temporaries.
+    pub binder: Option<String>,
+    /// Token index of the acquisition (span opens here).
+    pub start: usize,
+    /// Last token index at which the guard is live.
+    pub end: usize,
+    pub line: u32,
+}
+
+/// Acquisitions and guard spans for one function.
+#[derive(Debug, Default)]
+pub struct FnLiveness {
+    pub acquisitions: Vec<Acquisition>,
+    pub spans: Vec<GuardSpan>,
+}
+
+/// Per-fn liveness for the whole workspace, indexed like
+/// `SymbolIndex::functions`.
+pub fn analyze(files: &[SourceFile], symbols: &SymbolIndex) -> Vec<FnLiveness> {
+    symbols
+        .functions
+        .iter()
+        .map(|f| match f.body {
+            Some(body) if !f.is_test => analyze_fn(&files[f.file], f, body, symbols),
+            _ => FnLiveness::default(),
+        })
+        .collect()
+}
+
+fn analyze_fn(
+    file: &SourceFile,
+    func: &FnSym,
+    (body_open, body_close): (usize, usize),
+    symbols: &SymbolIndex,
+) -> FnLiveness {
+    let toks = &file.lexed.tokens;
+    let mut live = FnLiveness::default();
+    for i in body_open + 1..body_close {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        let method = t.text.as_str();
+        if !matches!(method, "lock" | "read" | "write") {
+            continue;
+        }
+        // Shape: `. method ( )` — zero arguments.
+        let dotted = i >= 1 && toks[i - 1].text == ".";
+        let zero_arg = toks.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.text == ")").unwrap_or(false);
+        if !dotted || !zero_arg {
+            continue;
+        }
+        let Some(recv) = i
+            .checked_sub(2)
+            .map(|p| &toks[p])
+            .filter(|t| t.kind == TokKind::Ident)
+        else {
+            continue;
+        };
+        let Some((lock, kind)) = resolve_receiver(&recv.text, func, symbols) else {
+            continue;
+        };
+        // `.lock()` only acquires a Mutex; `.read()`/`.write()` an RwLock.
+        let compatible = match method {
+            "lock" => kind == LockKind::Mutex,
+            _ => kind == LockKind::RwLock,
+        };
+        if !compatible {
+            continue;
+        }
+        live.acquisitions.push(Acquisition {
+            lock: lock.clone(),
+            tok: i,
+            line: t.line,
+        });
+        live.spans
+            .push(span_for(toks, i, body_open, body_close, lock, t.line));
+    }
+    live
+}
+
+/// Maps a receiver identifier to (lock identity, kind): lock-typed params
+/// of the enclosing fn first, then struct fields from the symbol index.
+fn resolve_receiver(recv: &str, func: &FnSym, symbols: &SymbolIndex) -> Option<(String, LockKind)> {
+    if let Some((name, kind)) = func.lock_params.iter().find(|(name, _)| name == recv) {
+        return Some((format!("{}::{}({})", func.module, func.name, name), *kind));
+    }
+    symbols
+        .resolve_lock_field(recv, func.impl_type.as_deref())
+        .map(|f| (format!("{}.{}", f.struct_name, f.field), f.kind))
+}
+
+/// Builds the guard span for the acquisition at token `acq`.
+fn span_for(
+    toks: &[Tok],
+    acq: usize,
+    body_open: usize,
+    body_close: usize,
+    lock: String,
+    line: u32,
+) -> GuardSpan {
+    let stmt_start = statement_start(toks, acq, body_open);
+    let binder = binder_at(toks, stmt_start).filter(|_| rhs_is_guard_chain(toks, stmt_start, acq));
+    let end = match &binder {
+        Some(name) => {
+            let block_close = enclosing_block_close(toks, stmt_start, body_open, body_close);
+            first_terminator(toks, acq, block_close, name).unwrap_or(block_close)
+        }
+        None => statement_end(toks, stmt_start, acq, body_close),
+    };
+    GuardSpan {
+        lock,
+        binder,
+        start: acq,
+        end,
+        line,
+    }
+}
+
+/// Index of the first token of the statement containing `i`: just past the
+/// nearest preceding `;`, `{`, or `}`.
+fn statement_start(toks: &[Tok], i: usize, body_open: usize) -> usize {
+    let mut j = i;
+    while j > body_open + 1 {
+        let prev = &toks[j - 1];
+        if prev.kind == TokKind::Punct && matches!(prev.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// The binding name when the statement at `stmt` is `let [mut] NAME = …` or
+/// a plain reassignment `NAME = …`. A `let _ = …` is a temporary (the guard
+/// drops immediately), so it yields `None`.
+fn binder_at(toks: &[Tok], stmt: usize) -> Option<String> {
+    let t = toks.get(stmt)?;
+    if t.text == "let" {
+        let mut j = stmt + 1;
+        if toks.get(j).map(|t| t.text == "mut").unwrap_or(false) {
+            j += 1;
+        }
+        let name = toks.get(j)?;
+        if name.kind == TokKind::Ident && name.text != "_" {
+            return Some(name.text.clone());
+        }
+        return None;
+    }
+    if t.kind == TokKind::Ident
+        && !crate::lexer::is_keyword(&t.text)
+        && toks.get(stmt + 1).map(|n| n.text == "=").unwrap_or(false)
+    {
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// True when the right-hand side of the binding statement is a plain
+/// receiver chain ending in the acquisition — i.e. the bound value IS the
+/// guard. Tokens strictly between the `=` and the acquisition may only be
+/// the receiver path (`self`, field idents, `.`/`::`/`&`/`*`); a `match`,
+/// an `if`, or a wrapping call (`(`) means the binding holds a derived
+/// value and the guard is a statement temporary.
+fn rhs_is_guard_chain(toks: &[Tok], stmt: usize, acq: usize) -> bool {
+    let Some(eq) = (stmt..acq).find(|j| toks[*j].kind == TokKind::Punct && toks[*j].text == "=")
+    else {
+        return false;
+    };
+    toks[eq + 1..acq].iter().all(|t| match t.kind {
+        TokKind::Ident => t.text == "self" || !crate::lexer::is_keyword(&t.text),
+        TokKind::Punct => matches!(t.text.as_str(), "." | "::" | "&" | "*"),
+        _ => false,
+    })
+}
+
+/// The `}` closing the innermost block that contains the statement at
+/// `stmt`, found by walking back to the unmatched `{`.
+fn enclosing_block_close(toks: &[Tok], stmt: usize, body_open: usize, body_close: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = stmt;
+    while j > body_open {
+        j -= 1;
+        if toks[j].kind != TokKind::Punct {
+            continue;
+        }
+        match toks[j].text.as_str() {
+            "}" => depth += 1,
+            "{" if depth == 0 => {
+                // Found the enclosing open; match it forward.
+                let mut d: i64 = 0;
+                for (k, t) in toks.iter().enumerate().skip(j) {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "{" => d += 1,
+                            "}" => {
+                                d -= 1;
+                                if d == 0 {
+                                    return k;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                return body_close;
+            }
+            "{" => depth -= 1,
+            _ => {}
+        }
+    }
+    body_close
+}
+
+/// First token in `(acq, limit]` that kills the binding `name`:
+/// `drop ( name )`, a shadowing `let [mut] name`, or a reassignment
+/// `; name =` / `{ name =`.
+fn first_terminator(toks: &[Tok], acq: usize, limit: usize, name: &str) -> Option<usize> {
+    let mut j = acq + 1;
+    while j <= limit && j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && t.text == "drop" {
+            let is_call = toks.get(j + 1).map(|t| t.text == "(").unwrap_or(false)
+                && toks.get(j + 2).map(|t| t.text == name).unwrap_or(false)
+                && toks.get(j + 3).map(|t| t.text == ")").unwrap_or(false);
+            if is_call {
+                return Some(j);
+            }
+        }
+        if t.kind == TokKind::Ident && t.text == "let" {
+            let mut k = j + 1;
+            if toks.get(k).map(|t| t.text == "mut").unwrap_or(false) {
+                k += 1;
+            }
+            if toks.get(k).map(|t| t.text == name).unwrap_or(false) {
+                return Some(j);
+            }
+        }
+        if t.kind == TokKind::Ident && t.text == name {
+            let stmt_lead = j
+                .checked_sub(1)
+                .map(|p| matches!(toks[p].text.as_str(), ";" | "{" | "}"))
+                .unwrap_or(false);
+            let assigns = toks.get(j + 1).map(|n| n.text == "=").unwrap_or(false);
+            if stmt_lead && assigns {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Last token of the statement containing `acq` (for temporaries): the `;`
+/// at nesting depth zero relative to the statement, or the token before
+/// the `}` that closes the enclosing block (a block-final expression).
+fn statement_end(toks: &[Tok], stmt: usize, acq: usize, body_close: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = stmt;
+    while j <= body_close && j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j.saturating_sub(1).max(acq);
+                    }
+                }
+                ";" if depth == 0 && j >= acq => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    body_close.min(toks.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a single-file workspace and returns (files, symbols).
+    fn ws(src: &str) -> (Vec<SourceFile>, SymbolIndex) {
+        let files = vec![SourceFile::from_source("crates/x/src/lib.rs", src)];
+        let symbols = SymbolIndex::build(&files);
+        (files, symbols)
+    }
+
+    fn spans_of<'a>(live: &'a [FnLiveness], symbols: &SymbolIndex, name: &str) -> &'a [GuardSpan] {
+        &live[symbols.fns_named(name).next().expect("fn exists")].spans
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_scope_end_and_drop_ends_it_early() {
+        let src = r#"
+            struct S { m: Mutex<u32>, n: Mutex<u32> }
+            impl S {
+                fn to_scope_end(&self) {
+                    let g = self.m.lock();
+                    work();
+                }
+                fn ended_by_drop(&self) {
+                    let g = self.m.lock();
+                    drop(g);
+                    work();
+                }
+            }
+            fn work() {}
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+
+        let full = spans_of(&live, &symbols, "to_scope_end");
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].lock, "S.m");
+        assert_eq!(full[0].binder.as_deref(), Some("g"));
+
+        let dropped = spans_of(&live, &symbols, "ended_by_drop");
+        let toks = &files[0].lexed.tokens;
+        assert_eq!(toks[dropped[0].end].text, "drop");
+        assert!(dropped[0].end < full[0].end || dropped[0].start > full[0].start);
+    }
+
+    #[test]
+    fn nested_block_guard_dies_at_inner_brace() {
+        let src = r#"
+            struct S { m: Mutex<u32> }
+            impl S {
+                fn nested(&self) {
+                    {
+                        let g = self.m.lock();
+                        inner();
+                    }
+                    outer();
+                }
+            }
+            fn inner() {}
+            fn outer() {}
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+        let spans = spans_of(&live, &symbols, "nested");
+        let toks = &files[0].lexed.tokens;
+        let outer_call = toks.iter().position(|t| t.text == "outer").unwrap();
+        assert!(spans[0].end < outer_call, "guard must die before outer()");
+    }
+
+    #[test]
+    fn early_return_does_not_extend_or_shrink_block_scoping() {
+        let src = r#"
+            struct S { m: Mutex<u32> }
+            impl S {
+                fn early(&self, flag: bool) -> u32 {
+                    let g = self.m.lock();
+                    if flag {
+                        return 0;
+                    }
+                    after();
+                    1
+                }
+            }
+            fn after() {}
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+        let spans = spans_of(&live, &symbols, "early");
+        let toks = &files[0].lexed.tokens;
+        let after_call = toks.iter().position(|t| t.text == "after").unwrap();
+        assert!(
+            spans[0].start < after_call && after_call <= spans[0].end,
+            "guard is still live at after() despite the early return above it"
+        );
+    }
+
+    #[test]
+    fn temporaries_live_to_statement_end_only() {
+        let src = r#"
+            struct S { m: Mutex<u32> }
+            impl S {
+                fn temp(&self) {
+                    let v = clone_of(&self.m.lock());
+                    work();
+                }
+            }
+            fn clone_of(x: &u32) -> u32 { *x }
+            fn work() {}
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+        let spans = spans_of(&live, &symbols, "temp");
+        let toks = &files[0].lexed.tokens;
+        // `v` binds clone_of's result, not the guard — the guard is a
+        // statement temporary and dies at the `;`, before work().
+        assert!(spans[0].binder.is_none());
+        let work_call = toks.iter().position(|t| t.text == "work").unwrap();
+        assert!(spans[0].end < work_call);
+    }
+
+    #[test]
+    fn match_scrutinee_temporary_covers_the_match_statement() {
+        let src = r#"
+            fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+                loop {
+                    let job = match receiver.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return,
+                    };
+                    run(job);
+                }
+            }
+            fn run(job: u32) {}
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+        let spans = spans_of(&live, &symbols, "worker_loop");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lock, "x::worker_loop(receiver)");
+        let toks = &files[0].lexed.tokens;
+        let recv_call = toks.iter().position(|t| t.text == "recv").unwrap();
+        let run_call = toks
+            .iter()
+            .position(|t| t.text == "run" && t.line > 1)
+            .unwrap();
+        assert!(
+            spans[0].end >= recv_call,
+            "guard live across the match arms"
+        );
+        assert!(
+            spans[0].end < run_call,
+            "guard dead after the match statement"
+        );
+    }
+
+    #[test]
+    fn reassignment_ends_the_previous_span_and_opens_a_new_one() {
+        let src = r#"
+            struct S { m: Mutex<u32> }
+            impl S {
+                fn rebind(&self) {
+                    let mut g = self.m.lock();
+                    drop(g);
+                    mid();
+                    g = self.m.lock();
+                    tail();
+                }
+            }
+            fn mid() {}
+            fn tail() {}
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+        let spans = spans_of(&live, &symbols, "rebind");
+        assert_eq!(spans.len(), 2);
+        let toks = &files[0].lexed.tokens;
+        let mid_call = toks.iter().position(|t| t.text == "mid").unwrap();
+        let tail_call = toks.iter().position(|t| t.text == "tail").unwrap();
+        assert!(spans[0].end < mid_call, "first span ends at drop");
+        assert!(spans[1].start > mid_call && tail_call <= spans[1].end);
+    }
+
+    #[test]
+    fn io_read_with_arguments_is_not_an_acquisition() {
+        let src = r#"
+            struct S { datasets: RwLock<u32> }
+            impl S {
+                fn mixed(&self, stream: &mut TcpStream) {
+                    let mut buf = [0u8; 16];
+                    stream.read(&mut buf);
+                    let guard = self.datasets.read();
+                }
+            }
+        "#;
+        let (files, symbols) = ws(src);
+        let live = analyze(&files, &symbols);
+        let spans = spans_of(&live, &symbols, "mixed");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].lock, "S.datasets");
+    }
+}

@@ -1,7 +1,7 @@
 //! `mochy-lint` — run the workspace lint rules and report violations.
 //!
 //! ```text
-//! mochy-lint [--root DIR] [--json REPORT.json] [--list-rules]
+//! mochy-lint [--root DIR] [--json REPORT.json] [--rules a,b] [--list-rules]
 //! ```
 //!
 //! Scans `mochy/` and `crates/` under the workspace root (auto-detected by
@@ -9,16 +9,23 @@
 //! `[workspace]` table, or given with `--root`). Prints one `file:line`
 //! diagnostic per violation and exits 1 when any exist, 0 when clean, 2 on
 //! usage or I/O errors. `--json` additionally writes the machine-readable
-//! report (schema `mochy-lint/1`) for tooling.
+//! report (schema `mochy-lint/2`) for tooling. `--rules` restricts the run
+//! to a comma-separated subset of rule names so local iteration on one
+//! rule doesn't pay the whole-workspace pass; pragmas naming unselected
+//! rules are left alone (no stale verdict without running the rule).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: mochy-lint [--root DIR] [--json REPORT.json] [--rules a,b] [--list-rules]";
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut rule_filter: Option<Vec<String>> = None;
     let mut list_rules = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,9 +38,23 @@ fn main() -> ExitCode {
                 Some(path) => json_path = Some(PathBuf::from(path)),
                 None => return usage("--json needs a file path"),
             },
+            "--rules" => match args.next() {
+                Some(list) => {
+                    let names: Vec<String> = list
+                        .split(',')
+                        .map(|n| n.trim().to_string())
+                        .filter(|n| !n.is_empty())
+                        .collect();
+                    if names.is_empty() {
+                        return usage("--rules needs a comma-separated rule list");
+                    }
+                    rule_filter = Some(names);
+                }
+                None => return usage("--rules needs a comma-separated rule list"),
+            },
             "--list-rules" => list_rules = true,
             "--help" | "-h" => {
-                println!("usage: mochy-lint [--root DIR] [--json REPORT.json] [--list-rules]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -41,10 +62,22 @@ fn main() -> ExitCode {
     }
 
     if list_rules {
-        for rule in mochy_lint::rules::all() {
-            println!("{:<24} {}", rule.name(), rule.description());
+        for info in mochy_lint::rules::infos() {
+            println!("{:<24} scope: {}", info.name, info.scope);
+            println!("{:<24} {}", "", info.description);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(names) = &rule_filter {
+        let known = mochy_lint::rules::infos();
+        for name in names {
+            if !known.iter().any(|info| info.name == name) {
+                return usage(&format!(
+                    "unknown rule `{name}` (see --list-rules for the registry)"
+                ));
+            }
+        }
     }
 
     let root = match root.or_else(find_workspace_root) {
@@ -54,7 +87,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match mochy_lint::lint_workspace(&root) {
+    let report = match mochy_lint::lint_workspace(&root, rule_filter.as_deref()) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("mochy-lint: {error}");
@@ -79,7 +112,7 @@ fn main() -> ExitCode {
 
 fn usage(why: &str) -> ExitCode {
     eprintln!("mochy-lint: {why}");
-    eprintln!("usage: mochy-lint [--root DIR] [--json REPORT.json] [--list-rules]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 

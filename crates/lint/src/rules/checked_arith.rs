@@ -56,6 +56,10 @@ impl Rule for CheckedUntrustedArith {
         "length arithmetic and narrowing casts in the snapshot/HTTP readers must be checked"
     }
 
+    fn scope(&self) -> &'static str {
+        "crates/hypergraph/src/{snapshot,shard}.rs, crates/serve/src/http.rs"
+    }
+
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if !SCOPE.contains(&file.rel_path.as_str()) {
             return;

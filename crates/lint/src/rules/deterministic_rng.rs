@@ -41,6 +41,10 @@ impl Rule for DeterministicRng {
         "no thread_rng/OS-entropy/wall-clock seed sources anywhere (explicit u64 seeds only)"
     }
 
+    fn scope(&self) -> &'static str {
+        "whole workspace, tests included"
+    }
+
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         for t in &file.lexed.tokens {
             if t.kind != TokKind::Ident {

@@ -23,6 +23,10 @@ impl Rule for ForbidUnsafe {
         "every crate root must carry #![forbid(unsafe_code)]"
     }
 
+    fn scope(&self) -> &'static str {
+        "crate roots (src/lib.rs, src/main.rs, src/bin/*)"
+    }
+
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         let is_crate_root = file.rel_path.ends_with("/src/lib.rs")
             || file.rel_path.ends_with("/src/main.rs")

@@ -1,0 +1,151 @@
+//! `guard-across-blocking`: no lock guard held across blocking work.
+//!
+//! A guard that stays live across socket/file IO, a `WorkerPool`
+//! dispatch, or a full engine count turns a nanosecond critical section
+//! into a milliseconds-to-seconds one: every reader of that lock stalls
+//! behind one slow peer, which is exactly the tail-latency bug class the
+//! planned thread-per-core event loop must not introduce. (PR 4's contract
+//! — the published-snapshot mutex is *pointer-swap only* — is an instance
+//! of this rule.)
+//!
+//! Using the cross-file pass: a guard span is flagged when it contains
+//!
+//! - a call whose callee transitively reaches a *blocking root* — a fn
+//!   whose body touches socket/file types (`TcpStream`, `File`, `fs`, …),
+//!   `WorkerPool::execute`/`try_execute`, or an engine counting kernel
+//!   (`mochy_e*`, `project*`, `count_sharded`, `map_reduce_chunks`); or
+//! - one of those IO markers directly inside the span.
+//!
+//! Deliberately *not* blocking: `mpsc` `recv()` under the worker-pool
+//! receiver mutex (that mutex exists to serialize `recv`, and the send
+//! side is never under a lock) and `StreamingEngine`'s incremental
+//! `insert`/`remove`/`counts` (bounded per-mutation work — the whole point
+//! of the streaming engine). The fix is always the same shape: do the
+//! blocking work outside, communicate through the lock with a clone or a
+//! pointer swap.
+
+use crate::engine::{Diagnostic, Workspace, WorkspaceRule};
+use crate::lexer::TokKind;
+
+/// See the module docs.
+pub struct GuardAcrossBlocking;
+
+/// Identifier tokens whose presence in a fn body marks it as doing
+/// socket/file IO (or sleeping).
+const IO_MARKERS: &[&str] = &[
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "File",
+    "OpenOptions",
+    "fs",
+    "read_dir",
+    "accept",
+    "connect",
+    "sleep",
+];
+
+/// Workspace functions that are blocking by what they *are*, not what
+/// their bodies mention: `(fn name, impl type or None for free fns)`.
+const BLOCKING_FNS: &[(&str, Option<&str>)] = &[
+    ("execute", Some("WorkerPool")),
+    ("try_execute", Some("WorkerPool")),
+    ("mochy_e", None),
+    ("mochy_e_parallel", None),
+    ("mochy_e_enumerate", None),
+    ("count_sharded", None),
+    ("project", None),
+    ("project_parallel", None),
+    ("map_reduce_chunks", None),
+];
+
+impl WorkspaceRule for GuardAcrossBlocking {
+    fn name(&self) -> &'static str {
+        "guard-across-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "no lock guard live across socket/file IO, WorkerPool dispatch, or engine counting"
+    }
+
+    fn scope(&self) -> &'static str {
+        "whole workspace, non-test code"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // Mark blocking roots, then close over the call graph.
+        let mut roots = vec![false; ws.symbols.functions.len()];
+        for (fn_id, func) in ws.symbols.functions.iter().enumerate() {
+            if func.is_test {
+                continue;
+            }
+            let named = BLOCKING_FNS.iter().any(|(name, impl_type)| {
+                func.name == *name && func.impl_type.as_deref() == *impl_type
+            });
+            roots[fn_id] = named || body_mentions_io(ws, fn_id);
+        }
+        let blocking = ws.callgraph.reaches(&roots);
+
+        for (fn_id, func) in ws.symbols.functions.iter().enumerate() {
+            let file = &ws.files[func.file];
+            for span in &ws.liveness[fn_id].spans {
+                // Calls into (transitively) blocking fns.
+                for call in ws.callgraph.calls_within(fn_id, span.start, span.end) {
+                    if blocking[call.callee] {
+                        out.push(Diagnostic {
+                            rule: self.name().to_string(),
+                            file: file.rel_path.clone(),
+                            line: call.line,
+                            message: format!(
+                                "guard on `{}` is live across `{}()`, which transitively \
+                                 reaches blocking IO / pool dispatch / engine counting — do \
+                                 the work outside the lock and publish the result with a \
+                                 clone or pointer swap",
+                                span.lock, ws.symbols.functions[call.callee].name
+                            ),
+                        });
+                    }
+                }
+                // IO markers directly inside the span.
+                if let Some((start, end)) = func.body {
+                    let lo = span.start.max(start + 1);
+                    let hi = span.end.min(end.saturating_sub(1));
+                    if lo > hi {
+                        continue;
+                    }
+                    for tok in &ws.files[func.file].lexed.tokens[lo..=hi] {
+                        if tok.kind == TokKind::Ident
+                            && IO_MARKERS.contains(&tok.text.as_str())
+                            && !file.is_test_line(tok.line)
+                        {
+                            out.push(Diagnostic {
+                                rule: self.name().to_string(),
+                                file: file.rel_path.clone(),
+                                line: tok.line,
+                                message: format!(
+                                    "guard on `{}` is live across direct IO (`{}`) — do the \
+                                     IO outside the lock",
+                                    span.lock, tok.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the fn's body (non-test lines) mentions a socket/file marker.
+fn body_mentions_io(ws: &Workspace, fn_id: usize) -> bool {
+    let func = &ws.symbols.functions[fn_id];
+    let Some((start, end)) = func.body else {
+        return false;
+    };
+    let file = &ws.files[func.file];
+    file.lexed.tokens[start + 1..end].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && IO_MARKERS.contains(&t.text.as_str())
+            && !file.is_test_line(t.line)
+    })
+}

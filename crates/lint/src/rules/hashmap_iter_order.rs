@@ -30,6 +30,10 @@ impl Rule for NoHashmapIterOrder {
         "unordered containers in core/projection/serve need a sorted/lookup-only justification"
     }
 
+    fn scope(&self) -> &'static str {
+        "crates/{core,projection,serve}/src"
+    }
+
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if !(file.rel_path.starts_with("crates/core/src/")
             || file.rel_path.starts_with("crates/projection/src/")

@@ -1,0 +1,178 @@
+//! `lock-order`: the global lock-acquisition graph must be acyclic.
+//!
+//! The serve layer's liveness story (PR 4) is "lock-free readers, one
+//! serialized writer" — which holds only while every thread acquires locks
+//! in one global order. A cycle in the acquisition graph (thread 1 takes
+//! `A` then `B`, thread 2 takes `B` then `A`) is a potential deadlock that
+//! no single-file scan can see, because the second acquisition usually
+//! happens two calls away.
+//!
+//! Using the cross-file pass: for every guard span over lock `A`, every
+//! lock `B` acquired inside the span — directly, or transitively through
+//! any resolved call — adds the edge `A → B`. An edge whose target can
+//! reach back to its source (including self-edges: re-acquiring a `Mutex`
+//! you already hold deadlocks immediately) is flagged at each site that
+//! creates it.
+//!
+//! Pragmas: `allow(lock-order)` exists for the rare edge the call graph
+//! over-approximates (say, a callee resolved by name that can never run
+//! under this guard). Cycles among locks that really interleave must be
+//! fixed by ordering the acquisitions, not suppressed — the reason string
+//! should name the impossible interleaving.
+
+use crate::engine::{Diagnostic, Workspace, WorkspaceRule};
+use std::collections::BTreeMap;
+
+/// See the module docs.
+pub struct LockOrder;
+
+/// One acquisition-graph edge occurrence.
+struct EdgeSite {
+    held: String,
+    acquired: String,
+    file: String,
+    line: u32,
+    /// What created the edge (for the message): `None` for a direct
+    /// acquisition, `Some(callee)` for a transitive one.
+    via: Option<String>,
+}
+
+impl WorkspaceRule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "the workspace lock-acquisition graph must be acyclic (potential deadlock)"
+    }
+
+    fn scope(&self) -> &'static str {
+        "whole workspace, non-test code"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let acquired_by_fn = transitive_acquisitions(ws);
+        let mut sites: Vec<EdgeSite> = Vec::new();
+
+        for (fn_id, func) in ws.symbols.functions.iter().enumerate() {
+            let live = &ws.liveness[fn_id];
+            let file = &ws.files[func.file];
+            for span in &live.spans {
+                // Direct re-acquisitions inside the span.
+                for acq in &live.acquisitions {
+                    if acq.tok > span.start && acq.tok <= span.end {
+                        sites.push(EdgeSite {
+                            held: span.lock.clone(),
+                            acquired: acq.lock.clone(),
+                            file: file.rel_path.clone(),
+                            line: acq.line,
+                            via: None,
+                        });
+                    }
+                }
+                // Transitive acquisitions through resolved calls.
+                for call in ws.callgraph.calls_within(fn_id, span.start, span.end) {
+                    for lock in &acquired_by_fn[call.callee] {
+                        sites.push(EdgeSite {
+                            held: span.lock.clone(),
+                            acquired: lock.clone(),
+                            file: file.rel_path.clone(),
+                            line: call.line,
+                            via: Some(ws.symbols.functions[call.callee].name.clone()),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Lock universe + adjacency matrix, then transitive closure.
+        let mut ids: BTreeMap<&str, usize> = BTreeMap::new();
+        for site in &sites {
+            let next = ids.len();
+            ids.entry(site.held.as_str()).or_insert(next);
+            let next = ids.len();
+            ids.entry(site.acquired.as_str()).or_insert(next);
+        }
+        let n = ids.len();
+        let mut reach = vec![vec![false; n]; n];
+        for site in &sites {
+            reach[ids[site.held.as_str()]][ids[site.acquired.as_str()]] = true;
+        }
+        for k in 0..n {
+            let row_k = reach[k].clone();
+            for row in reach.iter_mut() {
+                if row[k] {
+                    for (slot, &step) in row.iter_mut().zip(row_k.iter()) {
+                        *slot = *slot || step;
+                    }
+                }
+            }
+        }
+
+        // An edge A→B is cyclic when B reaches back to A (or A == B).
+        for site in &sites {
+            let a = ids[site.held.as_str()];
+            let b = ids[site.acquired.as_str()];
+            if a != b && !reach[b][a] {
+                continue;
+            }
+            let how = match &site.via {
+                Some(callee) => format!("via `{callee}()`"),
+                None => "directly".to_string(),
+            };
+            out.push(Diagnostic {
+                rule: self.name().to_string(),
+                file: site.file.clone(),
+                line: site.line,
+                message: if a == b {
+                    format!(
+                        "lock-order cycle: `{}` is re-acquired {how} while already held — \
+                         a non-reentrant lock deadlocks here",
+                        site.acquired
+                    )
+                } else {
+                    format!(
+                        "lock-order cycle: `{}` is acquired {how} while `{}` is held, and the \
+                         reverse order also occurs — pick one global acquisition order",
+                        site.acquired, site.held
+                    )
+                },
+            });
+        }
+    }
+}
+
+/// For every fn: the set of locks it acquires directly or through any
+/// resolved call (fixpoint over the call graph).
+fn transitive_acquisitions(ws: &Workspace) -> Vec<Vec<String>> {
+    let n = ws.symbols.functions.len();
+    let mut acquired: Vec<Vec<String>> = (0..n)
+        .map(|fn_id| {
+            let mut locks: Vec<String> = ws.liveness[fn_id]
+                .acquisitions
+                .iter()
+                .map(|a| a.lock.clone())
+                .collect();
+            locks.sort();
+            locks.dedup();
+            locks
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for caller in 0..n {
+            let mut merged = acquired[caller].clone();
+            for callee in &ws.callgraph.edges[caller] {
+                merged.extend(acquired[*callee].iter().cloned());
+            }
+            merged.sort();
+            merged.dedup();
+            if merged != acquired[caller] {
+                acquired[caller] = merged;
+                changed = true;
+            }
+        }
+    }
+    acquired
+}

@@ -1,28 +1,39 @@
 //! The shipped lint rules. Each rule is one module implementing
-//! [`crate::engine::Rule`]; [`all`] is the registry the bin and the
+//! [`crate::engine::Rule`] (per-file token checks) or
+//! [`crate::engine::WorkspaceRule`] (checks over the cross-file semantic
+//! pass); [`all`] and [`workspace_all`] are the registries the bin and the
 //! workspace linter run.
 //!
-//! To add a rule: create a module here, implement `Rule` (match on the
-//! stripped token stream via `file.lexed.tokens`, honour
+//! To add a per-file rule: create a module here, implement `Rule` (match
+//! on the stripped token stream via `file.lexed.tokens`, honour
 //! `file.is_test_line` unless the invariant genuinely spans tests), add it
 //! to [`all`], and give it fixture coverage in `tests/fixtures.rs` proving
 //! it fires, stays quiet on the negative case, and suppresses via pragma.
+//! Workspace rules do the same against [`crate::engine::Workspace`]
+//! (symbol index + call graph + guard liveness) and register in
+//! [`workspace_all`].
 
 mod checked_arith;
 mod deterministic_rng;
 mod forbid_unsafe;
+mod guard_across_blocking;
 mod hashmap_iter_order;
+mod lock_order;
 mod panic_free_serve;
+mod unordered_float_merge;
 
 pub use checked_arith::CheckedUntrustedArith;
 pub use deterministic_rng::DeterministicRng;
 pub use forbid_unsafe::ForbidUnsafe;
+pub use guard_across_blocking::GuardAcrossBlocking;
 pub use hashmap_iter_order::NoHashmapIterOrder;
+pub use lock_order::LockOrder;
 pub use panic_free_serve::PanicFreeServe;
+pub use unordered_float_merge::UnorderedFloatMerge;
 
-use crate::engine::Rule;
+use crate::engine::{Rule, RuleInfo, WorkspaceRule};
 
-/// Every active rule, in reporting order.
+/// Every active per-file rule, in reporting order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(PanicFreeServe),
@@ -30,5 +41,29 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(DeterministicRng),
         Box::new(NoHashmapIterOrder),
         Box::new(CheckedUntrustedArith),
+        Box::new(UnorderedFloatMerge),
     ]
+}
+
+/// Every active workspace (cross-file) rule, in reporting order.
+pub fn workspace_all() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![Box::new(LockOrder), Box::new(GuardAcrossBlocking)]
+}
+
+/// Name/description/scope of every registered rule, per-file rules first —
+/// the registry order the report and `--list-rules` present.
+pub fn infos() -> Vec<RuleInfo> {
+    all()
+        .iter()
+        .map(|r| RuleInfo {
+            name: r.name(),
+            description: r.description(),
+            scope: r.scope(),
+        })
+        .chain(workspace_all().iter().map(|r| RuleInfo {
+            name: r.name(),
+            description: r.description(),
+            scope: r.scope(),
+        }))
+        .collect()
 }

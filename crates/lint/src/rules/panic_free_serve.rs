@@ -3,9 +3,11 @@
 //! `mochy-serve` answers queries from resident worker threads; a panic in a
 //! handler burns the in-flight request (and, for lock-holding code, poisons
 //! shared state) even though the accept loop survives. The JSON parser sits
-//! on the same untrusted-input path. So in non-test code of `crates/serve`
-//! and `crates/json` this rule bans every construct that converts a bug or
-//! bad input into a panic:
+//! on the same untrusted-input path, and so do the `.mochy` snapshot and
+//! shard-manifest byte readers (`crates/hypergraph/src/{snapshot,shard}.rs`)
+//! — a hostile upload reaches them through `POST /datasets` before any
+//! handler sees a parsed value. So in non-test code of those files this
+//! rule bans every construct that converts a bug or bad input into a panic:
 //!
 //! - `.unwrap()` / `.expect(…)` (and their `_err` duals) — return a typed
 //!   error mapped to a 4xx/5xx instead;
@@ -37,12 +39,18 @@ impl Rule for PanicFreeServe {
     }
 
     fn description(&self) -> &'static str {
-        "no unwrap/expect/panic!/asserts/slice-indexing in non-test serve and json code"
+        "no unwrap/expect/panic!/asserts/slice-indexing on the request/untrusted-byte path"
+    }
+
+    fn scope(&self) -> &'static str {
+        "crates/{serve,json}/src, crates/hypergraph/src/{snapshot,shard}.rs"
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if !(file.rel_path.starts_with("crates/serve/src/")
-            || file.rel_path.starts_with("crates/json/src/"))
+            || file.rel_path.starts_with("crates/json/src/")
+            || file.rel_path == "crates/hypergraph/src/snapshot.rs"
+            || file.rel_path == "crates/hypergraph/src/shard.rs")
         {
             return;
         }

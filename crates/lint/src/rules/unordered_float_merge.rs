@@ -1,0 +1,308 @@
+//! `unordered-float-merge`: f64 accumulation must run in a fixed order.
+//!
+//! The repo's bit-identity guarantees (thread invariance in PR 2, shard
+//! equivalence in PR 8) rest on every f64 reduction that reaches a
+//! `CountReport` or `ShardPartial` being *order-fixed*: an indexed loop,
+//! or iteration over a sorted/CSR-ordered source. Floating-point addition
+//! is not associative, so folding the same values in hash-map iteration
+//! order produces answers that differ run-to-run and host-to-host — a
+//! wrong-but-plausible count, the worst failure mode a counting engine
+//! has.
+//!
+//! The rule flags, inside any `for` loop whose iterated expression
+//! involves a hash collection (`HashMap`/`HashSet`/`FxHashMap`/
+//! `FxHashSet`, or a name whose *latest declaration before the loop* —
+//! `let`, parameter, or field — carries one of those types):
+//!
+//! - `+=` / `-=` statements with float flavour (a float literal, or an
+//!   operand declared `f64`/`f32`);
+//! - calls to the `MotifCounts` accumulation API (`.add(…)`, `.merge(…)`,
+//!   `.increment(…)`), whose counters are f64 vectors.
+//!
+//! Order-independent folds over hash iteration (`|=`, `max`, set
+//! insertion) are deliberately not flagged, and neither is accumulation
+//! *into* hash-map entries from an ordered loop source — both patterns
+//! are bit-stable.
+//!
+//! The escape hatch is deliberate and narrow: when every addend is an
+//! integer-valued f64 and the total stays below 2^53, addition is exact
+//! and grouping-independent (the PR 8 merge argument) — a pragma is
+//! accepted **only** when its reason cites `2^53`; the engine rejects any
+//! other reason string.
+
+use crate::engine::{Diagnostic, Rule, SourceFile};
+use crate::lexer::{Tok, TokKind};
+
+/// See the module docs.
+pub struct UnorderedFloatMerge;
+
+/// Crates whose f64 state can reach `CountReport`/`ShardPartial` output.
+const SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/projection/src/",
+    "crates/serve/src/",
+    "crates/analysis/src/",
+];
+
+/// Unordered-collection type names.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// MotifCounts accumulation methods (f64 vector adds).
+const F64_VECTOR_METHODS: &[&str] = &["add", "merge", "increment"];
+
+/// One `let` / parameter / field declaration, in token order.
+struct Decl {
+    tok: usize,
+    name: String,
+    is_hash: bool,
+    is_float: bool,
+}
+
+impl Rule for UnorderedFloatMerge {
+    fn name(&self) -> &'static str {
+        "unordered-float-merge"
+    }
+
+    fn description(&self) -> &'static str {
+        "f64 accumulation reaching count output must iterate an order-fixed source, \
+         not a hash collection"
+    }
+
+    fn scope(&self) -> &'static str {
+        "crates/{core,projection,serve,analysis}/src"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !SCOPE.iter().any(|prefix| file.rel_path.starts_with(prefix)) {
+            return;
+        }
+        let toks = &file.lexed.tokens;
+        let decls = declarations(toks);
+
+        for i in 0..toks.len() {
+            if toks[i].kind != TokKind::Ident || toks[i].text != "for" {
+                continue;
+            }
+            let Some((src_start, body_open)) = for_loop_shape(toks, i) else {
+                continue;
+            };
+            let source = &toks[src_start..body_open];
+            let source_name = source.iter().enumerate().find_map(|(offset, t)| {
+                if t.kind != TokKind::Ident {
+                    return None;
+                }
+                if HASH_TYPES.contains(&t.text.as_str()) {
+                    return Some(t.text.clone());
+                }
+                let at = src_start + offset;
+                latest_decl(&decls, &t.text, i)
+                    .filter(|d| d.is_hash && d.tok < at)
+                    .map(|_| t.text.clone())
+            });
+            let Some(source_name) = source_name else {
+                continue;
+            };
+            let Some(body_close) = matching(toks, body_open) else {
+                continue;
+            };
+            scan_loop_body(
+                self,
+                file,
+                toks,
+                (body_open + 1, body_close),
+                &source_name,
+                &decls,
+                out,
+            );
+        }
+    }
+}
+
+fn scan_loop_body(
+    rule: &UnorderedFloatMerge,
+    file: &SourceFile,
+    toks: &[Tok],
+    (start, end): (usize, usize),
+    source_name: &str,
+    decls: &[Decl],
+    out: &mut Vec<Diagnostic>,
+) {
+    for j in start..end {
+        let t = &toks[j];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let compound = t.kind == TokKind::Punct && matches!(t.text.as_str(), "+=" | "-=");
+        if compound && statement_is_float(toks, j, decls) {
+            file.diag(
+                out,
+                rule.name(),
+                t.line,
+                format!(
+                    "float `{}` inside iteration over hash collection `{source_name}` is \
+                     order-dependent — iterate an indexed/sorted (CSR-ordered) source, or \
+                     pragma with the exact-integer (< 2^53) argument",
+                    t.text
+                ),
+            );
+        }
+        let vector_add = t.kind == TokKind::Ident
+            && F64_VECTOR_METHODS.contains(&t.text.as_str())
+            && j >= 1
+            && toks[j - 1].text == "."
+            && toks.get(j + 1).map(|n| n.text == "(").unwrap_or(false);
+        if vector_add {
+            file.diag(
+                out,
+                rule.name(),
+                t.line,
+                format!(
+                    "`.{}(…)` (an f64-vector accumulation) inside iteration over hash \
+                     collection `{source_name}` is order-dependent — iterate an \
+                     indexed/sorted (CSR-ordered) source, or pragma with the \
+                     exact-integer (< 2^53) argument",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `for <pat> in <expr> {` → (index of first expr token, index of the
+/// body `{`). The expr ends at the first `{` at paren/bracket depth zero.
+fn for_loop_shape(toks: &[Tok], for_idx: usize) -> Option<(usize, usize)> {
+    let in_idx = (for_idx + 1..toks.len().min(for_idx + 24))
+        .find(|j| toks[*j].kind == TokKind::Ident && toks[*j].text == "in")?;
+    let mut depth: i64 = 0;
+    for (j, t) in toks.iter().enumerate().skip(in_idx + 1) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return Some((in_idx + 1, j)),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Matching `}` for the `{` at `open`.
+fn matching(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth: i64 = 0;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// A Number token with float flavour, or the `f64`/`f32` type names.
+fn is_float_token(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Ident => t.text == "f64" || t.text == "f32",
+        TokKind::Number => {
+            t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32")
+        }
+        _ => false,
+    }
+}
+
+/// The declaration of `name` closest before token `before`, if any.
+fn latest_decl<'a>(decls: &'a [Decl], name: &str, before: usize) -> Option<&'a Decl> {
+    decls
+        .iter()
+        .filter(|d| d.name == name && d.tok < before)
+        .max_by_key(|d| d.tok)
+}
+
+/// Whether the statement containing token `i` has float flavour: a float
+/// literal / `f64` mention, or an identifier whose latest declaration is
+/// float-typed.
+fn statement_is_float(toks: &[Tok], i: usize, decls: &[Decl]) -> bool {
+    let start = (0..i)
+        .rev()
+        .find(|j| {
+            toks[*j].kind == TokKind::Punct && matches!(toks[*j].text.as_str(), ";" | "{" | "}")
+        })
+        .map(|j| j + 1)
+        .unwrap_or(0);
+    let end = (i..toks.len())
+        .find(|j| {
+            toks[*j].kind == TokKind::Punct && matches!(toks[*j].text.as_str(), ";" | "{" | "}")
+        })
+        .unwrap_or(toks.len());
+    toks[start..end].iter().enumerate().any(|(offset, t)| {
+        is_float_token(t)
+            || (t.kind == TokKind::Ident
+                && latest_decl(decls, &t.text, start + offset + 1)
+                    .map(|d| d.is_float)
+                    .unwrap_or(false))
+    })
+}
+
+/// Collects declarations: `let [mut] name …;` statements and `name: T`
+/// parameter/field positions, each classified as hash- and/or
+/// float-typed by its type/initializer tokens.
+fn declarations(toks: &[Tok]) -> Vec<Decl> {
+    let is_hash_seg = |segment: &[Tok]| {
+        segment
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()))
+    };
+    let is_float_seg = |segment: &[Tok]| segment.iter().any(is_float_token);
+
+    let mut decls = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text == "mut").unwrap_or(false) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let end = (j..toks.len())
+                .find(|k| toks[*k].kind == TokKind::Punct && toks[*k].text == ";")
+                .unwrap_or(toks.len());
+            decls.push(Decl {
+                tok: j,
+                name: name.text.clone(),
+                is_hash: is_hash_seg(&toks[j..end]),
+                is_float: is_float_seg(&toks[j..end]),
+            });
+        }
+        // `name: T` (parameters and fields): type tokens up to the next
+        // boundary. Generic commas may truncate the segment; the leading
+        // type name is what matters.
+        if toks[i].kind == TokKind::Punct && toks[i].text == ":" && i >= 1 {
+            let name = &toks[i - 1];
+            if name.kind != TokKind::Ident || crate::lexer::is_keyword(&name.text) {
+                continue;
+            }
+            let end = (i + 1..toks.len())
+                .find(|k| {
+                    toks[*k].kind == TokKind::Punct
+                        && matches!(toks[*k].text.as_str(), "," | ")" | ";" | "{" | "}" | "=")
+                })
+                .unwrap_or(toks.len());
+            decls.push(Decl {
+                tok: i - 1,
+                name: name.text.clone(),
+                is_hash: is_hash_seg(&toks[i + 1..end]),
+                is_float: is_float_seg(&toks[i + 1..end]),
+            });
+        }
+    }
+    decls
+}

@@ -1,0 +1,540 @@
+//! Workspace symbol index: the first layer of the cross-file pass.
+//!
+//! Built purely from the lexer token streams (no syn, no rustc), the index
+//! records the three item kinds the semantic rules need:
+//!
+//! - **functions** — name, enclosing `impl` type (if any), module path
+//!   derived from the file layout, the token range of the body, and any
+//!   parameters whose type mentions `Mutex`/`RwLock` (so locks passed by
+//!   reference — the `WorkerPool` receiver — are first-class locks);
+//! - **lock fields** — struct fields whose type mentions `Mutex`, `RwLock`,
+//!   or an mpsc endpoint, keyed `Struct.field` so `self.published.lock()`
+//!   resolves to a stable workspace-wide lock identity;
+//! - **module paths** — `crates/serve/src/http.rs` → `serve::http`, used by
+//!   the call graph to resolve `http::read_request`-style qualified calls.
+//!
+//! The scanner is a single forward pass with an `impl`-block stack; it is
+//! deliberately approximate (macros and trait-object types are opaque to
+//! it) but deterministic, and every consumer treats a failed resolution as
+//! "no edge", never as a guess.
+
+use crate::engine::SourceFile;
+use crate::lexer::{Tok, TokKind};
+
+/// What flavour of synchronisation primitive a field or parameter carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+    /// An mpsc endpoint (`Sender`/`SyncSender`/`Receiver`). Indexed for the
+    /// report stats and future rules; not a guard-producing lock itself.
+    Channel,
+}
+
+/// A function (free or method) discovered in the workspace.
+#[derive(Debug)]
+pub struct FnSym {
+    /// Index into the workspace file list.
+    pub file: usize,
+    pub name: String,
+    /// The `impl` type this fn is a method of, if any (`impl Dataset` →
+    /// `Some("Dataset")`; trait impls record the implementing type).
+    pub impl_type: Option<String>,
+    /// Module path from the file layout, e.g. `serve::registry`.
+    pub module: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices of the body: `start` is the `{`, `end` the matching
+    /// `}`. `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the fn sits in a test region (regions mask) or a test file.
+    pub is_test: bool,
+    /// Parameters whose type mentions Mutex/RwLock, as (name, kind).
+    pub lock_params: Vec<(String, LockKind)>,
+}
+
+/// A struct field holding a lock or channel endpoint.
+#[derive(Debug)]
+pub struct LockField {
+    pub struct_name: String,
+    pub field: String,
+    pub kind: LockKind,
+    pub file: usize,
+    pub line: u32,
+}
+
+/// The workspace-wide symbol index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    pub functions: Vec<FnSym>,
+    pub lock_fields: Vec<LockField>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over all files, in file order (deterministic).
+    pub fn build(files: &[SourceFile]) -> SymbolIndex {
+        let mut index = SymbolIndex::default();
+        for (file_id, file) in files.iter().enumerate() {
+            scan_file(file_id, file, &mut index);
+        }
+        index
+    }
+
+    /// All functions named `name`, in index order.
+    pub fn fns_named<'a>(&'a self, name: &str) -> impl Iterator<Item = usize> + 'a {
+        let name = name.to_string();
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.name == name)
+            .map(|(i, _)| i)
+    }
+
+    /// Resolves a lock field by field name, preferring the struct the
+    /// enclosing `impl` names, then a workspace-unique field name. Returns
+    /// the canonical lock identity `Struct.field`.
+    pub fn resolve_lock_field(&self, field: &str, impl_type: Option<&str>) -> Option<&LockField> {
+        let candidates: Vec<&LockField> = self
+            .lock_fields
+            .iter()
+            .filter(|f| f.field == field && f.kind != LockKind::Channel)
+            .collect();
+        if let Some(ty) = impl_type {
+            if let Some(hit) = candidates.iter().find(|f| f.struct_name == ty) {
+                return Some(hit);
+            }
+        }
+        match candidates.as_slice() {
+            [only] => Some(only),
+            _ => None,
+        }
+    }
+
+    /// The innermost function whose body contains token `tok` of `file`,
+    /// or `None` when the token is at item level.
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span width, fn index)
+        for (i, f) in self.functions.iter().enumerate() {
+            if f.file != file {
+                continue;
+            }
+            if let Some((start, end)) = f.body {
+                if tok > start && tok < end {
+                    let width = end - start;
+                    if best.map(|(w, _)| width < w).unwrap_or(true) {
+                        best = Some((width, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+/// Derives a module path from a workspace-relative file path:
+/// `crates/serve/src/http.rs` → `serve::http`,
+/// `crates/lint/src/rules/mod.rs` → `lint::rules`,
+/// `mochy/src/lib.rs` → `mochy`.
+pub fn module_path(rel_path: &str) -> String {
+    let mut parts: Vec<&str> = rel_path
+        .trim_end_matches(".rs")
+        .split('/')
+        .filter(|p| *p != "crates" && *p != "src")
+        .collect();
+    if matches!(
+        parts.last().copied(),
+        Some("mod") | Some("lib") | Some("main")
+    ) {
+        parts.pop();
+    }
+    parts.join("::")
+}
+
+/// Matches a balanced `<...>` run starting at `i` (which must be `<`),
+/// returning the index just past the closing `>`. Handles shift-lexed
+/// `>>` tokens and ignores `->` arrows inside fn-trait bounds.
+fn skip_generics(toks: &[Tok], i: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut j = i;
+    while j < toks.len() {
+        let text = toks[j].text.as_str();
+        if toks[j].kind == TokKind::Punct && text != "->" {
+            depth += text.chars().filter(|c| *c == '<').count() as i64;
+            depth -= text.chars().filter(|c| *c == '>').count() as i64;
+        }
+        j += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    j
+}
+
+/// Reads a type path (`a::b::Type`) starting at `i`; returns the final
+/// segment and the index just past the path (generics skipped).
+fn read_type_path(toks: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    let mut last: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if !crate::lexer::is_keyword(&t.text) || t.text == "crate" => {
+                last = Some(t.text.clone());
+                i += 1;
+            }
+            TokKind::Punct if t.text == "::" => {
+                i += 1;
+            }
+            TokKind::Punct if t.text == "<" => {
+                i = skip_generics(toks, i);
+            }
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+/// Lock kind mentioned in a type-token slice, if any. `Mutex`/`RwLock`
+/// win over channel endpoints (a `Mutex<Receiver<_>>` is a lock).
+fn lock_kind_in(toks: &[Tok]) -> Option<LockKind> {
+    let mut channel = false;
+    for t in toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Mutex" => return Some(LockKind::Mutex),
+            "RwLock" => return Some(LockKind::RwLock),
+            "Receiver" | "Sender" | "SyncSender" => channel = true,
+            _ => {}
+        }
+    }
+    channel.then_some(LockKind::Channel)
+}
+
+/// Splits the token range `[start, end)` at commas that sit at
+/// paren/bracket/angle depth zero, yielding sub-ranges.
+fn split_top_level_commas(toks: &[Tok], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut parts = Vec::new();
+    let mut depth: i64 = 0;
+    let mut seg_start = start;
+    for (j, t) in toks.iter().enumerate().take(end).skip(start) {
+        if t.kind == TokKind::Punct {
+            let text = t.text.as_str();
+            match text {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    parts.push((seg_start, j));
+                    seg_start = j + 1;
+                    continue;
+                }
+                _ if text != "->" => {
+                    depth += text.chars().filter(|c| *c == '<').count() as i64;
+                    depth -= text.chars().filter(|c| *c == '>').count() as i64;
+                }
+                _ => {}
+            }
+        }
+    }
+    if seg_start < end {
+        parts.push((seg_start, end));
+    }
+    parts
+}
+
+/// One parameter segment → (name, lock kind) when the type mentions a lock.
+fn lock_param(toks: &[Tok], start: usize, end: usize) -> Option<(String, LockKind)> {
+    let colon = (start..end).find(|j| toks[*j].kind == TokKind::Punct && toks[*j].text == ":")?;
+    let name = toks[start..colon]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && !crate::lexer::is_keyword(&t.text))?;
+    let kind = lock_kind_in(&toks[colon..end])?;
+    Some((name.text.clone(), kind))
+}
+
+/// Finds the index of the matching `}` for the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth: i64 = 0;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Finds the matching `)` for the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth: i64 = 0;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Scans one file, appending its symbols to `index`.
+fn scan_file(file_id: usize, file: &SourceFile, index: &mut SymbolIndex) {
+    let toks = &file.lexed.tokens;
+    let module = module_path(&file.rel_path);
+    // Stack of (close token index, impl type) for open impl blocks.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while impl_stack
+            .last()
+            .map(|(close, _)| i > *close)
+            .unwrap_or(false)
+        {
+            impl_stack.pop();
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                let mut j = i + 1;
+                if toks.get(j).map(|t| t.text == "<").unwrap_or(false) {
+                    j = skip_generics(toks, j);
+                }
+                let (first, after) = read_type_path(toks, j);
+                let mut ty = first;
+                let mut j = after;
+                if toks.get(j).map(|t| t.text == "for").unwrap_or(false) {
+                    let (second, after) = read_type_path(toks, j + 1);
+                    ty = second;
+                    j = after;
+                }
+                // Skip any where-clause to the block open.
+                while j < toks.len() && toks[j].text != "{" {
+                    j += 1;
+                }
+                match (ty, toks.get(j).is_some()) {
+                    (Some(ty), true) => {
+                        if let Some(close) = matching_brace(toks, j) {
+                            impl_stack.push((close, ty));
+                        }
+                        i = j + 1;
+                    }
+                    _ => i = j,
+                }
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                if toks.get(j).map(|t| t.text == "<").unwrap_or(false) {
+                    j = skip_generics(toks, j);
+                }
+                let mut lock_params = Vec::new();
+                if toks.get(j).map(|t| t.text == "(").unwrap_or(false) {
+                    if let Some(close) = matching_paren(toks, j) {
+                        for (s, e) in split_top_level_commas(toks, j + 1, close) {
+                            if let Some(param) = lock_param(toks, s, e) {
+                                lock_params.push(param);
+                            }
+                        }
+                        j = close + 1;
+                    }
+                }
+                // Signature tail (return type, where clause) up to body or `;`.
+                let mut body = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => {
+                            body = matching_brace(toks, j).map(|close| (j, close));
+                            break;
+                        }
+                        ";" => break,
+                        "<" if toks[j].kind == TokKind::Punct => {
+                            j = skip_generics(toks, j);
+                        }
+                        _ => j += 1,
+                    }
+                }
+                index.functions.push(FnSym {
+                    file: file_id,
+                    name: name_tok.text.clone(),
+                    impl_type: impl_stack.last().map(|(_, ty)| ty.clone()),
+                    module: module.clone(),
+                    line: t.line,
+                    body,
+                    is_test: file.is_test_line(t.line),
+                    lock_params,
+                });
+                i = match body {
+                    Some((open, _)) => open + 1, // scan inside for nested items
+                    None => j + 1,
+                };
+            }
+            "struct" => {
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                if toks.get(j).map(|t| t.text == "<").unwrap_or(false) {
+                    j = skip_generics(toks, j);
+                }
+                while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | "(" | ";") {
+                    j += 1;
+                }
+                if toks.get(j).map(|t| t.text == "{").unwrap_or(false) {
+                    if let Some(close) = matching_brace(toks, j) {
+                        for (s, e) in split_top_level_commas(toks, j + 1, close) {
+                            if let Some(colon) = (s..e)
+                                .find(|k| toks[*k].kind == TokKind::Punct && toks[*k].text == ":")
+                            {
+                                let field = toks[s..colon].iter().rev().find(|t| {
+                                    t.kind == TokKind::Ident && !crate::lexer::is_keyword(&t.text)
+                                });
+                                if let (Some(field), Some(kind)) =
+                                    (field, lock_kind_in(&toks[colon..e]))
+                                {
+                                    index.lock_fields.push(LockField {
+                                        struct_name: name_tok.text.clone(),
+                                        field: field.text.clone(),
+                                        kind,
+                                        file: file_id,
+                                        line: field.line,
+                                    });
+                                }
+                            }
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel, src)
+    }
+
+    #[test]
+    fn module_paths_follow_file_layout() {
+        assert_eq!(module_path("crates/serve/src/http.rs"), "serve::http");
+        assert_eq!(module_path("crates/lint/src/rules/mod.rs"), "lint::rules");
+        assert_eq!(module_path("mochy/src/lib.rs"), "mochy");
+        assert_eq!(module_path("crates/core/src/lib.rs"), "core");
+    }
+
+    #[test]
+    fn indexes_fns_methods_and_lock_fields() {
+        let src = r#"
+            pub struct Dataset {
+                published: Mutex<Arc<Snapshot>>,
+                writer: Mutex<Option<StreamingEngine>>,
+                name: String,
+            }
+            pub struct Registry {
+                datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+            }
+            impl Dataset {
+                pub fn snapshot(&self) -> Arc<Snapshot> { Arc::clone(&self.published.lock()) }
+            }
+            fn worker_loop(receiver: &Mutex<Receiver<Job>>, tag: u32) -> u32 { tag }
+        "#;
+        let files = vec![file("crates/serve/src/registry.rs", src)];
+        let index = SymbolIndex::build(&files);
+
+        let names: Vec<&str> = index.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["snapshot", "worker_loop"]);
+        assert_eq!(index.functions[0].impl_type.as_deref(), Some("Dataset"));
+        assert_eq!(index.functions[0].module, "serve::registry");
+        assert!(index.functions[1].impl_type.is_none());
+        assert_eq!(
+            index.functions[1].lock_params,
+            vec![("receiver".to_string(), LockKind::Mutex)]
+        );
+
+        let fields: Vec<(&str, &str, LockKind)> = index
+            .lock_fields
+            .iter()
+            .map(|f| (f.struct_name.as_str(), f.field.as_str(), f.kind))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("Dataset", "published", LockKind::Mutex),
+                ("Dataset", "writer", LockKind::Mutex),
+                ("Registry", "datasets", LockKind::RwLock),
+            ]
+        );
+    }
+
+    #[test]
+    fn resolve_lock_field_prefers_impl_type_then_uniqueness() {
+        let src = r#"
+            struct A { inner: Mutex<u32>, only_a: Mutex<u32> }
+            struct B { inner: Mutex<u32> }
+        "#;
+        let files = vec![file("crates/serve/src/x.rs", src)];
+        let index = SymbolIndex::build(&files);
+        assert_eq!(
+            index
+                .resolve_lock_field("inner", Some("B"))
+                .map(|f| f.struct_name.as_str()),
+            Some("B")
+        );
+        assert!(index.resolve_lock_field("inner", None).is_none());
+        assert_eq!(
+            index
+                .resolve_lock_field("only_a", None)
+                .map(|f| f.struct_name.as_str()),
+            Some("A")
+        );
+    }
+
+    #[test]
+    fn trait_impl_records_implementing_type_and_test_fns_are_masked() {
+        let src = r#"
+            impl std::fmt::Display for Thing {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn probe() {}
+            }
+        "#;
+        let files = vec![file("crates/serve/src/y.rs", src)];
+        let index = SymbolIndex::build(&files);
+        assert_eq!(index.functions[0].impl_type.as_deref(), Some("Thing"));
+        assert!(!index.functions[0].is_test);
+        assert!(index.functions[1].is_test);
+    }
+}

@@ -166,14 +166,38 @@ impl Dataset {
             .writer
             .lock()
             .map_err(|_| MutateError::WriterPoisoned)?;
-        // First mutation: bootstrap the streaming engine from the published
-        // snapshot (edge e keeps identifier e).
-        let stream = writer.get_or_insert_with(|| match self.snapshot().hypergraph.as_deref() {
-            Some(hypergraph) => {
-                StreamingEngine::from_hypergraph(hypergraph, StreamConfig::default())
+        if writer.is_none() {
+            // First mutation: bootstrap the streaming engine from the
+            // published snapshot (edge e keeps identifier e). The bootstrap
+            // runs a full projection + motif count, so it must happen with
+            // the writer lock *released* — otherwise every concurrent
+            // mutation (and any future caller that takes the writer lock)
+            // stalls behind one dataset-sized count. Releasing is safe:
+            // snapshots only advance under the writer lock, so the published
+            // snapshot we bootstrap from cannot change while no writer
+            // exists; if two mutations race the bootstrap, the recheck below
+            // keeps the first engine and discards the duplicate.
+            drop(writer);
+            let bootstrapped = match self.snapshot().hypergraph.as_deref() {
+                Some(hypergraph) => {
+                    StreamingEngine::from_hypergraph(hypergraph, StreamConfig::default())
+                }
+                None => StreamingEngine::new(StreamConfig::default()),
+            };
+            writer = self
+                .writer
+                .lock()
+                .map_err(|_| MutateError::WriterPoisoned)?;
+            if writer.is_none() {
+                *writer = Some(bootstrapped);
             }
-            None => StreamingEngine::new(StreamConfig::default()),
-        });
+        }
+        let stream = match writer.as_mut() {
+            Some(stream) => stream,
+            // Unreachable — the branch above guarantees `Some` — but a typed
+            // error keeps this path panic-free instead of unwrapping.
+            None => return Err(MutateError::WriterPoisoned),
+        };
 
         let inserted: Vec<EdgeId> = inserts
             .iter()
