@@ -10,8 +10,11 @@
 # behind BENCH.json, the perf-regression gate against the committed
 # BENCH_BASELINE.json, the streaming-vs-batch equivalence check of
 # `mochy-exp evolve`, the keep-alive loadtest gate (LOADTEST.json against
-# the committed LOADTEST_BASELINE.json), and finally the per-stage
-# wall-clock budget gate against the committed CI_BUDGET.json.
+# the committed LOADTEST_BASELINE.json), the distributed-equivalence gate
+# (a real coordinator process scatter-gathering /v1/count over real shard
+# workers, bit-identical to the unsharded count even after a worker kill,
+# writing DIST.json), and finally the per-stage wall-clock budget gate
+# against the committed CI_BUDGET.json.
 #
 # Everything runs offline against the vendored dependency stubs; every
 # dependency-resolving cargo invocation (fmt does not resolve) passes
@@ -210,6 +213,16 @@ if [[ "$PROFILE" == "release" ]]; then
   # property the persistent-connection front end exists to deliver.
   run_stage loadtest-gate cargo run --locked --release -p mochy_experiments --bin mochy-exp -- \
     loadtest --json LOADTEST.json --check LOADTEST_BASELINE.json
+
+  # Distributed-equivalence gate: shard a generated dataset, boot one real
+  # coordinator process over two real worker processes (each loading a single
+  # shard slice at boot), and require the scatter-gathered /v1/count to be
+  # bit-identical to the unsharded in-process count — including after one
+  # worker is killed mid-sequence, which must be absorbed by the
+  # deadline/retry/reassignment path. DIST.json (uploaded as a CI artifact)
+  # records each check; any divergence exits non-zero.
+  run_stage distributed-equivalence "${TARGET_DIR}/mochy-exp" dist-check \
+    --serve-bin "${TARGET_DIR}/mochy-serve" --shards 3 --workers 2 --json DIST.json
 fi
 
 # Wall-clock budget gate: every stage above must have stayed under its

@@ -143,6 +143,36 @@ impl Method {
     }
 }
 
+/// A rejected [`CountConfig`] builder call: the requested combination of
+/// options is not supported. Returned (never panicked) so callers that
+/// assemble configurations from untrusted input — the HTTP API, CLI flag
+/// parsing — can map bad requests to their own error surface (e.g. a 400).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// [`CountConfig::shards`] with `K > 1` on a non-exact method: sampling
+    /// estimators draw from the global hyperwedge distribution and do not
+    /// decompose over contiguous hyperedge shards.
+    ShardsRequireExact,
+    /// [`CountConfig::generalized`] with a `k` outside `{3, 4}`: those are
+    /// the only generalized h-motif orders with a catalog (Section 2.2).
+    UnsupportedGeneralizedK(u32),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ShardsRequireExact => {
+                write!(f, "sharded counting supports method mochy-e (exact) only")
+            }
+            ConfigError::UnsupportedGeneralizedK(k) => {
+                write!(f, "generalized counting supports k = 3 or 4, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of a counting run; build one, then call
 /// [`CountConfig::build`] to obtain the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,25 +258,25 @@ impl CountConfig {
     /// Splits exact counting across `k` contiguous hyperedge shards
     /// (scatter-gather; merged bit-identical to unsharded). Only
     /// [`Method::Exact`] decomposes this way — sampling estimators draw
-    /// from the global hyperwedge distribution.
-    pub fn shards(mut self, k: usize) -> Self {
-        assert!(
-            matches!(self.method, Method::Exact),
-            "sharded counting supports Method::Exact only"
-        );
+    /// from the global hyperwedge distribution, so `k > 1` on any other
+    /// method is rejected with [`ConfigError::ShardsRequireExact`].
+    pub fn shards(mut self, k: usize) -> Result<Self, ConfigError> {
+        if k > 1 && !matches!(self.method, Method::Exact) {
+            return Err(ConfigError::ShardsRequireExact);
+        }
         self.shards = k;
-        self
+        Ok(self)
     }
 
     /// Requests generalized h-motif counts over `k` hyperedges (3 or 4) in
-    /// addition to the 26 classic h-motifs.
-    pub fn generalized(mut self, k: u32) -> Self {
-        assert!(
-            (3..=4).contains(&k),
-            "generalized counting supports k = 3 or 4"
-        );
+    /// addition to the 26 classic h-motifs; any other `k` is rejected with
+    /// [`ConfigError::UnsupportedGeneralizedK`].
+    pub fn generalized(mut self, k: u32) -> Result<Self, ConfigError> {
+        if !(3..=4).contains(&k) {
+            return Err(ConfigError::UnsupportedGeneralizedK(k));
+        }
         self.generalized_k = Some(k);
-        self
+        Ok(self)
     }
 
     /// Finalizes the configuration into an engine.

@@ -39,7 +39,8 @@ use std::ops::Range;
 use mochy_hypergraph::{
     default_chunk_size, edge_slice, map_reduce_chunks, shard_boundaries, EdgeId, Hypergraph,
 };
-use mochy_motif::MotifCatalog;
+use mochy_json::JsonValue;
+use mochy_motif::{MotifCatalog, NUM_MOTIFS};
 use mochy_projection::{project, project_parallel, ProjectedGraph};
 
 use crate::count::MotifCounts;
@@ -80,6 +81,105 @@ impl ShardPartial {
     pub fn num_hyperwedges(&self) -> usize {
         self.internal_hyperwedges + self.cross_hyperwedges
     }
+
+    /// Serializes the partial as a JSON object — the wire format of the
+    /// distributed scatter-gather (`POST /v1/internal/count-shard`).
+    ///
+    /// All counts are integer-valued `f64`s far below 2^53, and
+    /// [`mochy_json`] renders finite numbers with Rust's shortest-round-trip
+    /// formatting, so `from_json(render(to_json))` reproduces every field
+    /// bit-for-bit — the property that lets a gathered partial merge exactly
+    /// like an in-process one.
+    pub fn to_json(&self) -> JsonValue {
+        let counts_array = |counts: &MotifCounts| {
+            JsonValue::Array(
+                counts
+                    .as_slice()
+                    .iter()
+                    .map(|&c| JsonValue::Number(c))
+                    .collect(),
+            )
+        };
+        JsonValue::Object(vec![
+            ("shard".to_string(), JsonValue::Number(self.shard as f64)),
+            (
+                "edge_start".to_string(),
+                JsonValue::Number(self.edges.start as f64),
+            ),
+            (
+                "edge_end".to_string(),
+                JsonValue::Number(self.edges.end as f64),
+            ),
+            (
+                "internal_counts".to_string(),
+                counts_array(&self.internal_counts),
+            ),
+            (
+                "boundary_counts".to_string(),
+                counts_array(&self.boundary_counts),
+            ),
+            (
+                "internal_hyperwedges".to_string(),
+                JsonValue::Number(self.internal_hyperwedges as f64),
+            ),
+            (
+                "cross_hyperwedges".to_string(),
+                JsonValue::Number(self.cross_hyperwedges as f64),
+            ),
+        ])
+    }
+
+    /// Decodes a partial from the [`ShardPartial::to_json`] wire format,
+    /// validating shape and ranges (the coordinator treats worker responses
+    /// as untrusted input). Counts must be finite, non-negative, and exactly
+    /// [`NUM_MOTIFS`] per phase; the edge span must be a valid range.
+    pub fn from_json(value: &JsonValue) -> Result<ShardPartial, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let usize_field = |key: &str| -> Result<usize, String> {
+            field(key)?
+                .as_usize()
+                .ok_or_else(|| format!("field `{key}` is not a non-negative integer"))
+        };
+        let counts_field = |key: &str| -> Result<MotifCounts, String> {
+            let array = field(key)?
+                .as_array()
+                .ok_or_else(|| format!("field `{key}` is not an array"))?;
+            if array.len() != NUM_MOTIFS {
+                return Err(format!(
+                    "field `{key}` has {} entries, expected {NUM_MOTIFS}",
+                    array.len()
+                ));
+            }
+            let mut counts = [0f64; NUM_MOTIFS];
+            for (slot, entry) in counts.iter_mut().zip(array) {
+                let number = entry
+                    .as_f64()
+                    .ok_or_else(|| format!("field `{key}` holds a non-number entry"))?;
+                if !number.is_finite() || number < 0.0 {
+                    return Err(format!("field `{key}` holds a non-count value {number}"));
+                }
+                *slot = number;
+            }
+            Ok(MotifCounts::from_slice(&counts))
+        };
+        let edge_start = usize_field("edge_start")?;
+        let edge_end = usize_field("edge_end")?;
+        if edge_start > edge_end {
+            return Err(format!("edge span {edge_start}..{edge_end} is inverted"));
+        }
+        Ok(ShardPartial {
+            shard: usize_field("shard")?,
+            edges: edge_start..edge_end,
+            internal_counts: counts_field("internal_counts")?,
+            boundary_counts: counts_field("boundary_counts")?,
+            internal_hyperwedges: usize_field("internal_hyperwedges")?,
+            cross_hyperwedges: usize_field("cross_hyperwedges")?,
+        })
+    }
 }
 
 /// Runs both phases of sharded MoCHy-E over `num_shards` contiguous shards,
@@ -115,38 +215,7 @@ pub fn count_sharded(
     let mut partials: Vec<ShardPartial> = boundaries
         .iter()
         .enumerate()
-        .map(|(shard, range)| {
-            if range.is_empty() {
-                return ShardPartial {
-                    shard,
-                    edges: range.clone(),
-                    internal_counts: MotifCounts::zero(),
-                    boundary_counts: MotifCounts::zero(),
-                    internal_hyperwedges: 0,
-                    cross_hyperwedges: 0,
-                };
-            }
-            let local = edge_slice(hypergraph, range.clone())
-                .expect("shard boundaries are in range and non-empty");
-            let local_projected = if threads > 1 {
-                project_parallel(&local, threads)
-            } else {
-                project(&local)
-            };
-            let internal_counts = if threads > 1 {
-                mochy_e_parallel(&local, &local_projected, threads)
-            } else {
-                mochy_e(&local, &local_projected)
-            };
-            ShardPartial {
-                shard,
-                edges: range.clone(),
-                internal_counts,
-                boundary_counts: MotifCounts::zero(),
-                internal_hyperwedges: local_projected.num_hyperwedges(),
-                cross_hyperwedges: 0,
-            }
-        })
+        .map(|(shard, range)| internal_partial(hypergraph, shard, range.clone(), threads))
         .collect();
 
     // Phase 2 — boundary exchange: every instance spanning at least two
@@ -198,6 +267,123 @@ pub fn count_sharded(
         }
     }
     partials
+}
+
+/// Phase 1 for one shard: the internal instances and hyperwedges of the
+/// shard's edge slice, with boundary fields zeroed. Shared by the in-process
+/// scatter ([`count_sharded`]) and the distributed single-shard path
+/// ([`count_shard_partial`]) so both classify and attribute through exactly
+/// the same code.
+fn internal_partial(
+    hypergraph: &Hypergraph,
+    shard: usize,
+    range: Range<usize>,
+    threads: usize,
+) -> ShardPartial {
+    if range.is_empty() {
+        return ShardPartial {
+            shard,
+            edges: range,
+            internal_counts: MotifCounts::zero(),
+            boundary_counts: MotifCounts::zero(),
+            internal_hyperwedges: 0,
+            cross_hyperwedges: 0,
+        };
+    }
+    let local =
+        edge_slice(hypergraph, range.clone()).expect("shard boundaries are in range and non-empty");
+    let local_projected = if threads > 1 {
+        project_parallel(&local, threads)
+    } else {
+        project(&local)
+    };
+    let internal_counts = if threads > 1 {
+        mochy_e_parallel(&local, &local_projected, threads)
+    } else {
+        mochy_e(&local, &local_projected)
+    };
+    ShardPartial {
+        shard,
+        edges: range,
+        internal_counts,
+        boundary_counts: MotifCounts::zero(),
+        internal_hyperwedges: local_projected.num_hyperwedges(),
+        cross_hyperwedges: 0,
+    }
+}
+
+/// Computes a single shard's [`ShardPartial`] in isolation — the unit of
+/// work a distributed worker answers `count-shard` with. Returns `None` when
+/// `shard` is outside the `shard_boundaries(num_edges, num_shards)` layout.
+///
+/// Produces exactly the element `count_sharded(...)[shard]` would: phase 1
+/// runs the same shard-local code ([`internal_partial`]); phase 2 visits
+/// only centres inside this shard's span, which is precisely the subset of
+/// the global boundary pass that accumulates into this shard (cross-shard
+/// instances and hyperwedges are attributed to their centre's shard). Every
+/// contribution is a `+1.0` exact-integer `f64` increment, so restricting
+/// the iteration cannot change a bit. `projected` must be the FULL
+/// projection of the FULL `hypergraph` — cross-shard instances centred here
+/// reference arbitrary other shards' hyperedges.
+pub fn count_shard_partial(
+    hypergraph: &Hypergraph,
+    projected: &ProjectedGraph,
+    num_shards: usize,
+    shard: usize,
+    threads: usize,
+) -> Option<ShardPartial> {
+    let num_edges = hypergraph.num_edges();
+    let boundaries = shard_boundaries(num_edges, num_shards);
+    let range = boundaries.get(shard)?.clone();
+
+    let mut shard_of = vec![0u32; num_edges];
+    for (home, span) in boundaries.iter().enumerate() {
+        for e in span.clone() {
+            shard_of[e] = home as u32;
+        }
+    }
+
+    let mut partial = internal_partial(hypergraph, shard, range.clone(), threads);
+
+    // Phase 2, restricted to this shard's centres. Chunk over the span and
+    // offset indices back into global edge ids.
+    let span_len = range.len();
+    let worker_partials = map_reduce_chunks(
+        span_len,
+        threads,
+        default_chunk_size(span_len, threads),
+        || (MotifCatalog::new(), MotifCounts::zero(), 0usize),
+        |(catalog, boundary, cross), chunk| {
+            for offset in chunk {
+                let i = range.start + offset;
+                let centre = i as EdgeId;
+                count_instances_centred_at(
+                    hypergraph,
+                    projected,
+                    catalog,
+                    centre,
+                    |motif, j, k| {
+                        if shard_of[j as usize] == shard_of[i]
+                            && shard_of[k as usize] == shard_of[i]
+                        {
+                            return; // all-internal: phase 1 counted it
+                        }
+                        boundary.increment(motif);
+                    },
+                );
+                for &(j, _) in projected.neighbors(centre) {
+                    if j > centre && shard_of[j as usize] != shard_of[i] {
+                        *cross += 1;
+                    }
+                }
+            }
+        },
+    );
+    for (_, boundary, cross) in &worker_partials {
+        partial.boundary_counts.merge(boundary);
+        partial.cross_hyperwedges += cross;
+    }
+    Some(partial)
 }
 
 /// The order-fixed gather: folds the partials in shard order (internal
@@ -312,6 +498,119 @@ mod tests {
         assert_eq!(single[0].boundary_counts, MotifCounts::zero());
         assert_eq!(single[0].cross_hyperwedges, 0);
         assert_eq!(single[0].internal_hyperwedges, projected.num_hyperwedges());
+    }
+
+    #[test]
+    fn single_shard_partials_match_the_batch_scatter_bitwise() {
+        // The distributed unit of work: counting one shard in isolation must
+        // reproduce the corresponding element of the in-process scatter
+        // bit-for-bit, for every shard, shard count, and thread count.
+        for seed in [2u64, 9] {
+            let h = random_hypergraph(seed, 22, 36, 5);
+            let projected = project(&h);
+            for shards in [1usize, 2, 3, 8] {
+                let batch = count_sharded(&h, &projected, shards, 1);
+                for (shard, expected) in batch.iter().enumerate() {
+                    for threads in [1usize, 3] {
+                        let solo = count_shard_partial(&h, &projected, shards, shard, threads)
+                            .expect("shard index is in range");
+                        assert_eq!(
+                            &solo, expected,
+                            "seed={seed} K={shards} shard={shard} t={threads}"
+                        );
+                        for (motif, (a, b)) in expected
+                            .counts()
+                            .as_slice()
+                            .iter()
+                            .zip(solo.counts().as_slice())
+                            .enumerate()
+                        {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "motif {} differs at seed={seed} K={shards} shard={shard}",
+                                motif + 1
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    count_shard_partial(&h, &projected, shards, batch.len(), 1).is_none(),
+                    "out-of-range shard index must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partial_json_round_trips_bit_exactly() {
+        let h = random_hypergraph(5, 20, 32, 5);
+        let projected = project(&h);
+        for partial in count_sharded(&h, &projected, 3, 1) {
+            let wire = partial.to_json().render();
+            let parsed = mochy_json::parse(&wire).expect("wire format is valid JSON");
+            let decoded = ShardPartial::from_json(&parsed).expect("round-trip decodes");
+            assert_eq!(decoded, partial);
+            for (a, b) in partial
+                .internal_counts
+                .as_slice()
+                .iter()
+                .chain(partial.boundary_counts.as_slice())
+                .zip(
+                    decoded
+                        .internal_counts
+                        .as_slice()
+                        .iter()
+                        .chain(decoded.boundary_counts.as_slice()),
+                )
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partial_decoding_rejects_malformed_documents() {
+        let h = figure2();
+        let projected = project(&h);
+        let good = count_sharded(&h, &projected, 2, 1).swap_remove(0).to_json();
+
+        // Each mutation must produce a decode error, not a bogus partial.
+        let drop_field = |key: &str| {
+            let JsonValue::Object(fields) = good.clone() else {
+                unreachable!("to_json renders an object")
+            };
+            JsonValue::Object(fields.into_iter().filter(|(k, _)| k != key).collect())
+        };
+        let set_field = |key: &str, value: JsonValue| {
+            let JsonValue::Object(fields) = good.clone() else {
+                unreachable!("to_json renders an object")
+            };
+            JsonValue::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| if k == key { (k, value.clone()) } else { (k, v) })
+                    .collect(),
+            )
+        };
+        for bad in [
+            drop_field("shard"),
+            drop_field("internal_counts"),
+            set_field("internal_counts", JsonValue::Array(vec![])),
+            set_field(
+                "boundary_counts",
+                JsonValue::Array(vec![JsonValue::Number(f64::NAN); NUM_MOTIFS]),
+            ),
+            set_field("internal_hyperwedges", JsonValue::Number(-1.0)),
+            set_field("edge_start", JsonValue::Number(10.0)),
+            JsonValue::Null,
+        ] {
+            assert!(
+                ShardPartial::from_json(&bad).is_err(),
+                "malformed document decoded: {}",
+                bad.render()
+            );
+        }
     }
 
     #[test]

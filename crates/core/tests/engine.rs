@@ -208,7 +208,11 @@ fn different_seeds_change_sampled_estimates() {
 #[test]
 fn generalized_counts_ride_along() {
     let h = figure2();
-    let report = CountConfig::exact().generalized(4).build().count(&h);
+    let report = CountConfig::exact()
+        .generalized(4)
+        .expect("k = 4 is supported")
+        .build()
+        .count(&h);
     let quads = report.generalized.expect("generalized(4) was configured");
     assert_eq!(quads.k(), 4);
     // Figure 2 has exactly one connected 4-set: all four hyperedges.
@@ -218,6 +222,7 @@ fn generalized_counts_ride_along() {
     // eager projection for the generalized pass).
     let otf = CountConfig::on_the_fly(100, 16, MemoPolicy::Lru)
         .generalized(3)
+        .expect("k = 3 is supported")
         .build()
         .count(&h);
     assert_eq!(otf.generalized.expect("generalized(3)").total(), 3);
@@ -231,6 +236,7 @@ fn generalized_k4_catalog_has_1853_motifs_through_the_engine() {
     let h = figure2();
     let quads = CountConfig::exact()
         .generalized(4)
+        .expect("k = 4 is supported")
         .build()
         .count(&h)
         .generalized
@@ -238,6 +244,7 @@ fn generalized_k4_catalog_has_1853_motifs_through_the_engine() {
     assert_eq!(quads.as_slice().len(), 1853);
     let triples = CountConfig::exact()
         .generalized(3)
+        .expect("k = 3 is supported")
         .build()
         .count(&h)
         .generalized
@@ -258,7 +265,11 @@ fn generalized_k3_counts_match_mochy_e_through_the_engine() {
         21,
     ));
     for (name, h) in [("figure2", figure2()), ("email", generated)] {
-        let report = CountConfig::exact().generalized(3).build().count(&h);
+        let report = CountConfig::exact()
+            .generalized(3)
+            .expect("k = 3 is supported")
+            .build()
+            .count(&h);
         let triples = report.generalized.as_ref().expect("generalized(3)");
         assert_eq!(
             triples.total() as f64,

@@ -44,6 +44,7 @@ fn exact(threads: usize, shards: usize, hypergraph: &Hypergraph) -> CountReport 
     CountConfig::new(Method::Exact)
         .threads(threads)
         .shards(shards)
+        .expect("shards on Method::Exact is always accepted")
         .build()
         .count(hypergraph)
 }
@@ -125,14 +126,24 @@ fn repeated_sharded_runs_are_deterministic() {
     let (_, hypergraph) = mochy_bench::bench_datasets().swap_remove(1);
     let config = CountConfig::new(Method::Exact)
         .threads(pooled_threads())
-        .shards(4);
+        .shards(4)
+        .expect("shards on Method::Exact is always accepted");
     let first = config.build().count(&hypergraph);
     let second = config.build().count(&hypergraph);
     assert_eq!(first, second);
 }
 
 #[test]
-#[should_panic(expected = "Method::Exact only")]
 fn sharding_a_sampling_method_is_rejected() {
-    let _ = CountConfig::new(Method::WedgeSample { samples: 10 }).shards(2);
+    // The builder reports the bad combination as a typed error instead of
+    // panicking, so API-facing callers can map it to a 400.
+    let rejected = CountConfig::new(Method::WedgeSample { samples: 10 }).shards(2);
+    assert_eq!(
+        rejected,
+        Err(mochy_core::engine::ConfigError::ShardsRequireExact)
+    );
+    // K <= 1 is a no-op on any method and stays accepted.
+    assert!(CountConfig::new(Method::WedgeSample { samples: 10 })
+        .shards(1)
+        .is_ok());
 }

@@ -37,13 +37,19 @@
 //! `mochy-exp loadtest`
 //! — the closed-loop HTTP load harness that proves keep-alive serving beats
 //! connection-per-request and (with `--check`) gates throughput and latency
-//! quantiles against `LOADTEST_BASELINE.json`.
+//! quantiles against `LOADTEST_BASELINE.json`. [`dist`] implements
+//! `mochy-exp dist-check`, the distributed-equivalence gate: it boots real
+//! `mochy-serve --worker`/`--coordinator` processes over a sharded dataset,
+//! verifies the scatter-gathered count is bit-identical to the unsharded
+//! one (including after a worker is killed mid-sequence), and emits
+//! `DIST.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cibudget;
 pub mod common;
+pub mod dist;
 pub mod evolve;
 pub mod fig10;
 pub mod fig11;

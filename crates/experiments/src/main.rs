@@ -18,6 +18,9 @@
 //! mochy-exp loadtest [--json <path>] [--clients <n>] [--requests <n>]
 //!           [--repeats <n>] [--seed <n>] [--check <baseline.json>]
 //!           [--tolerance <pct>] [--min-ms <ms>] [--min-speedup <x>]
+//! mochy-exp dist-check --serve-bin <mochy-serve> [--json <path>]
+//!           [--shards <k>] [--workers <n>] [--nodes <n>] [--edges <n>]
+//!           [--seed <n>]
 //! mochy-exp evolve [--years <n>] [--window <n|none>] [--authors <n>]
 //!           [--papers <n>] [--growth <n>] [--seed <n>] [--no-verify]
 //! ```
@@ -26,7 +29,7 @@
 
 use mochy_experiments::tool::{self, CountAlgorithm};
 use mochy_experiments::{
-    cibudget, evolve, loadtest, perf, run_experiment, shard, snapshot, ExperimentScale,
+    cibudget, dist, evolve, loadtest, perf, run_experiment, shard, snapshot, ExperimentScale,
     ALL_EXPERIMENTS,
 };
 
@@ -75,6 +78,10 @@ fn main() {
     }
     if command == "evolve" {
         run_evolve(&args[1..]);
+        return;
+    }
+    if command == "dist-check" {
+        run_dist_check(&args[1..]);
         return;
     }
     let scale = parse_scale(&args).unwrap_or_else(|message| {
@@ -539,6 +546,59 @@ fn run_loadtest(args: &[String]) {
                 );
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+fn run_dist_check(args: &[String]) {
+    let mut options = dist::DistOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(argument) = iter.next() {
+        let mut take_value = |what: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_count = |text: String, what: &str| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("invalid {what} `{text}`");
+                std::process::exit(2);
+            })
+        };
+        match argument.as_str() {
+            "--serve-bin" => options.serve_bin = take_value("--serve-bin"),
+            "--json" => json_path = Some(take_value("--json")),
+            "--shards" => options.shards = parse_count(take_value("--shards"), "shard count"),
+            "--workers" => options.workers = parse_count(take_value("--workers"), "worker count"),
+            "--nodes" => options.nodes = parse_count(take_value("--nodes"), "node count").max(1),
+            "--edges" => options.edges = parse_count(take_value("--edges"), "edge count").max(1),
+            "--seed" => options.seed = parse_count(take_value("--seed"), "seed") as u64,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: mochy-exp dist-check --serve-bin <mochy-serve> [--json <path>] \
+                     [--shards <k>] [--workers <n>] [--nodes <n>] [--edges <n>] [--seed <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    match dist::run(&options) {
+        Ok((summary, document)) => {
+            println!("{summary}");
+            if let Some(path) = json_path {
+                if let Err(error) = dist::write_report(&document, std::path::Path::new(&path)) {
+                    eprintln!("{error}");
+                    std::process::exit(1);
+                }
+                println!("wrote dist report to {path}");
+            }
+        }
+        Err(failures) => {
+            eprintln!("{failures}");
+            std::process::exit(1);
         }
     }
 }

@@ -157,6 +157,7 @@ fn run_dataset(name: &str, hypergraph: &Hypergraph, options: &PerfOptions) -> Da
         .threads(options.threads)
         .seed(options.seed)
         .shards(SHARDED_K)
+        .expect("shards on Method::Exact is always accepted")
         .build()
         .count(hypergraph);
     block.rows.push(MethodRow {

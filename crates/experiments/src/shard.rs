@@ -31,7 +31,9 @@ use crate::json;
 fn count(hypergraph: &Hypergraph, threads: usize, shards: usize) -> CountReport {
     let mut config = CountConfig::new(Method::Exact).threads(threads);
     if shards > 1 {
-        config = config.shards(shards);
+        config = config
+            .shards(shards)
+            .expect("shards on Method::Exact is always accepted");
     }
     config.build().count(hypergraph)
 }

@@ -54,8 +54,9 @@ pub use error::HypergraphError;
 pub use graph::{EdgeId, Hypergraph, NodeId};
 pub use parallel::{default_chunk_size, map_reduce_chunks, ChunkQueue, PoolSaturated, WorkerPool};
 pub use shard::{
-    edge_slice, load_sharded, load_sharded_manifest, manifest_file_path, shard_boundaries,
-    shard_file_path, write_shards, ShardError, ShardManifest, ShardRecord, ShardedHypergraph,
+    edge_slice, load_shard_slice, load_sharded, load_sharded_manifest, manifest_file_path,
+    manifest_stem, read_manifest_file, shard_boundaries, shard_file_path, write_shards, ShardError,
+    ShardManifest, ShardRecord, ShardedHypergraph,
 };
 pub use snapshot::{
     read_snapshot, read_snapshot_bytes, read_snapshot_file, write_snapshot, write_snapshot_file,

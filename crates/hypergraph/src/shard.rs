@@ -671,70 +671,91 @@ impl ShardedHypergraph {
     }
 }
 
+/// Loads and validates ONE shard's snapshot of the family with stem `stem`
+/// against its record in an already-validated `manifest`: the snapshot's own
+/// trailing checksum must match the pinned one, and its edge span, incidence
+/// count, and node universe must agree with the record. This is the unit a
+/// distributed worker boots from — only the shard's own edge slice is read
+/// off disk, never the rest of the family.
+pub fn load_shard_slice(
+    stem: &Path,
+    manifest: &ShardManifest,
+    shard: usize,
+) -> Result<Hypergraph, ShardError> {
+    let record = manifest.shards.get(shard).ok_or(ShardError::Corrupt {
+        section: "records",
+        message: format!(
+            "shard {shard} requested but the manifest describes {}",
+            manifest.num_shards()
+        ),
+    })?;
+    let bytes = std::fs::read(shard_file_path(stem, shard))?;
+    let slice = snapshot::read_snapshot_bytes(&bytes)
+        .map_err(|error| ShardError::Shard { shard, error })?;
+    let stored = snapshot_trailing_checksum(&bytes);
+    if stored != record.snapshot_checksum {
+        return Err(ShardError::Corrupt {
+            section: "shard files",
+            message: format!(
+                "shard {shard} checksum {stored:#018x} does not match the manifest's \
+                 {:#018x} (file replaced or regenerated?)",
+                record.snapshot_checksum
+            ),
+        });
+    }
+    // The record's span was validated as non-empty and within the 32-bit
+    // ceiling, so the width fits usize without wrapping.
+    let span = record.edge_end.saturating_sub(record.edge_start);
+    if slice.num_edges() as u64 != span {
+        return Err(ShardError::Corrupt {
+            section: "shard files",
+            message: format!(
+                "shard {shard} holds {} hyperedges but its record spans {span}",
+                slice.num_edges()
+            ),
+        });
+    }
+    if slice.num_incidences() as u64 != record.num_incidences {
+        return Err(ShardError::Corrupt {
+            section: "shard files",
+            message: format!(
+                "shard {shard} holds {} incidences but its record declares {}",
+                slice.num_incidences(),
+                record.num_incidences
+            ),
+        });
+    }
+    if slice.num_nodes() as u64 != manifest.num_nodes {
+        return Err(ShardError::Corrupt {
+            section: "shard files",
+            message: format!(
+                "shard {shard} declares {} nodes but the manifest declares {} \
+                 (shards must keep the global node universe)",
+                slice.num_nodes(),
+                manifest.num_nodes
+            ),
+        });
+    }
+    Ok(slice)
+}
+
 /// Loads the shard family with stem `stem`: reads and validates the
-/// manifest, then every shard snapshot, cross-checking each against its
-/// record (edge span, incidence count, node universe, and the snapshot's
-/// own trailing checksum).
+/// manifest, then every shard snapshot through [`load_shard_slice`]
+/// (cross-checking each against its record — edge span, incidence count,
+/// node universe, and the snapshot's own trailing checksum).
 pub fn load_sharded(stem: &Path) -> Result<ShardedHypergraph, ShardError> {
     let manifest = read_manifest_file(&manifest_file_path(stem))?;
     let mut shards = Vec::with_capacity(manifest.num_shards());
-    for (shard, record) in manifest.shards.iter().enumerate() {
-        let bytes = std::fs::read(shard_file_path(stem, shard))?;
-        let slice = snapshot::read_snapshot_bytes(&bytes)
-            .map_err(|error| ShardError::Shard { shard, error })?;
-        let stored = snapshot_trailing_checksum(&bytes);
-        if stored != record.snapshot_checksum {
-            return Err(ShardError::Corrupt {
-                section: "shard files",
-                message: format!(
-                    "shard {shard} checksum {stored:#018x} does not match the manifest's \
-                     {:#018x} (file replaced or regenerated?)",
-                    record.snapshot_checksum
-                ),
-            });
-        }
-        // The record's span was validated as non-empty and within the 32-bit
-        // ceiling, so the width fits usize without wrapping.
-        let span = record.edge_end.saturating_sub(record.edge_start);
-        if slice.num_edges() as u64 != span {
-            return Err(ShardError::Corrupt {
-                section: "shard files",
-                message: format!(
-                    "shard {shard} holds {} hyperedges but its record spans {span}",
-                    slice.num_edges()
-                ),
-            });
-        }
-        if slice.num_incidences() as u64 != record.num_incidences {
-            return Err(ShardError::Corrupt {
-                section: "shard files",
-                message: format!(
-                    "shard {shard} holds {} incidences but its record declares {}",
-                    slice.num_incidences(),
-                    record.num_incidences
-                ),
-            });
-        }
-        if slice.num_nodes() as u64 != manifest.num_nodes {
-            return Err(ShardError::Corrupt {
-                section: "shard files",
-                message: format!(
-                    "shard {shard} declares {} nodes but the manifest declares {} \
-                     (shards must keep the global node universe)",
-                    slice.num_nodes(),
-                    manifest.num_nodes
-                ),
-            });
-        }
-        shards.push(slice);
+    for shard in 0..manifest.num_shards() {
+        shards.push(load_shard_slice(stem, &manifest, shard)?);
     }
     Ok(ShardedHypergraph { manifest, shards })
 }
 
-/// Loads a shard family given the path of its **manifest** file (the
-/// `{stem}.shards` file): strips the `.shards` suffix to recover the stem,
-/// then delegates to [`load_sharded`].
-pub fn load_sharded_manifest(manifest_path: &Path) -> Result<ShardedHypergraph, ShardError> {
+/// Strips the `.shards` suffix of a manifest path to recover the family's
+/// stem (`data.shards` → `data`); the stem is what [`shard_file_path`] and
+/// [`load_shard_slice`] key off.
+pub fn manifest_stem(manifest_path: &Path) -> Result<PathBuf, ShardError> {
     let name = manifest_path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -745,7 +766,14 @@ pub fn load_sharded_manifest(manifest_path: &Path) -> Result<ShardedHypergraph, 
             section: "manifest path",
             message: format!("manifest path `{name}` does not end in .shards"),
         })?;
-    load_sharded(&manifest_path.with_file_name(stem_name))
+    Ok(manifest_path.with_file_name(stem_name))
+}
+
+/// Loads a shard family given the path of its **manifest** file (the
+/// `{stem}.shards` file): strips the `.shards` suffix to recover the stem
+/// ([`manifest_stem`]), then delegates to [`load_sharded`].
+pub fn load_sharded_manifest(manifest_path: &Path) -> Result<ShardedHypergraph, ShardError> {
+    load_sharded(&manifest_stem(manifest_path)?)
 }
 
 #[cfg(test)]

@@ -73,6 +73,13 @@ impl JsonValue {
         }
     }
 
+    /// The value as a `usize`, through [`JsonValue::as_u64`]'s exact-integer
+    /// check plus a checked narrowing — the shape of every shard index, edge
+    /// span bound, and count field on the distributed worker wire.
+    pub fn as_usize(&self) -> Option<usize> {
+        usize::try_from(self.as_u64()?).ok()
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -1,15 +1,33 @@
-//! The JSON API of `mochy-serve`: request parsing, query execution, response
-//! rendering, and the byte-identical LRU result cache.
+//! The JSON API of `mochy-serve`: versioned routing, request parsing, query
+//! execution, response rendering, and the byte-identical LRU result cache.
+//!
+//! Routes are versioned under `/v1` (the only version). The historical
+//! unversioned paths remain as **deprecated aliases**: they answer exactly
+//! like their `/v1` spelling plus a `deprecation: true` response header, so
+//! existing clients keep working while new ones can detect the old spelling.
+//! A request under an unknown version prefix (`/v2/...`) is a structured
+//! 404 (`kind: "unknown-version"`), distinct from a plain unknown path.
 //!
 //! | Route | Body | Answer |
 //! |---|---|---|
-//! | `GET /healthz` | — | liveness, dataset/cache/pool stats |
-//! | `GET /datasets` | — | registered datasets with generation + sizes |
-//! | `POST /datasets` | `{"name", "snapshot"}` | ingests a base64 `.mochy` snapshot as a fresh dataset |
-//! | `POST /count` | `{"dataset", "method", …}` | 26 h-motif counts via the [`MotifEngine`] |
-//! | `POST /profile` | `{"dataset", "randomizations", …}` | characteristic profile (Eqs. 1–2) |
-//! | `POST /mutate` | `{"dataset", "insert", "remove"}` | applies churn, publishes a new snapshot |
-//! | `POST /shutdown` | — | acknowledges, then stops the accept loop |
+//! | `GET /v1/healthz` | — | liveness, role, dataset/cache/pool stats |
+//! | `GET /v1/datasets` | — | registered datasets with generation + sizes |
+//! | `POST /v1/datasets` | `{"name", "snapshot"}` | ingests a base64 `.mochy` snapshot as a fresh dataset |
+//! | `POST /v1/count` | `{"dataset", "method", …}` | 26 h-motif counts via the [`MotifEngine`] |
+//! | `POST /v1/profile` | `{"dataset", "randomizations", …}` | characteristic profile (Eqs. 1–2) |
+//! | `POST /v1/mutate` | `{"dataset", "insert", "remove"}` | applies churn, publishes a new snapshot |
+//! | `POST /v1/admin/shutdown` | — | acknowledges, then stops the accept loop |
+//! | `POST /v1/internal/count-shard` | `{"dataset", "shard", "threads"}` | one [`ShardPartial`], worker role only (`/v1`-only, no alias) |
+//!
+//! (`POST /shutdown` aliases `/v1/admin/shutdown`; the other aliases drop
+//! the `/v1` prefix.)
+//!
+//! **Errors.** Every error response carries one uniform envelope,
+//! `{"error": {"code", "kind", "message", "detail"?}}`, built through a
+//! single typed [`ApiError`] constructor — including transport-level errors
+//! (the accept loop's 503, the request reader's 400/408/413) via
+//! [`error_body`]. Fan-out partial failures list per-worker outcomes under
+//! `detail`.
 //!
 //! **Determinism and caching.** Every `/count` and `/profile` body is a pure
 //! function of `(dataset snapshot, normalized query)`: the engine is
@@ -22,6 +40,7 @@
 //! out of the LRU.
 //!
 //! [`MotifEngine`]: mochy_core::engine::MotifEngine
+//! [`ShardPartial`]: mochy_core::shard::ShardPartial
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,6 +48,7 @@ use std::time::Instant;
 
 use mochy_analysis::profile::{CountingMethod, ProfileEstimator};
 use mochy_core::engine::{CountConfig, CountReport, Method};
+use mochy_core::shard::merge_partials;
 use mochy_core::AdaptiveConfig;
 use mochy_hypergraph::{EdgeId, NodeId};
 use mochy_json::{self as json, JsonValue};
@@ -36,8 +56,10 @@ use mochy_motif::NUM_MOTIFS;
 use mochy_projection::MemoPolicy;
 
 use crate::b64;
+use crate::coordinator::{Coordinator, FanoutError};
 use crate::http::Request;
 use crate::registry::{MutateError, Registry, Snapshot, MAX_NODE_ID};
+use crate::worker::WorkerState;
 
 /// Hard ceiling on per-request sample counts (keeps a single query bounded).
 const MAX_SAMPLES: usize = 1_000_000;
@@ -157,6 +179,9 @@ pub struct ApiResponse {
     pub cache_state: Option<CacheState>,
     /// Whether the server should stop accepting after this response.
     pub shutdown: bool,
+    /// Whether the request used a deprecated unversioned path alias (the
+    /// transport answers with a `deprecation: true` header).
+    pub deprecated: bool,
 }
 
 impl ApiResponse {
@@ -166,33 +191,101 @@ impl ApiResponse {
             body: body.into(),
             cache_state: None,
             shutdown: false,
+            deprecated: false,
         }
     }
 }
 
-/// A request rejected before execution: status plus a JSON error body.
+/// A request rejected before (or during) execution: the single constructor
+/// of the uniform error envelope
+/// `{"error": {"code", "kind", "message", "detail"?}}`.
+///
+/// `kind` is a stable machine-readable discriminator (`"bad-request"`,
+/// `"not-found"`, `"unknown-version"`, `"fanout-failed"`, …); `message` is
+/// for humans; `detail` carries structured context where one exists (e.g.
+/// per-worker outcomes of a failed fan-out).
 struct ApiError {
     status: u16,
+    kind: &'static str,
     message: String,
+    detail: Option<JsonValue>,
 }
 
 impl ApiError {
-    fn new(status: u16, message: impl Into<String>) -> Self {
+    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> Self {
         Self {
             status,
+            kind,
             message: message.into(),
+            detail: None,
         }
     }
 
     fn bad(message: impl Into<String>) -> Self {
-        Self::new(400, message)
+        Self::new(400, "bad-request", message)
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        Self::new(404, "not-found", message)
+    }
+
+    fn with_detail(mut self, detail: JsonValue) -> Self {
+        self.detail = Some(detail);
+        self
+    }
+
+    fn into_response(self) -> ApiResponse {
+        ApiResponse {
+            status: self.status,
+            body: render_error(self.status, self.kind, &self.message, self.detail).into(),
+            cache_state: None,
+            shutdown: false,
+            deprecated: false,
+        }
     }
 }
 
-/// Renders an error body (also used by the transport layer for parse and
-/// overload errors, so every response on the wire is JSON).
-pub fn error_body(message: &str) -> String {
-    JsonValue::Object(vec![("error".to_string(), JsonValue::string(message))]).render()
+fn render_error(status: u16, kind: &str, message: &str, detail: Option<JsonValue>) -> String {
+    let mut members = vec![
+        ("code".to_string(), JsonValue::Number(status as f64)),
+        ("kind".to_string(), JsonValue::string(kind)),
+        ("message".to_string(), JsonValue::string(message)),
+    ];
+    if let Some(detail) = detail {
+        members.push(("detail".to_string(), detail));
+    }
+    JsonValue::Object(vec![("error".to_string(), JsonValue::Object(members))]).render()
+}
+
+/// Renders an error envelope without going through a handler — the transport
+/// layer uses this for parse, timeout, and overload errors, so every
+/// response on the wire carries the same `{"error": {...}}` shape.
+pub fn error_body(status: u16, kind: &str, message: &str) -> String {
+    render_error(status, kind, message, None)
+}
+
+/// What this server instance is in a (possibly distributed) deployment.
+#[derive(Debug)]
+pub enum Role {
+    /// A self-contained server: every dataset is local, no fan-out.
+    Standalone,
+    /// A shard worker: boots from one shard of a `MOCHYSHD` family and
+    /// answers `POST /v1/internal/count-shard` with serialized partials.
+    Worker(Arc<WorkerState>),
+    /// A coordinator: owns the shard manifest and scatters `/v1/count`
+    /// queries for its distributed dataset across a worker set.
+    Coordinator(Arc<Coordinator>),
+}
+
+impl Role {
+    /// The role name `/healthz` reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Role::Standalone => "standalone",
+            Role::Worker(_) => "worker",
+            Role::Coordinator(_) => "coordinator",
+        }
+    }
 }
 
 /// Everything the request handlers need, shared across worker threads.
@@ -214,44 +307,123 @@ pub struct ApiContext {
     pub idle_timeout_ms: u64,
     /// Server start time (reported by `/healthz`).
     pub started: Instant,
+    /// Standalone, shard worker, or coordinator.
+    pub role: Role,
+}
+
+/// Where a request path landed after version resolution.
+enum Resolved {
+    /// A `/v1/...` path, stripped to the canonical route.
+    Canonical(String),
+    /// An unversioned legacy path, mapped to its canonical route; the
+    /// response carries `deprecation: true`.
+    Legacy(String),
+    /// A `/v{N}/...` prefix for an unsupported version `N`.
+    UnknownVersion(String),
+}
+
+/// Resolves the versioned route space: `/v1/...` is canonical, a known
+/// version prefix other than 1 is rejected as such, and everything else is
+/// treated as a legacy alias of the same path (`/shutdown` specifically
+/// aliases the canonical `/admin/shutdown`).
+fn resolve_path(path: &str) -> Resolved {
+    if let Some(rest) = path.strip_prefix("/v1") {
+        if rest.is_empty() {
+            return Resolved::Canonical("/".to_string());
+        }
+        if rest.starts_with('/') {
+            return Resolved::Canonical(rest.to_string());
+        }
+    }
+    if let Some(rest) = path.strip_prefix("/v") {
+        let digits = rest.chars().take_while(char::is_ascii_digit).count();
+        let after = rest.get(digits..).unwrap_or("");
+        if digits > 0 && (after.is_empty() || after.starts_with('/')) {
+            let version = rest.get(..digits).unwrap_or("");
+            return Resolved::UnknownVersion(format!("/v{version}"));
+        }
+    }
+    let canonical = match path {
+        "/shutdown" => "/admin/shutdown",
+        other => other,
+    };
+    Resolved::Legacy(canonical.to_string())
 }
 
 /// Routes a parsed request to its handler.
 pub fn handle(ctx: &ApiContext, request: &Request) -> ApiResponse {
-    let result = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok(healthz(ctx)),
-        ("GET", "/datasets") => Ok(datasets(ctx)),
-        ("POST", "/datasets") => ingest(ctx, &request.body),
-        ("POST", "/count") => count(ctx, &request.body),
-        ("POST", "/profile") => profile(ctx, &request.body),
-        ("POST", "/mutate") => mutate(ctx, &request.body),
-        ("POST", "/shutdown") => Ok(ApiResponse {
-            shutdown: true,
-            ..ApiResponse::ok(
-                JsonValue::Object(vec![(
-                    "status".to_string(),
-                    JsonValue::string("shutting-down"),
-                )])
-                .render(),
+    let (canonical, deprecated) = match resolve_path(&request.path) {
+        Resolved::Canonical(path) => (path, false),
+        Resolved::Legacy(path) => (path, true),
+        Resolved::UnknownVersion(prefix) => {
+            return ApiError::new(
+                404,
+                "unknown-version",
+                format!(
+                    "unknown API version `{prefix}` (supported: /v1; unversioned paths are \
+                     deprecated aliases of /v1)"
+                ),
             )
-        }),
-        (_, "/healthz" | "/datasets" | "/count" | "/profile" | "/mutate" | "/shutdown") => Err(
-            ApiError::new(405, format!("method {} not allowed here", request.method)),
-        ),
-        (_, path) => Err(ApiError::new(404, format!("no route for `{path}`"))),
+            .into_response()
+        }
     };
-    result.unwrap_or_else(|error| ApiResponse {
-        status: error.status,
-        body: error_body(&error.message).into(),
-        cache_state: None,
-        shutdown: false,
-    })
+    // Internal routes exist only under /v1 — they are new with the
+    // versioned API and deliberately get no legacy alias.
+    let internal_only = canonical.starts_with("/internal/");
+    let result = if internal_only && deprecated {
+        Err(ApiError::not_found(format!(
+            "no route for `{}` (internal routes are /v1-only)",
+            request.path
+        )))
+    } else {
+        match (request.method.as_str(), canonical.as_str()) {
+            ("GET", "/healthz") => Ok(healthz(ctx)),
+            ("GET", "/datasets") => Ok(datasets(ctx)),
+            ("POST", "/datasets") => ingest(ctx, &request.body),
+            ("POST", "/count") => count(ctx, &request.body),
+            ("POST", "/profile") => profile(ctx, &request.body),
+            ("POST", "/mutate") => mutate(ctx, &request.body),
+            ("POST", "/internal/count-shard") => count_shard(ctx, &request.body),
+            ("POST", "/admin/shutdown") => Ok(ApiResponse {
+                shutdown: true,
+                ..ApiResponse::ok(
+                    JsonValue::Object(vec![(
+                        "status".to_string(),
+                        JsonValue::string("shutting-down"),
+                    )])
+                    .render(),
+                )
+            }),
+            (
+                _,
+                "/healthz"
+                | "/datasets"
+                | "/count"
+                | "/profile"
+                | "/mutate"
+                | "/admin/shutdown"
+                | "/internal/count-shard",
+            ) => Err(ApiError::new(
+                405,
+                "method-not-allowed",
+                format!("method {} not allowed here", request.method),
+            )),
+            _ => Err(ApiError::not_found(format!(
+                "no route for `{}`",
+                request.path
+            ))),
+        }
+    };
+    let mut response = result.unwrap_or_else(ApiError::into_response);
+    response.deprecated = deprecated;
+    response
 }
 
 fn healthz(ctx: &ApiContext) -> ApiResponse {
     let (hits, misses, entries) = ctx.cache.stats();
-    let body = JsonValue::Object(vec![
+    let mut members = vec![
         ("status".to_string(), JsonValue::string("ok")),
+        ("role".to_string(), JsonValue::string(ctx.role.name())),
         (
             "datasets".to_string(),
             JsonValue::Number(ctx.registry.len() as f64),
@@ -289,8 +461,68 @@ fn healthz(ctx: &ApiContext) -> ApiResponse {
                 ("misses".to_string(), JsonValue::Number(misses as f64)),
             ]),
         ),
-    ]);
-    ApiResponse::ok(body.render())
+    ];
+    match &ctx.role {
+        Role::Standalone => {}
+        Role::Worker(state) => {
+            members.push((
+                "shard".to_string(),
+                JsonValue::Object(vec![
+                    ("dataset".to_string(), JsonValue::string(state.dataset())),
+                    (
+                        "primary_shard".to_string(),
+                        JsonValue::Number(state.primary_shard() as f64),
+                    ),
+                    (
+                        "num_shards".to_string(),
+                        JsonValue::Number(state.num_shards() as f64),
+                    ),
+                    (
+                        "assembled".to_string(),
+                        JsonValue::Bool(state.is_assembled()),
+                    ),
+                ]),
+            ));
+        }
+        Role::Coordinator(coordinator) => {
+            // The coordinator's health answer includes a live probe of its
+            // worker table (each worker's /v1/healthz, short deadline), so
+            // operators see reachability, not just configuration.
+            let workers: Vec<JsonValue> = coordinator
+                .probe_workers()
+                .into_iter()
+                .map(|(addr, healthy)| {
+                    JsonValue::Object(vec![
+                        ("addr".to_string(), JsonValue::string(addr)),
+                        ("healthy".to_string(), JsonValue::Bool(healthy)),
+                    ])
+                })
+                .collect();
+            members.push((
+                "fanout".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "dataset".to_string(),
+                        JsonValue::string(coordinator.dataset()),
+                    ),
+                    (
+                        "num_shards".to_string(),
+                        JsonValue::Number(coordinator.num_shards() as f64),
+                    ),
+                    (
+                        "deadline_ms".to_string(),
+                        JsonValue::Number(coordinator.deadline_ms() as f64),
+                    ),
+                    (
+                        "retries".to_string(),
+                        JsonValue::Number(coordinator.retries() as f64),
+                    ),
+                    ("workers".to_string(), JsonValue::Array(workers)),
+                ]),
+            ));
+        }
+    }
+    ApiResponse::ok(JsonValue::Object(members).render())
 }
 
 fn datasets(ctx: &ApiContext) -> ApiResponse {
@@ -364,7 +596,7 @@ fn ingest(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
     let dataset = ctx
         .registry
         .insert_new(&name, hypergraph)
-        .map_err(|error| ApiError::new(409, error))?;
+        .map_err(|error| ApiError::new(409, "conflict", error))?;
     let snapshot = dataset.snapshot();
     Ok(ApiResponse {
         status: 201,
@@ -592,10 +824,15 @@ fn parse_count_query(ctx: &ApiContext, body: &str) -> Result<CountQuery, ApiErro
 
 fn count(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
     let query = parse_count_query(ctx, body)?;
+    if let Role::Coordinator(coordinator) = &ctx.role {
+        if query.dataset == coordinator.dataset() {
+            return count_distributed(ctx, coordinator, &query);
+        }
+    }
     let dataset = ctx
         .registry
         .get(&query.dataset)
-        .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{}`", query.dataset)))?;
+        .ok_or_else(|| ApiError::not_found(format!("unknown dataset `{}`", query.dataset)))?;
     let snapshot = dataset.snapshot();
     let key = format!(
         "count:{}@{}:{}",
@@ -609,32 +846,45 @@ fn count(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
             body,
             cache_state: Some(CacheState::Hit),
             shutdown: false,
+            deprecated: false,
         });
     }
-    let body: Arc<str> = render_count(&query, &snapshot).into();
+    let body: Arc<str> = render_count(&query, &snapshot)?.into();
     ctx.cache.put(key, Arc::clone(&body));
     Ok(ApiResponse {
         status: 200,
         body,
         cache_state: Some(CacheState::Miss),
         shutdown: false,
+        deprecated: false,
     })
 }
 
 /// Runs the engine against the snapshot and renders the deterministic body.
-fn render_count(query: &CountQuery, snapshot: &Snapshot) -> String {
-    let report: Option<CountReport> = snapshot.hypergraph.as_deref().map(|hypergraph| {
-        let mut config = CountConfig::new(query.method)
-            .threads(query.threads)
-            .seed(query.seed);
-        if query.shards > 1 {
-            config = config.shards(query.shards);
-        }
-        if let Some(k) = query.generalized {
-            config = config.generalized(k);
-        }
-        config.build().count(hypergraph)
-    });
+///
+/// The config builders are fallible ([`mochy_core::engine::ConfigError`]):
+/// `parse_count_query` already rejects the invalid combinations with
+/// field-specific messages, so hitting a `ConfigError` here would mean the
+/// two validations drifted apart — it still maps to a clean 400, never a
+/// panic.
+fn render_count(query: &CountQuery, snapshot: &Snapshot) -> Result<String, ApiError> {
+    let mut config = CountConfig::new(query.method)
+        .threads(query.threads)
+        .seed(query.seed);
+    if query.shards > 1 {
+        config = config
+            .shards(query.shards)
+            .map_err(|error| ApiError::bad(error.to_string()))?;
+    }
+    if let Some(k) = query.generalized {
+        config = config
+            .generalized(k)
+            .map_err(|error| ApiError::bad(error.to_string()))?;
+    }
+    let report: Option<CountReport> = snapshot
+        .hypergraph
+        .as_deref()
+        .map(|hypergraph| config.build().count(hypergraph));
 
     let counts: Vec<f64> = report
         .as_ref()
@@ -713,7 +963,184 @@ fn render_count(query: &CountQuery, snapshot: &Snapshot) -> String {
             ]),
         },
     ));
-    JsonValue::Object(members).render()
+    Ok(JsonValue::Object(members).render())
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/count, coordinator fan-out path
+
+/// Answers `/v1/count` for the coordinator's distributed dataset: scatter
+/// the manifest's shards across the worker set, gather the partials, and
+/// merge them in fixed shard order ([`merge_partials`]).
+///
+/// The body is rendered with the same field set and the same exact-integer
+/// `f64` counts as a standalone `/count` on the assembled hypergraph, so
+/// `counts`/`total`/`num_hyperwedges` are **bit-identical** to the
+/// unsharded run (every contribution on both paths is a `+1.0` into an
+/// accumulator far below 2^53, and the shortest-round-trip JSON numbers
+/// survive the worker wire format bit-exactly). Merged bodies are memoized
+/// in the same [`QueryCache`], so a repeat query is a byte-identical cache
+/// hit without touching any worker.
+fn count_distributed(
+    ctx: &ApiContext,
+    coordinator: &Coordinator,
+    query: &CountQuery,
+) -> Result<ApiResponse, ApiError> {
+    if !matches!(query.method, Method::Exact) {
+        return Err(ApiError::bad(format!(
+            "dataset `{}` is distributed; only the exact method (`mochy-e`) fans out",
+            query.dataset
+        )));
+    }
+    if query.generalized.is_some() {
+        return Err(ApiError::bad(format!(
+            "`generalized` is not available on the distributed dataset `{}`",
+            query.dataset
+        )));
+    }
+    if query.shards > 1 {
+        return Err(ApiError::bad(format!(
+            "dataset `{}` is sharded by its manifest ({} shards); omit `shards`",
+            query.dataset,
+            coordinator.num_shards()
+        )));
+    }
+    // The distributed dataset is immutable (generation 0 forever), so the
+    // cache key never goes stale.
+    let key = format!("count:{}@0:{}", query.dataset, query.canonical());
+    if let Some(body) = ctx.cache.get(&key) {
+        return Ok(ApiResponse {
+            status: 200,
+            body,
+            cache_state: Some(CacheState::Hit),
+            shutdown: false,
+            deprecated: false,
+        });
+    }
+    let partials = coordinator
+        .scatter_gather(query.threads)
+        .map_err(fanout_error)?;
+    let (counts, num_hyperwedges) = merge_partials(&partials);
+    let counts = counts.as_slice().to_vec();
+    let body: Arc<str> = JsonValue::Object(vec![
+        ("generation".to_string(), JsonValue::Number(0.0)),
+        ("method".to_string(), JsonValue::string(query.method.name())),
+        ("seed".to_string(), JsonValue::Number(query.seed as f64)),
+        (
+            "shards".to_string(),
+            JsonValue::Number(coordinator.num_shards() as f64),
+        ),
+        (
+            "num_nodes".to_string(),
+            JsonValue::Number(coordinator.num_nodes() as f64),
+        ),
+        (
+            "num_edges".to_string(),
+            JsonValue::Number(coordinator.num_edges() as f64),
+        ),
+        (
+            "num_hyperwedges".to_string(),
+            JsonValue::Number(num_hyperwedges as f64),
+        ),
+        ("samples_drawn".to_string(), JsonValue::Null),
+        (
+            "total".to_string(),
+            JsonValue::Number(counts.iter().sum::<f64>()),
+        ),
+        ("counts".to_string(), f64_array(&counts)),
+        ("generalized".to_string(), JsonValue::Null),
+    ])
+    .render()
+    .into();
+    ctx.cache.put(key, Arc::clone(&body));
+    Ok(ApiResponse {
+        status: 200,
+        body,
+        cache_state: Some(CacheState::Miss),
+        shutdown: false,
+        deprecated: false,
+    })
+}
+
+/// Maps a failed fan-out to the error envelope: 502 with per-shard,
+/// per-worker outcomes under `detail` (partial-failure forensics belong in
+/// the response, not just the coordinator's stderr).
+fn fanout_error(error: FanoutError) -> ApiError {
+    match error {
+        FanoutError::NoWorkers => ApiError::new(
+            502,
+            "fanout-failed",
+            "the coordinator has no workers configured",
+        ),
+        FanoutError::ShardsFailed { failures, gathered } => {
+            let shards: Vec<JsonValue> = failures
+                .iter()
+                .map(|failure| {
+                    let attempts: Vec<JsonValue> = failure
+                        .attempts
+                        .iter()
+                        .map(|attempt| {
+                            JsonValue::Object(vec![
+                                ("worker".to_string(), JsonValue::string(&attempt.worker)),
+                                ("error".to_string(), JsonValue::string(&attempt.error)),
+                            ])
+                        })
+                        .collect();
+                    JsonValue::Object(vec![
+                        ("shard".to_string(), JsonValue::Number(failure.shard as f64)),
+                        ("attempts".to_string(), JsonValue::Array(attempts)),
+                    ])
+                })
+                .collect();
+            let message = format!(
+                "distributed count failed: {} shard(s) unserved after retries \
+                 ({gathered} gathered)",
+                failures.len()
+            );
+            ApiError::new(502, "fanout-failed", message).with_detail(JsonValue::Object(vec![
+                ("gathered".to_string(), JsonValue::Number(gathered as f64)),
+                ("failed_shards".to_string(), JsonValue::Array(shards)),
+            ]))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/internal/count-shard (worker role only)
+
+/// Computes one shard's [`ShardPartial`](mochy_core::shard::ShardPartial)
+/// and answers with its JSON wire form. Only a `--worker` instance routes
+/// here; any worker can serve any shard of its family (the coordinator
+/// relies on that for retry reassignment).
+fn count_shard(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
+    let Role::Worker(state) = &ctx.role else {
+        return Err(ApiError::not_found(
+            "this instance is not a shard worker (boot with --worker)",
+        ));
+    };
+    let parsed = parse_body(body)?;
+    let dataset = required_str(&parsed, "dataset")?;
+    if dataset != state.dataset() {
+        return Err(ApiError::not_found(format!(
+            "unknown shard dataset `{dataset}` (this worker serves `{}`)",
+            state.dataset()
+        )));
+    }
+    let shard = parsed
+        .get("shard")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| ApiError::bad("missing or invalid `shard` (a non-negative integer)"))?;
+    if shard >= state.num_shards() {
+        return Err(ApiError::bad(format!(
+            "shard {shard} is out of range (the manifest has {} shards)",
+            state.num_shards()
+        )));
+    }
+    let threads = optional_usize(&parsed, "threads", 1, ctx.max_threads)?.max(1);
+    let partial = state
+        .count_shard(shard, threads)
+        .map_err(|error| ApiError::new(500, "shard-load", error))?;
+    Ok(ApiResponse::ok(partial.to_json().render()))
 }
 
 // ---------------------------------------------------------------------------
@@ -753,11 +1180,12 @@ fn profile(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
     let dataset = ctx
         .registry
         .get(&name)
-        .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{name}`")))?;
+        .ok_or_else(|| ApiError::not_found(format!("unknown dataset `{name}`")))?;
     let snapshot = dataset.snapshot();
     let Some(hypergraph) = snapshot.hypergraph.clone() else {
         return Err(ApiError::new(
             409,
+            "conflict",
             format!("dataset `{name}` is empty; profiles need at least one hyperedge"),
         ));
     };
@@ -786,6 +1214,7 @@ fn profile(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
             body,
             cache_state: Some(CacheState::Hit),
             shutdown: false,
+            deprecated: false,
         });
     }
 
@@ -828,6 +1257,7 @@ fn profile(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
         body: rendered,
         cache_state: Some(CacheState::Miss),
         shutdown: false,
+        deprecated: false,
     })
 }
 
@@ -889,12 +1319,12 @@ fn mutate(ctx: &ApiContext, body: &str) -> Result<ApiResponse, ApiError> {
     let dataset = ctx
         .registry
         .get(&name)
-        .ok_or_else(|| ApiError::new(404, format!("unknown dataset `{name}`")))?;
+        .ok_or_else(|| ApiError::not_found(format!("unknown dataset `{name}`")))?;
     let outcome = dataset
         .mutate(&inserts, &removes)
         .map_err(|error| match error {
             MutateError::Invalid(why) => ApiError::bad(why),
-            MutateError::WriterPoisoned => ApiError::new(500, error.to_string()),
+            MutateError::WriterPoisoned => ApiError::new(500, "internal", error.to_string()),
         })?;
 
     let body = JsonValue::Object(vec![
@@ -961,6 +1391,7 @@ mod tests {
             max_requests_per_connection: 128,
             idle_timeout_ms: 5_000,
             started: Instant::now(),
+            role: Role::Standalone,
         }
     }
 
@@ -1246,14 +1677,146 @@ mod tests {
             body: String::new(),
             keep_alive: true,
         };
+        assert_eq!(handle(&ctx, &get("/v1/healthz")).status, 200);
+        assert_eq!(handle(&ctx, &get("/v1/datasets")).status, 200);
+        assert_eq!(handle(&ctx, &get("/v1/count")).status, 405);
+        assert_eq!(handle(&ctx, &post("/v1/healthz", "")).status, 405);
+        assert_eq!(handle(&ctx, &get("/v1/nope")).status, 404);
+        // Legacy aliases answer identically (modulo the deprecation flag).
         assert_eq!(handle(&ctx, &get("/healthz")).status, 200);
         assert_eq!(handle(&ctx, &get("/datasets")).status, 200);
         assert_eq!(handle(&ctx, &get("/count")).status, 405);
         assert_eq!(handle(&ctx, &post("/healthz", "")).status, 405);
         assert_eq!(handle(&ctx, &get("/nope")).status, 404);
-        let shutdown = handle(&ctx, &post("/shutdown", ""));
+        let shutdown = handle(&ctx, &post("/v1/admin/shutdown", ""));
         assert_eq!(shutdown.status, 200);
         assert!(shutdown.shutdown);
+        assert!(!shutdown.deprecated);
+        let legacy_shutdown = handle(&ctx, &post("/shutdown", ""));
+        assert_eq!(legacy_shutdown.status, 200);
+        assert!(legacy_shutdown.shutdown);
+        assert!(legacy_shutdown.deprecated);
+    }
+
+    #[test]
+    fn versioned_and_legacy_paths_resolve_to_the_same_bytes() {
+        let ctx = context();
+        let versioned = handle(&ctx, &post("/v1/count", r#"{"dataset": "fig2"}"#));
+        assert_eq!(versioned.status, 200, "{}", versioned.body);
+        assert!(!versioned.deprecated);
+        assert_eq!(versioned.cache_state, Some(CacheState::Miss));
+        let legacy = handle(&ctx, &post("/count", r#"{"dataset": "fig2"}"#));
+        assert!(
+            legacy.deprecated,
+            "unversioned paths are deprecated aliases"
+        );
+        assert_eq!(legacy.cache_state, Some(CacheState::Hit));
+        assert_eq!(versioned.body, legacy.body, "same route, same cache entry");
+    }
+
+    #[test]
+    fn unknown_version_prefixes_get_a_structured_404() {
+        let ctx = context();
+        for path in ["/v2/healthz", "/v0/count", "/v12", "/v2"] {
+            let response = handle(
+                &ctx,
+                &Request {
+                    method: "GET".to_string(),
+                    path: path.to_string(),
+                    body: String::new(),
+                    keep_alive: true,
+                },
+            );
+            assert_eq!(response.status, 404, "{path}: {}", response.body);
+            let doc = json::parse(&response.body).unwrap();
+            let error = doc.get("error").unwrap();
+            assert_eq!(
+                error.get("kind").and_then(JsonValue::as_str),
+                Some("unknown-version"),
+                "{path}: {}",
+                response.body
+            );
+        }
+        // A path that merely *looks* versionish is a plain 404.
+        let response = handle(
+            &ctx,
+            &Request {
+                method: "GET".to_string(),
+                path: "/version".to_string(),
+                body: String::new(),
+                keep_alive: true,
+            },
+        );
+        assert_eq!(response.status, 404);
+        assert!(response.body.contains("not-found"), "{}", response.body);
+    }
+
+    #[test]
+    fn error_responses_carry_the_uniform_envelope() {
+        let ctx = context();
+        let cases: Vec<(ApiResponse, u16, &str)> = vec![
+            (
+                handle(&ctx, &post("/v1/count", r#"{"dataset": "nope"}"#)),
+                404,
+                "not-found",
+            ),
+            (handle(&ctx, &post("/v1/count", "{")), 400, "bad-request"),
+            (
+                handle(&ctx, &post("/v1/healthz", "")),
+                405,
+                "method-not-allowed",
+            ),
+        ];
+        for (response, status, kind) in cases {
+            assert_eq!(response.status, status, "{}", response.body);
+            let doc = json::parse(&response.body).unwrap();
+            let error = doc.get("error").unwrap();
+            assert_eq!(
+                error.get("code").and_then(JsonValue::as_u64),
+                Some(status as u64)
+            );
+            assert_eq!(error.get("kind").and_then(JsonValue::as_str), Some(kind));
+            assert!(error
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|m| !m.is_empty()));
+        }
+    }
+
+    #[test]
+    fn count_shard_requires_the_worker_role_and_v1() {
+        let ctx = context();
+        let body = r#"{"dataset": "fig2", "shard": 0}"#;
+        let standalone = handle(&ctx, &post("/v1/internal/count-shard", body));
+        assert_eq!(standalone.status, 404, "{}", standalone.body);
+        assert!(
+            standalone.body.contains("not a shard worker"),
+            "{}",
+            standalone.body
+        );
+        // No legacy alias for internal routes.
+        let legacy = handle(&ctx, &post("/internal/count-shard", body));
+        assert_eq!(legacy.status, 404, "{}", legacy.body);
+        assert!(legacy.body.contains("/v1-only"), "{}", legacy.body);
+    }
+
+    #[test]
+    fn healthz_reports_the_role() {
+        let ctx = context();
+        let response = handle(
+            &ctx,
+            &Request {
+                method: "GET".to_string(),
+                path: "/v1/healthz".to_string(),
+                body: String::new(),
+                keep_alive: true,
+            },
+        );
+        let doc = json::parse(&response.body).unwrap();
+        assert_eq!(
+            doc.get("role").and_then(JsonValue::as_str),
+            Some("standalone")
+        );
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! A minimal keep-alive HTTP/1.1 client — the coordinator's side of the
+//! wire protocol [`crate::http`] serves.
+//!
+//! Like the server half, this exists because the sandbox is offline and the
+//! workspace vendors no HTTP stack. It speaks exactly the subset the serve
+//! layer emits: one `Content-Length`-framed JSON response per request over a
+//! persistent connection. Every request is bounded by a **whole-exchange
+//! deadline** (connect + write + read), so a stalled peer turns into
+//! [`ClientError::DeadlineExceeded`] rather than a wedged caller — the
+//! property the coordinator's retry/reassignment logic is built on.
+//!
+//! A [`HttpClient`] keeps its connection open across requests. When a
+//! reused connection turns out to be stale (the server closed it between
+//! requests — request cap reached or idle deadline expired), the request is
+//! transparently retried once on a fresh connection; deadline expiry is
+//! never retried, so a stalled worker costs one deadline, not two.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a response head (status line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a response body this client is willing to buffer.
+const MAX_RESPONSE_BODY_BYTES: usize = 16 << 20;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The status code of the status line.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(key, _)| key.eq_ignore_ascii_case(name))
+            .map(|(_, value)| value.as_str())
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No connection could be established within the deadline.
+    Connect(String),
+    /// The connection failed mid-exchange.
+    Io(String),
+    /// The peer closed the connection before a response arrived.
+    Closed,
+    /// The bytes on the wire are not a well-formed HTTP/1.1 response.
+    BadResponse(String),
+    /// The whole exchange did not complete within the caller's deadline.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(why) => write!(f, "connect failed: {why}"),
+            ClientError::Io(why) => write!(f, "i/o error: {why}"),
+            ClientError::Closed => write!(f, "connection closed before a response"),
+            ClientError::BadResponse(why) => write!(f, "bad response: {why}"),
+            ClientError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+        }
+    }
+}
+
+/// A keep-alive HTTP/1.1 client bound to one server address.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl HttpClient {
+    /// A client for `addr` (`host:port`). No connection is made until the
+    /// first request.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            stream: None,
+        }
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Issues one request and reads its response, all within `deadline`.
+    ///
+    /// The connection is kept open afterwards unless the server answered
+    /// `connection: close`. A stale kept-alive connection (EOF or I/O error
+    /// before any response byte) is retried once on a fresh connection
+    /// within the same deadline; [`ClientError::DeadlineExceeded`] is never
+    /// retried.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        deadline: Duration,
+    ) -> Result<ClientResponse, ClientError> {
+        let started = Instant::now();
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body, started, deadline) {
+            Ok(response) => Ok(response),
+            Err(error) => {
+                self.stream = None;
+                let retryable = matches!(error, ClientError::Io(_) | ClientError::Closed);
+                if reused && retryable {
+                    let retried = self.try_request(method, path, body, started, deadline);
+                    if retried.is_err() {
+                        self.stream = None;
+                    }
+                    retried
+                } else {
+                    Err(error)
+                }
+            }
+        }
+    }
+
+    /// Convenience: `GET path` with an empty body.
+    pub fn get(&mut self, path: &str, deadline: Duration) -> Result<ClientResponse, ClientError> {
+        self.request("GET", path, "", deadline)
+    }
+
+    /// Convenience: `POST path` with a JSON body.
+    pub fn post(
+        &mut self,
+        path: &str,
+        body: &str,
+        deadline: Duration,
+    ) -> Result<ClientResponse, ClientError> {
+        self.request("POST", path, body, deadline)
+    }
+
+    /// One `read` bounded by the time left before the deadline, appended to
+    /// `buffer`; returns how many bytes arrived (0 = orderly EOF).
+    fn deadline_read(
+        stream: &mut TcpStream,
+        buffer: &mut Vec<u8>,
+        started: Instant,
+        deadline: Duration,
+    ) -> Result<usize, ClientError> {
+        let remaining = Self::remaining(started, deadline)?;
+        let _ = stream.set_read_timeout(Some(remaining));
+        let mut chunk = [0u8; 4096];
+        let read = stream.read(&mut chunk).map_err(map_io)?;
+        buffer.extend_from_slice(chunk.get(..read).unwrap_or(&[]));
+        Ok(read)
+    }
+
+    fn remaining(started: Instant, deadline: Duration) -> Result<Duration, ClientError> {
+        let remaining = deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            Err(ClientError::DeadlineExceeded)
+        } else {
+            Ok(remaining)
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        started: Instant,
+        deadline: Duration,
+    ) -> Result<ClientResponse, ClientError> {
+        if self.stream.is_none() {
+            let remaining = Self::remaining(started, deadline)?;
+            let resolved = self
+                .addr
+                .to_socket_addrs()
+                .map_err(|error| ClientError::Connect(error.to_string()))?
+                .next()
+                .ok_or_else(|| {
+                    ClientError::Connect(format!("`{}` resolves to no address", self.addr))
+                })?;
+            let stream = TcpStream::connect_timeout(&resolved, remaining)
+                .map_err(|error| ClientError::Connect(error.to_string()))?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().ok_or(ClientError::Closed)?;
+
+        // Write the request, bounded by the remaining deadline.
+        let remaining = Self::remaining(started, deadline)?;
+        let _ = stream.set_write_timeout(Some(remaining));
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        let write = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .and_then(|()| stream.flush());
+        write.map_err(map_io)?;
+
+        let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+
+        // Head: read until the blank line.
+        let head_end = loop {
+            if let Some(position) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+                break position;
+            }
+            if buffer.len() > MAX_HEAD_BYTES {
+                return Err(ClientError::BadResponse(format!(
+                    "response head exceeds {MAX_HEAD_BYTES} bytes"
+                )));
+            }
+            let read = Self::deadline_read(stream, &mut buffer, started, deadline)?;
+            if read == 0 {
+                return if buffer.is_empty() {
+                    Err(ClientError::Closed)
+                } else {
+                    Err(ClientError::BadResponse(
+                        "connection closed mid-head".to_string(),
+                    ))
+                };
+            }
+        };
+
+        let (status, headers, content_length, close) = {
+            let head = buffer
+                .get(..head_end)
+                .and_then(|head| std::str::from_utf8(head).ok())
+                .ok_or_else(|| {
+                    ClientError::BadResponse("response head is not utf-8".to_string())
+                })?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().unwrap_or_default();
+            let mut parts = status_line.splitn(3, ' ');
+            let (version, status) = match (parts.next(), parts.next()) {
+                (Some(version), Some(code)) => (version, code),
+                _ => {
+                    return Err(ClientError::BadResponse(format!(
+                        "malformed status line `{status_line}`"
+                    )))
+                }
+            };
+            if !version.starts_with("HTTP/1.") {
+                return Err(ClientError::BadResponse(format!(
+                    "unsupported protocol `{version}`"
+                )));
+            }
+            let status: u16 = status.parse().map_err(|_| {
+                ClientError::BadResponse(format!("non-numeric status in `{status_line}`"))
+            })?;
+
+            let mut headers: Vec<(String, String)> = Vec::new();
+            let mut content_length = 0usize;
+            let mut close = false;
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| ClientError::BadResponse("bad content-length".to_string()))?;
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+                headers.push((name, value));
+            }
+            (status, headers, content_length, close)
+        };
+        if content_length > MAX_RESPONSE_BODY_BYTES {
+            return Err(ClientError::BadResponse(format!(
+                "response body of {content_length} bytes exceeds the {MAX_RESPONSE_BODY_BYTES}\
+                 -byte client limit"
+            )));
+        }
+
+        // Body: whatever followed the head, plus the rest off the socket.
+        let body_start = head_end.saturating_add(4);
+        let body_end = body_start.saturating_add(content_length);
+        while buffer.len() < body_end {
+            let read = Self::deadline_read(stream, &mut buffer, started, deadline)?;
+            if read == 0 {
+                return Err(ClientError::BadResponse(
+                    "connection closed mid-body".to_string(),
+                ));
+            }
+        }
+        let body = String::from_utf8(
+            buffer
+                .get(body_start..body_end)
+                .unwrap_or_default()
+                .to_vec(),
+        )
+        .map_err(|_| ClientError::BadResponse("response body is not utf-8".to_string()))?;
+
+        // Strictly one response per request: surplus bytes mean the framing
+        // drifted, so resynchronize by dropping the connection.
+        if close || buffer.len() > body_end {
+            self.stream = None;
+        }
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn map_io(error: std::io::Error) -> ClientError {
+    match error.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ClientError::DeadlineExceeded
+        }
+        _ => ClientError::Io(error.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    const DEADLINE: Duration = Duration::from_secs(5);
+
+    /// Serves `responses` verbatim, one per request read, on one connection.
+    fn canned_server(
+        responses: Vec<String>,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for response in responses {
+                // Read until the end of the request head (requests here have
+                // empty or small bodies; the blank line is enough to sync).
+                let mut seen = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    let read = stream.read(&mut chunk).unwrap();
+                    if read == 0 {
+                        return;
+                    }
+                    seen.extend_from_slice(&chunk[..read]);
+                    if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                stream.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    fn framed(status: u16, headers: &str, body: &str) -> String {
+        format!(
+            "HTTP/1.1 {status} X\r\ncontent-length: {}\r\n{headers}\r\n{body}",
+            body.len()
+        )
+    }
+
+    #[test]
+    fn requests_parse_status_headers_and_body_over_keep_alive() {
+        let (addr, server) = canned_server(vec![
+            framed(200, "x-mochy-cache: miss\r\n", "{\"a\":1}"),
+            framed(404, "", "{\"error\":{}}"),
+        ]);
+        let mut client = HttpClient::new(addr.to_string());
+        let first = client.get("/v1/healthz", DEADLINE).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, "{\"a\":1}");
+        assert_eq!(first.header("x-mochy-cache"), Some("miss"));
+        assert_eq!(first.header("X-Mochy-Cache"), Some("miss"));
+        // Second exchange rides the same connection.
+        let second = client.post("/v1/count", "{}", DEADLINE).unwrap();
+        assert_eq!(second.status, 404);
+        assert_eq!(second.body, "{\"error\":{}}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_servers_hit_the_deadline_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Accept, read the request, answer nothing for a while.
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut chunk = [0u8; 1024];
+            let _ = stream.read(&mut chunk);
+            std::thread::sleep(Duration::from_millis(700));
+        });
+        let mut client = HttpClient::new(addr.to_string());
+        let started = Instant::now();
+        let result = client.get("/v1/healthz", Duration::from_millis(150));
+        assert!(
+            matches!(result, Err(ClientError::DeadlineExceeded)),
+            "{result:?}"
+        );
+        assert!(started.elapsed() < Duration::from_millis(600));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stale_keep_alive_connections_are_retried_once() {
+        // First connection serves one response then closes; the second
+        // request must transparently land on a fresh connection.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for body in ["first", "second"] {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut chunk = [0u8; 1024];
+                let _ = stream.read(&mut chunk).unwrap();
+                stream.write_all(framed(200, "", body).as_bytes()).unwrap();
+                // Dropping the stream closes the connection after one
+                // exchange, leaving the client's keep-alive handle stale.
+            }
+        });
+        let mut client = HttpClient::new(addr.to_string());
+        assert_eq!(client.get("/a", DEADLINE).unwrap().body, "first");
+        assert_eq!(client.get("/b", DEADLINE).unwrap().body, "second");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_responses_are_typed_errors() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 two-hundred OK\r\ncontent-length: 0\r\n\r\n".to_string(),
+        ]);
+        let mut client = HttpClient::new(addr.to_string());
+        let result = client.get("/", DEADLINE);
+        assert!(
+            matches!(result, Err(ClientError::BadResponse(_))),
+            "{result:?}"
+        );
+        server.join().unwrap();
+    }
+}

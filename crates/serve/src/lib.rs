@@ -17,14 +17,18 @@
 //!   are maintained incrementally) and *publishes a fresh snapshot* by
 //!   swapping the shared pointer. Readers that started on the old snapshot
 //!   finish on the old snapshot — queries are always internally consistent.
-//! - [`api`] — the JSON API: `GET /healthz`, `GET /datasets`,
-//!   `POST /datasets` (ingest an uploaded base64 `.mochy` snapshot as a
-//!   fresh dataset), `POST /count`, `POST /profile`, `POST /mutate`,
-//!   `POST /shutdown`.
-//!   Responses are rendered deterministically (no timestamps or timings in
-//!   cacheable bodies) and memoized in an LRU [`api::QueryCache`] keyed by
-//!   `(dataset, generation, normalized query)` — a cache hit returns the
-//!   exact bytes the uncached run produced.
+//! - [`api`] — the versioned JSON API under `/v1`: `GET /v1/healthz`,
+//!   `GET /v1/datasets`, `POST /v1/datasets` (ingest an uploaded base64
+//!   `.mochy` snapshot as a fresh dataset), `POST /v1/count`,
+//!   `POST /v1/profile`, `POST /v1/mutate`, `POST /v1/admin/shutdown`, and
+//!   the worker-internal `POST /v1/internal/count-shard`. The pre-versioning
+//!   paths (`/healthz`, `/count`, …, `POST /shutdown`) remain as deprecated
+//!   aliases answering identical bytes plus a `deprecation: true` header.
+//!   Errors share one envelope: `{"error": {"code", "kind", "message",
+//!   "detail"?}}`. Responses are rendered deterministically (no timestamps
+//!   or timings in cacheable bodies) and memoized in an LRU
+//!   [`api::QueryCache`] keyed by `(dataset, generation, normalized query)`
+//!   — a cache hit returns the exact bytes the uncached run produced.
 //! - [`http`] — a hand-rolled HTTP/1.1 front end over
 //!   `std::net::TcpListener` (the sandbox is offline and vendors no HTTP
 //!   stack; the subset implemented here — persistent keep-alive connections,
@@ -39,6 +43,14 @@
 //!   per-connection request cap). When the queue is full the accept loop
 //!   answers `503 Service Unavailable` inline instead of blocking —
 //!   explicit backpressure, so overload never wedges accept.
+//! - [`worker`], [`coordinator`], [`client`] — multi-process shard fan-out:
+//!   a `--worker` boots from one slice of a `MOCHYSHD` family and answers
+//!   `POST /v1/internal/count-shard`; a `--coordinator` owns only the
+//!   manifest and scatters a `POST /v1/count` across its worker set over
+//!   keep-alive HTTP ([`client::HttpClient`]), gathering and merging the
+//!   [`ShardPartial`](mochy_core::shard::ShardPartial)s in fixed shard
+//!   order — bit-identical to the unsharded count, with deadline-bounded
+//!   requests and retry/reassignment around dead workers.
 //!
 //! ```no_run
 //! use mochy_hypergraph::HypergraphBuilder;
@@ -66,6 +78,9 @@
 
 pub mod api;
 pub mod b64;
+pub mod client;
+pub mod coordinator;
 pub mod http;
 pub mod registry;
 pub mod server;
+pub mod worker;

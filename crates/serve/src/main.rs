@@ -4,22 +4,37 @@
 //! mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]
 //!             [--cache N] [--threads N] [--max-requests N] [--idle-ms N]
 //!             [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...
+//!             [--worker NAME=MANIFEST[:SHARD]]
+//!             [--coordinator NAME=MANIFEST --peers ADDR,ADDR,...]
+//!             [--fanout-deadline-ms N] [--fanout-retries N]
 //! ```
 //!
 //! With no dataset arguments the server exposes `fig2` (the paper's running
 //! example) and a small generated `email` dataset. Port 0 binds an ephemeral
 //! port; the chosen address is printed as `listening on HOST:PORT` so
 //! scripts (the CI smoke stage) can scrape it. The process exits 0 after a
-//! clean `POST /shutdown`.
+//! clean `POST /v1/admin/shutdown`.
+//!
+//! `--worker` boots a shard worker from one slice of a `MOCHYSHD` family
+//! (`MANIFEST` is the `.shards` manifest path, `SHARD` the primary shard,
+//! default 0); `--coordinator` boots a fan-out coordinator that owns only
+//! the manifest and scatters `POST /v1/count` over the `--peers` worker
+//! addresses. The two are mutually exclusive.
 
 #![forbid(unsafe_code)]
 
 use std::io::Write;
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use mochy_datagen::{generate, DomainKind, GeneratorConfig};
 use mochy_hypergraph::{io as hio, HypergraphBuilder};
+use mochy_serve::api::Role;
+use mochy_serve::coordinator::Coordinator;
 use mochy_serve::registry::Registry;
 use mochy_serve::server::{Server, ServerConfig};
+use mochy_serve::worker::WorkerState;
 
 // `--load` accepts text edge-lists AND binary `.mochy` snapshots (format
 // auto-detected by content) — the snapshot path is what makes cold boots
@@ -33,6 +48,11 @@ fn main() {
     };
     let registry = Registry::new();
     let mut have_datasets = false;
+    let mut worker_spec: Option<String> = None;
+    let mut coordinator_spec: Option<String> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut fanout_deadline = Duration::from_millis(10_000);
+    let mut fanout_retries = 2usize;
 
     let mut iter = args.iter();
     while let Some(argument) = iter.next() {
@@ -88,6 +108,23 @@ fn main() {
                 }
                 have_datasets = true;
             }
+            "--worker" => worker_spec = Some(take_value("--worker")),
+            "--coordinator" => coordinator_spec = Some(take_value("--coordinator")),
+            "--peers" => peers.extend(
+                take_value("--peers")
+                    .split(',')
+                    .filter(|addr| !addr.is_empty())
+                    .map(str::to_string),
+            ),
+            "--fanout-deadline-ms" => {
+                fanout_deadline = Duration::from_millis(
+                    parse_count(&take_value("--fanout-deadline-ms"), "--fanout-deadline-ms").max(1)
+                        as u64,
+                )
+            }
+            "--fanout-retries" => {
+                fanout_retries = parse_count(&take_value("--fanout-retries"), "--fanout-retries")
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -99,6 +136,51 @@ fn main() {
             }
         }
     }
+
+    if worker_spec.is_some() && coordinator_spec.is_some() {
+        eprintln!("--worker and --coordinator are mutually exclusive");
+        std::process::exit(2);
+    }
+    let role = if let Some(spec) = worker_spec {
+        let (name, manifest, shard) = parse_shard_spec(&spec, "--worker", true);
+        let state = WorkerState::boot(&name, std::path::Path::new(&manifest), shard)
+            .unwrap_or_else(|error| {
+                eprintln!("failed to boot worker from `{manifest}`: {error}");
+                std::process::exit(1);
+            });
+        println!(
+            "worker for dataset {name}: shard {shard} of {} ({manifest})",
+            state.num_shards()
+        );
+        have_datasets = true; // a worker serves its shard family, not the demo datasets
+        Role::Worker(Arc::new(state))
+    } else if let Some(spec) = coordinator_spec {
+        if peers.is_empty() {
+            eprintln!("--coordinator requires at least one worker address via --peers");
+            std::process::exit(2);
+        }
+        let (name, manifest, _) = parse_shard_spec(&spec, "--coordinator", false);
+        let coordinator = Coordinator::boot(
+            &name,
+            std::path::Path::new(&manifest),
+            peers.clone(),
+            fanout_deadline,
+            fanout_retries,
+        )
+        .unwrap_or_else(|error| {
+            eprintln!("failed to boot coordinator from `{manifest}`: {error}");
+            std::process::exit(1);
+        });
+        println!(
+            "coordinator for dataset {name}: {} shards over {} workers ({manifest})",
+            coordinator.num_shards(),
+            peers.len()
+        );
+        have_datasets = true; // the distributed dataset lives on the workers
+        Role::Coordinator(Arc::new(coordinator))
+    } else {
+        Role::Standalone
+    };
 
     if !have_datasets {
         let fig2 = HypergraphBuilder::new()
@@ -126,7 +208,7 @@ fn main() {
             snapshot.num_edges()
         );
     }
-    let server = Server::start(config, registry).unwrap_or_else(|error| {
+    let server = Server::start_with_role(config, registry, role).unwrap_or_else(|error| {
         eprintln!("failed to bind: {error}");
         std::process::exit(1);
     });
@@ -134,6 +216,30 @@ fn main() {
     std::io::stdout().flush().ok();
     server.wait();
     println!("mochy-serve: clean shutdown");
+}
+
+/// Parses `NAME=MANIFEST[:SHARD]` (the `:SHARD` suffix only when
+/// `with_shard`); exits with usage code 2 on malformed specs.
+fn parse_shard_spec(spec: &str, flag: &str, with_shard: bool) -> (String, String, usize) {
+    let Some((name, rest)) = spec.split_once('=') else {
+        eprintln!(
+            "bad {flag} `{spec}` (expected NAME=MANIFEST{})",
+            if with_shard { "[:SHARD]" } else { "" }
+        );
+        std::process::exit(2);
+    };
+    if with_shard {
+        if let Some((path, shard)) = rest.rsplit_once(':') {
+            if !shard.is_empty() && shard.chars().all(|c| c.is_ascii_digit()) {
+                let shard = shard.parse().unwrap_or_else(|_| {
+                    eprintln!("bad {flag} shard index `{shard}`");
+                    std::process::exit(2);
+                });
+                return (name.to_string(), path.to_string(), shard);
+            }
+        }
+    }
+    (name.to_string(), rest.to_string(), 0)
 }
 
 fn parse_count(text: &str, what: &str) -> usize {
@@ -172,7 +278,11 @@ fn print_usage() {
     eprintln!("usage: mochy-serve [--addr HOST:PORT | --port N] [--workers N] [--queue N]");
     eprintln!("                   [--cache N] [--threads N] [--max-requests N] [--idle-ms N]");
     eprintln!("                   [--gen NAME=DOMAIN:NODES:EDGES:SEED]... [--load NAME=PATH]...");
+    eprintln!("                   [--worker NAME=MANIFEST[:SHARD]]");
+    eprintln!("                   [--coordinator NAME=MANIFEST --peers ADDR,ADDR,...]");
+    eprintln!("                   [--fanout-deadline-ms N] [--fanout-retries N]");
     eprintln!("(--load auto-detects text edge-lists and binary .mochy snapshots)");
-    eprintln!("routes: GET /healthz, GET /datasets, POST /datasets, POST /count,");
-    eprintln!("        POST /profile, POST /mutate, POST /shutdown (see README)");
+    eprintln!("routes: GET /v1/healthz, GET /v1/datasets, POST /v1/datasets, POST /v1/count,");
+    eprintln!("        POST /v1/profile, POST /v1/mutate, POST /v1/admin/shutdown (see README);");
+    eprintln!("        unversioned paths remain as deprecated aliases");
 }

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use mochy_hypergraph::parallel::{PoolSaturated, WorkerPool};
 
-use crate::api::{self, ApiContext, QueryCache};
+use crate::api::{self, ApiContext, QueryCache, Role};
 use crate::http::{self, Persistence, RequestError};
 use crate::registry::Registry;
 
@@ -108,8 +108,20 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener, spins up the worker pool, and starts accepting.
+    /// Binds the listener, spins up the worker pool, and starts accepting
+    /// as a standalone (non-distributed) instance.
     pub fn start(config: ServerConfig, registry: Registry) -> std::io::Result<Server> {
+        Server::start_with_role(config, registry, Role::Standalone)
+    }
+
+    /// Like [`Server::start`], but with an explicit distributed [`Role`]:
+    /// a shard worker ([`Role::Worker`]) or a fan-out coordinator
+    /// ([`Role::Coordinator`]).
+    pub fn start_with_role(
+        config: ServerConfig,
+        registry: Registry,
+        role: Role,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -122,6 +134,7 @@ impl Server {
             max_requests_per_connection: config.max_requests_per_connection.max(1),
             idle_timeout_ms: u64::try_from(config.idle_timeout.as_millis()).unwrap_or(u64::MAX),
             started: Instant::now(),
+            role,
         });
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::spawn(move || {
@@ -238,7 +251,7 @@ fn accept_loop(
                         &mut stream,
                         503,
                         &[("retry-after", "1")],
-                        &api::error_body("server overloaded; retry shortly"),
+                        &api::error_body(503, "overloaded", "server overloaded; retry shortly"),
                         Persistence::Close,
                     );
                 }
@@ -276,10 +289,10 @@ fn handle_connection(
             // answer.
             Err(RequestError::Closed) | Err(RequestError::IdleTimeout) => return,
             Err(error) => {
-                let status = match &error {
-                    RequestError::BadRequest(_) => 400,
-                    RequestError::PayloadTooLarge(_) => 413,
-                    _ => 408,
+                let (status, kind) = match &error {
+                    RequestError::BadRequest(_) => (400, "bad-request"),
+                    RequestError::PayloadTooLarge(_) => (413, "payload-too-large"),
+                    _ => (408, "timeout"),
                 };
                 // Framing is no longer trustworthy after a parse failure, so
                 // the error response always closes the connection.
@@ -287,7 +300,7 @@ fn handle_connection(
                     stream,
                     status,
                     &[],
-                    &api::error_body(&error.to_string()),
+                    &api::error_body(status, kind, &error.to_string()),
                     Persistence::Close,
                 );
                 return;
@@ -307,6 +320,11 @@ fn handle_connection(
         let mut headers: Vec<(&str, &str)> = Vec::new();
         if let Some(state) = response.cache_state {
             headers.push(("x-mochy-cache", state.as_str()));
+        }
+        if response.deprecated {
+            // The route was reached through a pre-versioning alias; the body
+            // is byte-identical to the `/v1` route, only this header differs.
+            headers.push(("deprecation", "true"));
         }
         let written = http::write_response(
             stream,

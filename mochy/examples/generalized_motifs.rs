@@ -40,6 +40,7 @@ fn main() {
     // `generalized(4)` option adds the k = 4 counts to the report.
     let report = CountConfig::exact()
         .generalized(4)
+        .expect("k = 4 is supported")
         .build()
         .count(&hypergraph);
     let classic = report.counts;
